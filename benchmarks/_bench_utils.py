@@ -1,0 +1,20 @@
+"""Benchmark helper utilities (imported by the benchmark modules)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+def write_output(name: str, text: str) -> Path:
+    """Write a rendered table/figure under benchmarks/output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(text + "\n", encoding="utf-8")
+    return path
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run a heavy benchmark exactly once (no warmup rounds)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,25 @@
+"""Shared benchmark fixtures.
+
+The full experiment grid (41 configurations up to 1728 ranks) is expensive
+to regenerate, so Table-3 rows are computed once per session and shared
+across benchmark files.  Rendered outputs land in ``benchmarks/output/`` so
+paper-vs-measured comparisons (EXPERIMENTS.md) can be refreshed from a
+single run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import Table3Row, build_table3
+
+
+@pytest.fixture(scope="session")
+def table3_full() -> list[Table3Row]:
+    """All 41 configurations at full scale — the core dataset."""
+    return build_table3()
+
+
+@pytest.fixture(scope="session")
+def table3_by_label(table3_full) -> dict[str, Table3Row]:
+    return {row.label: row for row in table3_full}

@@ -1,0 +1,73 @@
+"""Ablation: dragonfly group size (the paper's §7 diagnosis).
+
+The paper blames the dragonfly's poor locality exploitation on the small
+group size of the standard a = 2h = 2p configuration: most traffic leaves
+the group, so nearly every message pays for a global link.  This ablation
+scales (a, h, p) for a fixed workload and confirms the diagnosis: larger
+groups keep more traffic local and cut the average hop count.
+"""
+
+import pytest
+
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import matrix_from_trace
+from repro.model.engine import analyze_network
+from repro.topology.dragonfly import Dragonfly
+
+from _bench_utils import once, write_output
+
+CONFIGS = [(4, 2, 2), (6, 3, 3), (8, 4, 4), (10, 5, 5), (12, 6, 6)]
+
+
+def sweep(app, ranks):
+    trace = generate_trace(app, ranks)
+    matrix = matrix_from_trace(trace)
+    out = {}
+    for ahp in CONFIGS:
+        df = Dragonfly(*ahp)
+        if df.num_nodes < ranks:
+            continue
+        out[ahp] = analyze_network(
+            matrix, df, execution_time=trace.meta.execution_time
+        )
+    return out
+
+
+@pytest.fixture(scope="module")
+def results():
+    return sweep("LULESH", 64)
+
+
+def test_ablation_dragonfly(benchmark, results):
+    data = once(benchmark, lambda: results)
+    lines = [
+        f"{'(a,h,p)':<12} {'group':>6} {'nodes':>6} {'avg hops':>9} {'global%':>8}"
+    ]
+    for ahp, r in data.items():
+        a, h, p = ahp
+        lines.append(
+            f"{str(ahp):<12} {a * p:>6} {(a * h + 1) * a * p:>6} "
+            f"{r.avg_hops:>9.2f} {100 * (r.global_link_packet_share or 0):>7.1f}%"
+        )
+    write_output("ablation_dragonfly.txt", "\n".join(lines))
+    assert len(data) >= 4
+
+
+def test_larger_groups_reduce_global_share(results):
+    shares = [
+        r.global_link_packet_share for _, r in sorted(results.items())
+    ]
+    assert shares[0] is not None
+    assert shares[-1] < shares[0]
+
+
+def test_larger_groups_reduce_avg_hops(results):
+    hops = [r.avg_hops for _, r in sorted(results.items())]
+    assert hops[-1] < hops[0]
+
+
+def test_standard_config_mostly_global(results):
+    """With (4,2,2) groups of 8, a 64-rank job spans 8 groups: most
+    packets cross groups — the paper's diagnosis."""
+    standard = results[(4, 2, 2)]
+    assert standard.global_link_packet_share > 0.5

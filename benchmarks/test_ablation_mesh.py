@@ -1,0 +1,77 @@
+"""Ablation: torus wrap-around links (paper §2.2.2).
+
+The paper credits the torus's wrap-around links with reducing the diameter
+("every dimension can be seen as a ring instead of a chain").  This
+ablation removes them (Mesh3D) and measures what they buy per workload:
+little for aligned stencils (their traffic never reaches the boundary
+wrap), a lot for scattered and collective-rooted traffic.
+"""
+
+import pytest
+
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import matrix_from_trace
+from repro.model.engine import analyze_network
+from repro.topology.configs import config_for
+from repro.topology.mesh import Mesh3D
+
+from _bench_utils import once, write_output
+
+CASES = [
+    ("LULESH", 64),  # aligned stencil
+    ("MOCFE", 64),  # scattered
+    ("CMC_2D", 64),  # rooted collectives
+    ("BigFFT", 100),  # uniform
+    ("AMG", 216),
+]
+
+
+def compare(app, ranks):
+    trace = generate_trace(app, ranks)
+    matrix = matrix_from_trace(trace)
+    dims = config_for(ranks).torus_dims
+    t = trace.meta.execution_time
+    torus = analyze_network(
+        matrix, config_for(ranks).build_torus(), execution_time=t
+    )
+    mesh = analyze_network(matrix, Mesh3D(dims), execution_time=t)
+    return torus, mesh
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {f"{app}@{ranks}": compare(app, ranks) for app, ranks in CASES}
+
+
+def test_ablation_mesh(benchmark, results):
+    data = once(benchmark, lambda: results)
+    lines = [
+        f"{'workload':<16} {'torus hops':>11} {'mesh hops':>10} {'mesh/torus':>11}"
+    ]
+    for label, (torus, mesh) in data.items():
+        ratio = mesh.avg_hops / torus.avg_hops if torus.avg_hops else 1.0
+        lines.append(
+            f"{label:<16} {torus.avg_hops:>11.2f} {mesh.avg_hops:>10.2f} "
+            f"{ratio:>10.2f}x"
+        )
+    write_output("ablation_mesh.txt", "\n".join(lines))
+
+
+def test_mesh_never_beats_torus(results):
+    for label, (torus, mesh) in results.items():
+        assert mesh.avg_hops >= torus.avg_hops - 1e-9, label
+
+
+def test_wraparound_matters_for_uniform_traffic(results):
+    """Uniform/scattered traffic reaches the boundaries: wrap links cut the
+    average by ~1/3 (ring mean d/4 vs chain mean d/3)."""
+    for label in ("BigFFT@100", "MOCFE@64", "CMC_2D@64"):
+        torus, mesh = results[label]
+        assert mesh.avg_hops > 1.15 * torus.avg_hops, label
+
+
+def test_wraparound_irrelevant_for_aligned_stencils(results):
+    """Face-neighbour traffic rarely crosses a boundary: removing the wrap
+    links barely changes the average."""
+    torus, mesh = results["LULESH@64"]
+    assert mesh.avg_hops < 1.2 * torus.avg_hops

@@ -1,0 +1,69 @@
+"""Ablation: packet payload size (the paper fixes 4 kB).
+
+Packet hops scale inversely with payload for large messages, while
+small-message workloads are insensitive (every message already fits one
+packet) — this bounds how much the 4 kB choice matters per workload class.
+"""
+
+import pytest
+
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import matrix_from_trace
+from repro.model.engine import analyze_network
+from repro.topology.configs import config_for
+
+from _bench_utils import once, write_output
+
+PAYLOADS = (256, 1024, 4096, 16384, 65536)
+
+
+def sweep(app, ranks):
+    trace = generate_trace(app, ranks)
+    topo = config_for(ranks).build_torus()
+    out = {}
+    for payload in PAYLOADS:
+        matrix = matrix_from_trace(trace, payload=payload)
+        r = analyze_network(
+            matrix, topo, execution_time=trace.meta.execution_time, payload=payload
+        )
+        out[payload] = r
+    return out
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {
+        "LULESH@64": sweep("LULESH", 64),  # large messages
+        "CMC_2D@64": sweep("CMC_2D", 64),  # tiny messages
+    }
+
+
+def test_ablation_payload(benchmark, results):
+    data = once(benchmark, lambda: results)
+    lines = [f"{'workload':<12} " + " ".join(f"{p:>10}B" for p in PAYLOADS)]
+    for label, by_payload in data.items():
+        cells = " ".join(
+            f"{by_payload[p].packet_hops:>10.2e}" for p in PAYLOADS
+        )
+        lines.append(f"{label:<12} {cells}")
+    write_output("ablation_payload.txt", "\n".join(lines))
+
+
+def test_large_messages_scale_inversely(results):
+    lulesh = results["LULESH@64"]
+    assert lulesh[256].packet_hops > 8 * lulesh[4096].packet_hops
+    assert lulesh[4096].packet_hops > 2 * lulesh[65536].packet_hops
+
+
+def test_small_messages_insensitive(results):
+    cmc = results["CMC_2D@64"]
+    # CMC's per-call payloads are tiny: halving the MTU changes little
+    assert cmc[1024].packet_hops <= 4 * cmc[65536].packet_hops
+
+
+def test_average_hops_invariant_to_payload(results):
+    """Payload changes packet counts, not routes: the byte-weighted route
+    mix (hence avg hops for uniform-size channels) moves only mildly."""
+    for label, by_payload in results.items():
+        hops = [by_payload[p].avg_hops for p in PAYLOADS]
+        assert max(hops) - min(hops) < 1.2, label

@@ -1,0 +1,105 @@
+"""Benchmark: dynamic simulation vs the static model (paper §8 disclaimer).
+
+The paper closes with two statements about its static model that only a
+dynamic simulation can check:
+
+1. "static analyses ... present an upper limit for the maximum utilization
+   on a given topology" — dynamically, queueing spreads transmissions so
+   links are never busier than the offered load allows;
+2. low static utilization implies a low "probability of congestions"
+   (§4.2.3) — the dynamic model measures congestion directly.
+
+This benchmark runs the packet-level simulator on representative workloads
+and checks both, plus the BigFFT counterexample where the offered load is
+high enough for real queueing to appear.
+"""
+
+import pytest
+
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import matrix_from_trace
+from repro.model.engine import analyze_network
+from repro.sim.engine import simulate_network
+from repro.topology.configs import config_for
+
+from _bench_utils import once, write_output
+
+CASES = {
+    "MiniFE@18": ("MiniFE", 18, 2.0),
+    "LULESH@64": ("LULESH", 64, 8.0),
+    "AMG@27": ("AMG", 27, 1.0),
+    "MOCFE@64": ("MOCFE", 64, 1.0),
+    "BigFFT@9": ("BigFFT", 9, 2.0),
+    "BigFFT@100": ("BigFFT", 100, 80.0),
+}
+
+
+def run_case(app, ranks, scale):
+    trace = generate_trace(app, ranks)
+    matrix = matrix_from_trace(trace)
+    topo = config_for(ranks).build_torus()
+    t = trace.meta.execution_time
+    static = analyze_network(matrix, topo, execution_time=t)
+    # the simulator charges a full 4 kB slot per packet, so the matching
+    # static capacity estimate is the padded-volume variant
+    static_padded = analyze_network(
+        matrix, topo, execution_time=t, volume_mode="padded"
+    )
+    dynamic = simulate_network(
+        matrix, topo, execution_time=t, volume_scale=scale
+    )
+    return static, static_padded, dynamic
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {label: run_case(*args) for label, args in CASES.items()}
+
+
+def test_dynamic_validation(benchmark, results):
+    data = once(benchmark, lambda: results)
+    lines = [
+        f"{'workload':<14} {'static util%':>12} {'dyn util%':>10} "
+        f"{'congested%':>11} {'inflation':>10} {'mean qdelay':>12}"
+    ]
+    for label, (static, _padded, dyn) in data.items():
+        lines.append(
+            f"{label:<14} {static.utilization_percent:>12.4f} "
+            f"{100 * dyn.dynamic_utilization:>10.4f} "
+            f"{100 * dyn.congested_packet_share:>11.2f} "
+            f"{dyn.makespan_inflation:>10.3f} "
+            f"{dyn.mean_queue_delay:>12.3e}"
+        )
+    write_output("dynamic_validation.txt", "\n".join(lines))
+
+
+def test_idle_workloads_never_congest(results):
+    """<1% static utilization -> essentially zero queueing (paper §8)."""
+    for label, (static, _padded, dyn) in results.items():
+        if static.utilization < 0.01:
+            assert dyn.congested_packet_share < 0.02, label
+            assert dyn.makespan_inflation < 1.05, label
+
+
+def test_hot_workload_shows_real_queueing(results):
+    """BigFFT@100 (static ~18%) is the configuration where dynamic effects
+    appear: measurable congestion, yet the network still keeps up."""
+    _, _, dyn = results["BigFFT@100"]
+    assert dyn.congested_packet_share > 0.02
+    assert dyn.mean_queue_delay > 0.0
+
+
+def test_route_agreement(results):
+    """Per-packet hop totals agree with the static Eq.-3 accounting when
+    volume is unsampled."""
+    static, _, dyn = results["MOCFE@64"]
+    assert dyn.total_hops == static.packet_hops
+
+
+def test_injected_load_never_exceeds_capacity_estimate(results):
+    """Dynamic busy fraction stays below the padded static per-link offered
+    load scaled by the hop average — the sense in which the static analysis
+    bounds what links can be asked to do."""
+    for label, (_, padded, dyn) in results.items():
+        bound = padded.utilization * max(padded.avg_hops, 1.0) * 3.0
+        assert dyn.dynamic_utilization <= max(bound, 0.001), label

@@ -1,0 +1,51 @@
+"""Benchmark: aggregate paper-vs-measured agreement over all 351 cells.
+
+The machine-checkable version of EXPERIMENTS.md: joins every measured
+Table-3 cell against the published value and asserts the aggregate
+agreement levels the reproduction claims.
+"""
+
+import pytest
+
+from repro.paper.compare import compare_table3, deviation_summary
+
+from _bench_utils import once, write_output
+
+
+@pytest.fixture(scope="module")
+def summary_and_cells(table3_full):
+    cells = compare_table3(table3_full)
+    return deviation_summary(cells), cells
+
+
+def test_paper_agreement(benchmark, summary_and_cells):
+    summary, cells = once(benchmark, lambda: summary_and_cells)
+    lines = ["Paper-vs-measured agreement (Table 3, all cells)", "-" * 52]
+    lines += summary.lines()
+    lines.append("")
+    lines.append("cells outside 3x:")
+    for cell in cells:
+        ok = cell.within_factor(3.0)
+        if ok is False:
+            lines.append(
+                f"  {cell.label:<28} {cell.column:<24} {cell.ratio:6.2f}x"
+            )
+    write_output("paper_agreement.txt", "\n".join(lines))
+    assert summary.comparable_cells > 300
+
+
+def test_agreement_levels(summary_and_cells):
+    summary, _ = summary_and_cells
+    assert summary.within_2x >= 0.85 * summary.comparable_cells
+    assert summary.within_3x >= 0.93 * summary.comparable_cells
+    assert 0.6 <= summary.geometric_mean_ratio <= 1.4
+
+
+def test_all_na_cells_match(table3_full):
+    """Every N/A in the paper is N/A in the reproduction and vice versa."""
+    from repro.paper.values import TABLE3
+
+    for row in table3_full:
+        m = row.metrics
+        paper = TABLE3[(m.app, m.num_ranks, m.variant)]
+        assert (paper.peers is None) == (not m.has_p2p), m.label

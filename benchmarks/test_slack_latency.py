@@ -1,0 +1,103 @@
+"""Benchmarks: the §7 follow-ups — bandwidth slack and latency translation.
+
+The paper closes by proposing (a) operating links at load-matched
+bandwidths ("super-linearly decrease power consumption") and (b) studying
+per-message slack.  These benchmarks quantify both over the workload set.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.registry import generate_trace, iter_configurations
+from repro.comm.matrix import matrix_from_trace
+from repro.model.latency import LatencyModel
+from repro.model.slack import bandwidth_slack
+from repro.topology.configs import config_for
+
+from _bench_utils import once, write_output
+
+CAP = 300  # bandwidth-slack sweep is per-link; keep the sweep moderate
+
+
+def slack_rows():
+    rows = {}
+    for app, point in iter_configurations(max_ranks=CAP):
+        if point.variant:
+            continue
+        trace = app.generate(point.ranks)
+        matrix = matrix_from_trace(trace)
+        topo = config_for(point.ranks).build_torus()
+        report = bandwidth_slack(
+            matrix, topo, execution_time=trace.meta.execution_time
+        )
+        rows[f"{app.name}@{point.ranks}"] = report
+    return rows
+
+
+@pytest.fixture(scope="module")
+def slack(
+):
+    return slack_rows()
+
+
+def test_slack_sweep(benchmark, slack):
+    data = once(benchmark, lambda: slack)
+    lines = [
+        f"{'workload':<24} {'links':>6} {'min slack':>10} {'median':>10} "
+        f"{'uniform sav%':>12} {'per-link sav%':>13}"
+    ]
+    for label, r in data.items():
+        lines.append(
+            f"{label:<24} {r.num_links:>6} {r.min_slack:>10.1f} "
+            f"{r.median_slack:>10.1f} {100 * r.uniform_power_saving():>11.1f}% "
+            f"{100 * r.per_link_power_saving():>12.1f}%"
+        )
+    write_output("slack.txt", "\n".join(lines))
+
+
+def test_most_workloads_allow_deep_slowdown(slack):
+    """<1% utilization (paper §6.3) implies >100x bandwidth slack on the
+    busiest link for most workloads."""
+    deep = sum(1 for r in slack.values() if r.min_slack > 10.0)
+    assert deep >= 0.7 * len(slack)
+
+
+def test_bigfft_has_the_least_slack(slack):
+    fft = [r.min_slack for label, r in slack.items() if label.startswith("BigFFT")]
+    others = [
+        r.min_slack for label, r in slack.items() if not label.startswith("BigFFT")
+    ]
+    assert max(fft) < np.median(others)
+
+
+def test_per_link_provisioning_beats_uniform(slack):
+    for label, r in slack.items():
+        if r.num_links:
+            assert r.per_link_power_saving() >= r.uniform_power_saving() - 1e-9, label
+
+
+def test_latency_translation(benchmark):
+    """Packet hops translate to latency: mapping quality shows up directly
+    in mean message latency (the paper's motivation for the hop metrics)."""
+
+    def run():
+        trace = generate_trace("LULESH", 64)
+        matrix = matrix_from_trace(trace)
+        topo = config_for(64).build_torus()
+        model = LatencyModel()
+        aligned = model.report(matrix, topo)
+        scrambled = model.report(
+            matrix.remapped(np.random.default_rng(0).permutation(64)), topo
+        )
+        return aligned, scrambled
+
+    aligned, scrambled = once(benchmark, run)
+    write_output(
+        "latency.txt",
+        f"LULESH@64 on (4,4,4) torus\n"
+        f"aligned placement:   mean {aligned.mean_message_latency_us:.2f} us, "
+        f"p99 {1e6 * aligned.p99_message_latency_s:.2f} us\n"
+        f"scrambled placement: mean {scrambled.mean_message_latency_us:.2f} us, "
+        f"p99 {1e6 * scrambled.p99_message_latency_s:.2f} us",
+    )
+    assert scrambled.mean_message_latency_s > aligned.mean_message_latency_s

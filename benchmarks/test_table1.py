@@ -1,0 +1,53 @@
+"""Benchmark: regenerate Table 1 (application overview) at full scale.
+
+Prints the same columns the paper reports — ranks, execution time, total
+volume, p2p/collective split, throughput — for all 41 configurations, and
+asserts the calibration against the paper's published aggregates.
+"""
+
+import pytest
+
+from repro.analysis.tables import build_table1, render_table1
+from repro.apps.registry import iter_configurations
+
+from _bench_utils import once, write_output
+
+
+@pytest.fixture(scope="module")
+def table1_rows():
+    return build_table1()
+
+
+def test_table1_full(benchmark):
+    rows = once(benchmark, build_table1)
+    text = render_table1(rows)
+    write_output("table1.txt", text)
+    assert len(rows) == 41
+
+
+def test_volumes_match_paper_calibration(table1_rows):
+    """Every configuration's total volume hits its Table-1 target."""
+    targets = {
+        (a.name, p.ranks, p.variant): p for a, p in iter_configurations()
+    }
+    for row in table1_rows:
+        s = row.stats
+        point = targets[(s.app, s.num_ranks, s.variant)]
+        assert s.total_mb == pytest.approx(point.volume_mb, rel=0.02), s.label
+        assert s.p2p_share == pytest.approx(point.p2p_share, abs=0.02), s.label
+
+
+def test_throughput_spans_paper_range(table1_rows):
+    """Paper Table 1: throughput spans ~0.02 MB/s (PARTISN) to ~90 GB/s
+    (CrystalRouter@1000)."""
+    thr = {row.stats.label: row.stats.throughput_mb_per_s for row in table1_rows}
+    assert thr["PARTISN@168"] == pytest.approx(0.02, rel=0.1)
+    assert thr["CrystalRouter@1000"] == pytest.approx(90491.0, rel=0.1)
+    assert min(thr.values()) < 0.1 < 10_000 < max(thr.values())
+
+
+def test_collective_heavy_apps(table1_rows):
+    by_label = {row.stats.label: row.stats for row in table1_rows}
+    assert by_label["BigFFT@1024"].collective_share == pytest.approx(1.0)
+    assert by_label["CMC_2D@256"].collective_share == pytest.approx(1.0)
+    assert by_label["MOCFE@256"].collective_share == pytest.approx(0.945, abs=0.02)

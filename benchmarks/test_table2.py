@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Table 2 (topology configurations at scale)."""
+
+import pytest
+
+from repro.analysis.tables import build_table2, render_table2
+from repro.topology.configs import TABLE2
+
+from _bench_utils import once, write_output
+
+# the paper's node-count columns, verbatim
+PAPER_NODES = {
+    8: (8, 48, 72),
+    9: (12, 48, 72),
+    64: (64, 576, 72),
+    100: (100, 576, 342),
+    512: (512, 576, 1056),
+    1000: (1000, 13824, 1056),
+    1152: (1152, 13824, 2550),
+    1728: (1728, 13824, 2550),
+}
+
+
+def test_table2(benchmark):
+    configs = once(benchmark, build_table2)
+    write_output("table2.txt", render_table2(configs))
+    assert len(configs) == 17
+
+
+@pytest.mark.parametrize("size", sorted(PAPER_NODES))
+def test_node_counts_verbatim(size):
+    torus_n, ft_n, df_n = PAPER_NODES[size]
+    cfg = TABLE2[size]
+    assert cfg.torus_nodes == torus_n
+    assert cfg.fat_tree_nodes == ft_n
+    assert cfg.dragonfly_nodes == df_n
+
+
+def test_every_config_fits_its_size():
+    for size, cfg in TABLE2.items():
+        assert cfg.torus_nodes >= size
+        assert cfg.fat_tree_nodes >= size
+        assert cfg.dragonfly_nodes >= size

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Dynamic effects: the paper's future work, run against its static model.
+
+The paper's closing disclaimer: "this study is solely based on a static
+analysis of traffic patterns ... it seems very promising to address dynamic
+effects in future work."  This example does exactly that with the packet-
+level simulator: for a quiet workload (LULESH) and the one hot workload
+(BigFFT), it compares the static Eq.-5 utilization against dynamically
+measured link business, queueing, and congestion — and shows why the
+paper's "<1% utilization means congestion is improbable" reading holds.
+
+Run:  python examples/dynamic_effects.py
+"""
+
+import repro
+from repro.model import analyze_network
+from repro.sim import simulate_network
+
+CASES = [
+    ("LULESH", 64, 8.0),  # quiet: static utilization ~0.005%
+    ("MOCFE", 64, 1.0),  # collective-heavy but still quiet
+    ("BigFFT", 9, 2.0),  # warm
+    ("BigFFT", 100, 80.0),  # hot: the only >1% app in the study
+]
+
+
+def main() -> None:
+    print(
+        f"{'workload':<14} {'static%':>9} {'dynamic%':>9} {'congested%':>11} "
+        f"{'q-delay':>10} {'inflation':>10}"
+    )
+    print("-" * 68)
+    for app, ranks, scale in CASES:
+        trace = repro.generate_trace(app, ranks)
+        matrix = repro.matrix_from_trace(trace)
+        topo = repro.config_for(ranks).build_torus()
+        t = trace.meta.execution_time
+        static = analyze_network(matrix, topo, execution_time=t)
+        dyn = simulate_network(matrix, topo, execution_time=t, volume_scale=scale)
+        print(
+            f"{app + '@' + str(ranks):<14} {static.utilization_percent:>9.4f} "
+            f"{100 * dyn.dynamic_utilization:>9.4f} "
+            f"{100 * dyn.congested_packet_share:>11.2f} "
+            f"{dyn.mean_queue_delay:>10.2e} {dyn.makespan_inflation:>10.3f}"
+        )
+
+    print(
+        "\nReading: below 1% static utilization, packets essentially never"
+        "\nqueue — the static model is a faithful congestion predictor there."
+        "\nBigFFT@100 is where flow interaction becomes real: most packets"
+        "\nqueue behind another at least once, yet the network still drains"
+        "\nwithin the execution window (inflation ~1.0): the paper's 'upper"
+        "\nlimit' reading of static utilization survives the dynamic test."
+    )
+
+
+if __name__ == "__main__":
+    main()

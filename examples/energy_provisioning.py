@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Network provisioning and energy: the paper's §6.3/§7 argument, quantified.
+
+For each workload, computes network utilization on its best-fit topology
+and translates the idle share into energy numbers with the SerDes-dominated
+power model (85% SerDes / 15% logic, Zahn et al. [19]): how much energy
+idle links burn, what power gating could reclaim, and what running the
+network at a bandwidth matched to the offered load would save.
+
+Run:  python examples/energy_provisioning.py [--max-ranks N]
+"""
+
+import argparse
+
+import repro
+from repro.model import EnergyModel, analyze_network
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--max-ranks", type=int, default=128)
+    args = parser.parse_args()
+
+    model = EnergyModel(link_power_w=3.0)
+    print(
+        f"{'workload':<22} {'util %':>9} {'links':>6} {'total J':>10} "
+        f"{'useful %':>9} {'gating J':>9} {'bw-scale J':>10}"
+    )
+    print("-" * 82)
+
+    for app, point in repro.iter_configurations(max_ranks=args.max_ranks):
+        if point.variant:
+            continue
+        trace = app.generate(point.ranks, variant=point.variant)
+        matrix = repro.matrix_from_trace(trace)
+        topo = repro.config_for(point.ranks).build_torus()
+        result = analyze_network(
+            matrix, topo, execution_time=trace.meta.execution_time
+        )
+        report = model.report(result)
+        print(
+            f"{app.name + '@' + str(point.ranks):<22} "
+            f"{result.utilization_percent:>9.4f} {result.used_links:>6} "
+            f"{report.total_energy_j:>10.2f} "
+            f"{100 * report.useful_fraction:>9.4f} "
+            f"{report.gating_savings_j:>9.2f} "
+            f"{report.frequency_scaling_savings_j:>10.2f}"
+        )
+
+    print(
+        "\nReading: with <1% utilization almost everywhere (paper §6.3),"
+        "\nnearly all interconnect energy heats idle SerDes.  Power gating"
+        "\nreclaims up to 85% of the idle share; matching link bandwidth to"
+        "\nthe offered load (frequency scaling, power ~ bandwidth^2) removes"
+        "\nnearly everything — the paper's closing argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Smart mapping: the optimization the paper motivates (§7).
+
+Scenario: a 3D stencil job lands on a torus with an arbitrary (scrambled)
+rank-to-node placement — what a locality-oblivious batch scheduler would
+do.  We then apply the library's optimized mappings (heavy-edge greedy,
+Fiedler ordering on a snake curve, recursive spectral bisection) and
+measure the recovered byte-weighted hops, packet hops, and the implied
+interconnect energy.
+
+Run:  python examples/mapping_optimization.py [APP] [RANKS]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.mapping import Mapping, optimize_mapping, weighted_hop_cost
+from repro.model import EnergyModel, analyze_network
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "LULESH"
+    ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    trace = repro.generate_trace(app, ranks)
+    matrix = repro.matrix_from_trace(trace, include_collectives=False)
+    # emulate a locality-oblivious scheduler: scramble the rank numbering
+    scrambled = matrix.remapped(np.random.default_rng(7).permutation(ranks))
+    topo = repro.config_for(ranks).build_torus()
+    t = trace.meta.execution_time
+    energy = EnergyModel(link_power_w=3.0)
+
+    print(f"== {app}@{ranks} on {topo!r}, scrambled placement ==\n")
+    print(
+        f"{'mapping':<14} {'byte-hops':>12} {'vs base':>8} "
+        f"{'packet hops':>12} {'avg hops':>9} {'energy [J]':>11}"
+    )
+
+    baseline = None
+    candidates = ["consecutive", "random", "greedy", "spectral", "bisection"]
+    for method in candidates:
+        if method == "random":
+            mapping = Mapping.random(ranks, topo.num_nodes, seed=3)
+        else:
+            mapping = optimize_mapping(
+                scrambled, topo, method=method, refine=(method in ("greedy", "spectral"))
+            )
+        cost = weighted_hop_cost(scrambled, topo, mapping)
+        if baseline is None:
+            baseline = cost
+        result = analyze_network(scrambled, topo, mapping=mapping, execution_time=t)
+        report = energy.report(result)
+        print(
+            f"{method:<14} {cost:>12.3e} {cost / baseline:>7.2f}x "
+            f"{result.packet_hops:>12.3e} {result.avg_hops:>9.2f} "
+            f"{report.total_energy_j:>11.1f}"
+        )
+
+    print(
+        "\nEvery hop a packet does not travel is latency and SerDes energy"
+        "\nsaved; the paper argues exactly this headroom exists because 90%"
+        "\nof each rank's traffic goes to a handful of partners (selectivity)."
+    )
+
+
+if __name__ == "__main__":
+    main()

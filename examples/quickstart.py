@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: the full analysis pipeline on one workload.
+
+Generates the LULESH@64 synthetic trace, computes the paper's MPI-level
+locality metrics (peers, rank distance, selectivity, dimensionality), and
+runs the static network model on the three Table-2 topologies.
+
+Run:  python examples/quickstart.py [APP] [RANKS]
+"""
+
+import sys
+
+import repro
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "LULESH"
+    ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 64
+
+    # 1. Generate a calibrated synthetic trace (stand-in for a dumpi trace).
+    trace = repro.generate_trace(app, ranks)
+    stats = repro.trace_stats(trace)
+    print(f"== {stats.label} ==")
+    print(
+        f"volume {stats.total_mb:.1f} MB over {stats.execution_time:.3f} s "
+        f"({stats.throughput_mb_per_s:.1f} MB/s), "
+        f"p2p {100 * stats.p2p_share:.1f}% / coll {100 * stats.collective_share:.1f}%"
+    )
+
+    # 2. MPI-level locality metrics (paper §5) on point-to-point traffic.
+    p2p = repro.matrix_from_trace(trace, include_collectives=False)
+    metrics = repro.mpi_level_metrics(trace, p2p)
+    print("\n-- MPI-level metrics (hardware-agnostic) --")
+    if metrics.has_p2p:
+        print(f"peers:               {metrics.peers}")
+        print(f"rank distance (90%): {metrics.rank_distance_90:.1f}")
+        print(f"rank locality:       {100 * metrics.rank_locality_90:.1f}%")
+        print(f"selectivity (90%):   {metrics.selectivity_90:.1f}")
+        locality = repro.locality_by_dimension(p2p)
+        cells = "  ".join(f"{d}D: {100 * v:.0f}%" for d, v in locality.items())
+        print(f"dimensionality:      {cells}")
+    else:
+        print("all-collective workload: peers/distance/selectivity are N/A")
+
+    # 3. System-level analysis (paper §6) on the three Table-2 topologies.
+    full = repro.matrix_from_trace(trace)  # collectives flattened per §4.4
+    print("\n-- Topology comparison (consecutive mapping) --")
+    print(f"{'topology':<22} {'packet hops':>12} {'avg hops':>9} {'util %':>9}")
+    for name, topo in repro.build_all(ranks).items():
+        result = repro.analyze_network(
+            full, topo, execution_time=trace.meta.execution_time
+        )
+        print(
+            f"{name:<22} {result.packet_hops:>12.3e} {result.avg_hops:>9.2f} "
+            f"{result.utilization_percent:>9.4f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

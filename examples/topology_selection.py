@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Topology selection study: which network fits which workload class?
+
+The paper's §6.2 exercise, as a system architect would run it: for each
+application class, sweep its configurations over torus / fat tree /
+dragonfly and report the winner by average hop count, plus the dragonfly's
+global-link dependence.  Reproduces the paper's conclusions — torus for
+small 3D workloads, fat tree at scale, dragonfly rarely ahead.
+
+Run:  python examples/topology_selection.py [--max-ranks N]
+"""
+
+import argparse
+
+import repro
+from repro.analysis import build_table3
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--max-ranks", type=int, default=256)
+    args = parser.parse_args()
+
+    rows = build_table3(max_ranks=args.max_ranks)
+
+    print(
+        f"{'workload':<28} {'torus':>7} {'ftree':>7} {'dfly':>7}   "
+        f"{'winner':<10} {'dfly global %':>13}"
+    )
+    print("-" * 80)
+    wins = {"torus3d": 0, "fattree": 0, "dragonfly": 0}
+    for row in rows:
+        hops = {k: n.avg_hops for k, n in row.network.items()}
+        best = min(hops, key=hops.get)  # type: ignore[arg-type]
+        wins[best] += 1
+        global_share = row.network["dragonfly"].global_link_packet_share or 0.0
+        print(
+            f"{row.label:<28} {hops['torus3d']:>7.2f} {hops['fattree']:>7.2f} "
+            f"{hops['dragonfly']:>7.2f}   {best:<10} {100 * global_share:>12.1f}%"
+        )
+
+    print("-" * 80)
+    total = sum(wins.values())
+    for kind, count in wins.items():
+        print(f"{kind:<10} wins {count:>3}/{total}")
+
+    print(
+        "\nPaper's conclusion (§8): the 3D torus suits small (< ~100-256 rank)"
+        "\n3D-structured workloads; at larger scale the lower diameter of the"
+        "\nfat tree takes over; the standard dragonfly rarely wins because its"
+        "\nsmall groups force most traffic across global links."
+    )
+
+
+if __name__ == "__main__":
+    main()

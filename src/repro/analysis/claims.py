@@ -1,0 +1,158 @@
+"""Headline-claim evaluation (paper §5–§8).
+
+The paper's conclusions are aggregate statements over the full experiment
+grid.  This module computes each one from Table-3 rows / Figure-5 series so
+benchmarks and tests can assert the *shape* of the reproduction:
+
+1. Selectivity is small: ≤ 10 partners cover 90% of traffic in ~89% of
+   configurations (§8).
+2. Rank distance grows with scale within every application (§5.1).
+3. The 3D torus gives the lowest average hop count for small configurations,
+   the fat tree for large ones (§6.2, §8).
+4. Most dragonfly packets cross a global link (~95% on average, §6.2).
+5. Network utilization is below 1% in ~93% of configurations — every app
+   but BigFFT (§6.3, §8).
+6. Inter-node traffic saturates by 8–16 cores per socket (§6.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .figures import MulticoreSeries
+from .tables import Table3Row
+
+__all__ = ["ClaimReport", "evaluate_claims", "render_claims"]
+
+
+@dataclass(frozen=True)
+class ClaimReport:
+    """Aggregate statistics backing the paper's headline claims."""
+
+    num_configs: int
+    num_p2p_configs: int
+    selectivity_le_10_share: float
+    distance_grows_share: float
+    torus_wins_small: int
+    small_configs: int
+    fattree_wins_large: int
+    large_configs: int
+    dragonfly_global_share_mean: float
+    utilization_below_1pct_share: float
+    multicore_saturation_ok_share: float | None = None
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"configurations analyzed:                 {self.num_configs}",
+            f"p2p configurations:                      {self.num_p2p_configs}",
+            f"selectivity <= 10 (paper ~89%):          "
+            f"{100 * self.selectivity_le_10_share:.0f}%",
+            f"rank distance grows with scale:          "
+            f"{100 * self.distance_grows_share:.0f}% of apps",
+            f"torus lowest hops, ranks < 256:          "
+            f"{self.torus_wins_small}/{self.small_configs}",
+            f"fat tree lowest hops, ranks >= 256:      "
+            f"{self.fattree_wins_large}/{self.large_configs}",
+            f"dragonfly global-link packet share:      "
+            f"{100 * self.dragonfly_global_share_mean:.0f}% (paper ~95%)",
+            f"utilization < 1% (paper ~93%):           "
+            f"{100 * self.utilization_below_1pct_share:.0f}%",
+        ]
+        if self.multicore_saturation_ok_share is not None:
+            lines.append(
+                f"multicore saturation by 16 cores:        "
+                f"{100 * self.multicore_saturation_ok_share:.0f}% of series"
+            )
+        return lines
+
+
+def _distance_growth_share(rows: list[Table3Row]) -> float:
+    """Fraction of apps whose rank distance is non-decreasing in rank count."""
+    by_app: dict[str, list[tuple[int, float]]] = {}
+    for row in rows:
+        m = row.metrics
+        if m.has_p2p and not np.isnan(m.rank_distance_90):
+            by_app.setdefault(m.app, []).append((m.num_ranks, m.rank_distance_90))
+    grows = 0
+    total = 0
+    for points in by_app.values():
+        points = sorted(set(points))
+        if len(points) < 2:
+            continue
+        total += 1
+        dists = [d for _, d in points]
+        if all(b >= a * 0.95 for a, b in zip(dists, dists[1:])):
+            grows += 1
+    return grows / total if total else 1.0
+
+
+def evaluate_claims(
+    rows: list[Table3Row],
+    figure5: list[MulticoreSeries] | None = None,
+    small_cutoff: int = 256,
+) -> ClaimReport:
+    """Compute the aggregate claim statistics from Table-3 rows."""
+    if not rows:
+        raise ValueError("need at least one Table-3 row")
+
+    p2p_rows = [r for r in rows if r.metrics.has_p2p]
+    # counted over ALL configurations, as the paper does ("in 89% of all
+    # configurations"); all-collective rows have no selectivity to exceed.
+    sel_small = len(rows) - len(p2p_rows) + sum(
+        1 for r in p2p_rows if r.metrics.selectivity_90 <= 10.0
+    )
+
+    torus_small = large_ft = small_total = large_total = 0
+    global_shares = []
+    util_small = 0
+    for row in rows:
+        hops = {k: n.avg_hops for k, n in row.network.items()}
+        best = min(hops, key=hops.get)  # type: ignore[arg-type]
+        if row.metrics.num_ranks < small_cutoff:
+            small_total += 1
+            torus_small += best == "torus3d"
+        else:
+            large_total += 1
+            large_ft += best == "fattree"
+        df = row.network["dragonfly"]
+        if df.global_link_packet_share is not None:
+            global_shares.append(df.global_link_packet_share)
+        max_util = max(n.utilization for n in row.network.values())
+        util_small += max_util < 0.01
+
+    saturation: float | None = None
+    if figure5:
+        ok = 0
+        for series in figure5:
+            rel = {p.cores_per_node: p.relative_traffic for p in series.points}
+            base16 = rel.get(16)
+            if base16 is None:
+                continue
+            tail_min = min((v for c, v in rel.items() if c > 16), default=base16)
+            drop_to_16 = rel[1] - base16
+            drop_after = base16 - tail_min
+            # saturated: the decline past 16 cores is small, absolutely
+            # (< 0.1 of the total traffic) or relative to the 1 -> 16 drop
+            if drop_after <= max(0.105, 0.75 * drop_to_16):
+                ok += 1
+        saturation = ok / len(figure5)
+
+    return ClaimReport(
+        num_configs=len(rows),
+        num_p2p_configs=len(p2p_rows),
+        selectivity_le_10_share=sel_small / len(rows),
+        distance_grows_share=_distance_growth_share(rows),
+        torus_wins_small=torus_small,
+        small_configs=small_total,
+        fattree_wins_large=large_ft,
+        large_configs=large_total,
+        dragonfly_global_share_mean=float(np.mean(global_shares)) if global_shares else 0.0,
+        utilization_below_1pct_share=util_small / len(rows),
+        multicore_saturation_ok_share=saturation,
+    )
+
+
+def render_claims(report: ClaimReport) -> str:
+    return "\n".join(["Headline claims", "-" * 48, *report.summary_lines()])

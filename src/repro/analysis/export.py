@@ -1,0 +1,181 @@
+"""Structured export of tables and figures (CSV / JSON).
+
+The text renderers mirror the paper's layout; downstream plotting and
+post-processing want machine-readable rows instead.  Every table/figure
+builder's output converts to a list of flat dicts here, which serialize to
+CSV (stdlib ``csv``) or JSON.  NaNs become empty CSV cells / JSON nulls —
+the N/A entries of the paper's tables.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from typing import Any
+
+from .figures import Figure1Series, MulticoreSeries, SelectivityCurve
+from .tables import Table1Row, Table3Row, Table4Row
+from ..topology.configs import TopologyConfig
+
+__all__ = [
+    "rows_to_csv",
+    "rows_to_json",
+    "table1_records",
+    "table2_records",
+    "table3_records",
+    "table4_records",
+    "figure1_records",
+    "curve_records",
+    "figure5_records",
+]
+
+
+def _clean(value: Any) -> Any:
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value
+
+
+def rows_to_csv(records: list[dict[str, Any]]) -> str:
+    """Serialize records to CSV text (header from the first record)."""
+    if not records:
+        return ""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(records[0]))
+    writer.writeheader()
+    for record in records:
+        cleaned = {k: _clean(v) for k, v in record.items()}
+        writer.writerow({k: ("" if v is None else v) for k, v in cleaned.items()})
+    return buf.getvalue()
+
+
+def rows_to_json(records: list[dict[str, Any]]) -> str:
+    """Serialize records to pretty-printed JSON."""
+    cleaned = [{k: _clean(v) for k, v in r.items()} for r in records]
+    return json.dumps(cleaned, indent=2)
+
+
+def table1_records(rows: list[Table1Row]) -> list[dict[str, Any]]:
+    out = []
+    for row in rows:
+        s = row.stats
+        out.append(
+            {
+                "app": s.app,
+                "variant": s.variant,
+                "ranks": s.num_ranks,
+                "time_s": s.execution_time,
+                "volume_mb": round(s.total_mb, 3),
+                "p2p_percent": round(100 * s.p2p_share, 3),
+                "collective_percent": round(100 * s.collective_share, 3),
+                "throughput_mb_per_s": round(s.throughput_mb_per_s, 3),
+            }
+        )
+    return out
+
+
+def table2_records(configs: list[TopologyConfig]) -> list[dict[str, Any]]:
+    return [
+        {
+            "size": cfg.size,
+            "torus_x": cfg.torus_dims[0],
+            "torus_y": cfg.torus_dims[1],
+            "torus_z": cfg.torus_dims[2],
+            "torus_nodes": cfg.torus_nodes,
+            "fat_tree_radix": 48,
+            "fat_tree_stages": cfg.fat_tree_stages,
+            "fat_tree_nodes": cfg.fat_tree_nodes,
+            "dragonfly_a": cfg.dragonfly_ahp[0],
+            "dragonfly_h": cfg.dragonfly_ahp[1],
+            "dragonfly_p": cfg.dragonfly_ahp[2],
+            "dragonfly_nodes": cfg.dragonfly_nodes,
+        }
+        for cfg in configs
+    ]
+
+
+def table3_records(rows: list[Table3Row]) -> list[dict[str, Any]]:
+    out = []
+    for row in rows:
+        m = row.metrics
+        record: dict[str, Any] = {
+            "app": m.app,
+            "variant": m.variant,
+            "ranks": m.num_ranks,
+            "peers": m.peers if m.has_p2p else None,
+            "rank_distance_90": round(m.rank_distance_90, 3)
+            if m.has_p2p
+            else None,
+            "selectivity_90": round(m.selectivity_90, 3) if m.has_p2p else None,
+        }
+        for kind, net in row.network.items():
+            record[f"{kind}_packet_hops"] = net.packet_hops
+            record[f"{kind}_avg_hops"] = round(net.avg_hops, 4)
+            record[f"{kind}_utilization_percent"] = round(
+                net.utilization_percent, 6
+            )
+        out.append(record)
+    return out
+
+
+def table4_records(rows: list[Table4Row]) -> list[dict[str, Any]]:
+    return [
+        {
+            "app": row.app,
+            "ranks": row.ranks,
+            "locality_1d_percent": round(100 * row.locality[1], 2),
+            "locality_2d_percent": round(100 * row.locality[2], 2),
+            "locality_3d_percent": round(100 * row.locality[3], 2),
+        }
+        for row in rows
+    ]
+
+
+def figure1_records(series: Figure1Series) -> list[dict[str, Any]]:
+    cum = series.cumulative_share
+    return [
+        {
+            "app": series.app,
+            "ranks": series.ranks,
+            "rank": series.rank,
+            "partner_index": i + 1,
+            "bytes": int(v),
+            "cumulative_share": round(float(c), 6),
+        }
+        for i, (v, c) in enumerate(zip(series.volumes, cum))
+    ]
+
+
+def curve_records(curves: list[SelectivityCurve]) -> list[dict[str, Any]]:
+    """Figures 3/4: one record per (workload, partner position)."""
+    out = []
+    for curve in curves:
+        for i, share in enumerate(curve.curve, start=1):
+            out.append(
+                {
+                    "app": curve.app,
+                    "ranks": curve.ranks,
+                    "variant": curve.variant,
+                    "partners": i,
+                    "cumulative_share": round(float(share), 6),
+                }
+            )
+    return out
+
+
+def figure5_records(series: list[MulticoreSeries]) -> list[dict[str, Any]]:
+    out = []
+    for s in series:
+        for point in s.points:
+            out.append(
+                {
+                    "app": s.app,
+                    "ranks": s.ranks,
+                    "cores_per_node": point.cores_per_node,
+                    "inter_node_bytes": point.inter_node_bytes,
+                    "relative_traffic": round(point.relative_traffic, 6),
+                }
+            )
+    return out

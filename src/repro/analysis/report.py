@@ -1,0 +1,128 @@
+"""Full markdown report generation.
+
+``build_report`` ties every analysis together into one self-contained
+markdown document — the artifact a characterization study hands to system
+architects: per-workload MPI-level metrics, topology comparison,
+utilization/energy headroom, and the heat-map summaries the paper's metrics
+replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.registry import iter_configurations
+from ..comm.matrix import matrix_from_trace
+from ..comm.stats import trace_stats
+from ..metrics.heatmap import heatmap_summary
+from ..metrics.summary import mpi_level_metrics
+from ..model.energy import EnergyModel
+from ..model.engine import analyze_network
+from ..topology.configs import config_for
+
+__all__ = ["WorkloadReport", "build_report", "render_report"]
+
+
+@dataclass(frozen=True)
+class WorkloadReport:
+    """Everything the report says about one configuration."""
+
+    label: str
+    total_mb: float
+    p2p_share: float
+    peers: int
+    rank_distance: float
+    selectivity: float
+    fill: float
+    diagonal_share: float
+    best_topology: str
+    best_hops: float
+    max_utilization: float
+    useful_energy_fraction: float
+
+
+def build_report(
+    max_ranks: int | None = None, seed: int = 0
+) -> list[WorkloadReport]:
+    """Analyze every configuration and collect the report rows."""
+    model = EnergyModel()
+    rows: list[WorkloadReport] = []
+    for app, point in iter_configurations(max_ranks=max_ranks):
+        if point.variant:
+            continue  # variants duplicate the pattern; keep the report terse
+        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        stats = trace_stats(trace)
+        p2p = matrix_from_trace(trace, include_collectives=False)
+        metrics = mpi_level_metrics(trace, p2p)
+        heat = heatmap_summary(p2p)
+
+        full = matrix_from_trace(trace)
+        cfg = config_for(point.ranks)
+        analyses = {
+            "torus3d": analyze_network(
+                full, cfg.build_torus(), execution_time=point.time_s
+            ),
+            "fattree": analyze_network(
+                full, cfg.build_fat_tree(), execution_time=point.time_s
+            ),
+            "dragonfly": analyze_network(
+                full, cfg.build_dragonfly(), execution_time=point.time_s
+            ),
+        }
+        best = min(analyses, key=lambda k: analyses[k].avg_hops)
+        max_util = max(a.utilization for a in analyses.values())
+        energy = model.report(analyses[best])
+
+        rows.append(
+            WorkloadReport(
+                label=stats.label,
+                total_mb=stats.total_mb,
+                p2p_share=stats.p2p_share,
+                peers=metrics.peers,
+                rank_distance=metrics.rank_distance_90,
+                selectivity=metrics.selectivity_90,
+                fill=heat.fill,
+                diagonal_share=heat.diagonal_band_share,
+                best_topology=best,
+                best_hops=analyses[best].avg_hops,
+                max_utilization=max_util,
+                useful_energy_fraction=energy.useful_fraction,
+            )
+        )
+    return rows
+
+
+def render_report(rows: list[WorkloadReport]) -> str:
+    """Render the collected rows as a markdown document."""
+    lines = [
+        "# Network-locality characterization report",
+        "",
+        "Static analysis per the methodology of Zahn & Fröning (ICPP 2020):",
+        "MPI-level locality metrics, best-fit topology by average packet",
+        "hops (Table-2 configurations, consecutive mapping), and the",
+        "utilization/energy headroom of the interconnect.",
+        "",
+        "| workload | vol [MB] | p2p % | peers | dist90 | sel90 | matrix fill | diag % | best topo | hops | max util % | useful energy % |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        peers = str(r.peers) if r.peers else "N/A"
+        dist = f"{r.rank_distance:.1f}" if r.peers else "N/A"
+        sel = f"{r.selectivity:.1f}" if r.peers else "N/A"
+        lines.append(
+            f"| {r.label} | {r.total_mb:.0f} | {100 * r.p2p_share:.1f} "
+            f"| {peers} | {dist} | {sel} "
+            f"| {100 * r.fill:.1f}% | {100 * r.diagonal_share:.0f}% "
+            f"| {r.best_topology} | {r.best_hops:.2f} "
+            f"| {100 * r.max_utilization:.4f} "
+            f"| {100 * r.useful_energy_fraction:.4f} |"
+        )
+    lines += [
+        "",
+        "Reading guide: *dist90*/*sel90* are the paper's rank distance and",
+        "selectivity at the 90% traffic share; *diag %* is the byte share",
+        "within one rank of the diagonal (the heat-map impression the",
+        "metrics formalize); *useful energy* is utilization-scaled static",
+        "interconnect energy on the best topology.",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,148 @@
+"""Generic parameter-sweep harness.
+
+The paper's evaluation is one fixed grid (41 configurations x 3
+topologies).  Downstream users usually want *their own* grid — a different
+payload, a different bandwidth, an optimized mapping, a custom topology
+size.  ``run_sweep`` crosses any subset of those axes and returns flat
+records (compatible with :mod:`repro.analysis.export`), so custom studies
+are a few lines:
+
+    from repro.analysis.sweep import SweepSpec, run_sweep
+    records = run_sweep(SweepSpec(
+        apps=[("LULESH", 64), ("AMG", 216)],
+        topologies=("torus3d", "fattree"),
+        mappings=("consecutive", "bisection"),
+        payloads=(1024, 4096),
+    ))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..apps.registry import generate_trace
+from ..comm.matrix import matrix_from_trace
+from ..mapping.base import Mapping
+from ..mapping.optimized import optimize_mapping
+from ..model.engine import BANDWIDTH_BYTES_PER_S, analyze_network
+from ..topology.configs import config_for
+
+__all__ = ["SweepSpec", "run_sweep"]
+
+_TOPOLOGY_BUILDERS = {
+    "torus3d": lambda cfg: cfg.build_torus(),
+    "fattree": lambda cfg: cfg.build_fat_tree(),
+    "dragonfly": lambda cfg: cfg.build_dragonfly(),
+}
+
+_MAPPING_METHODS = ("consecutive", "random", "greedy", "spectral", "bisection")
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """The axes of one sweep.
+
+    ``apps`` are (name, ranks) pairs; the other axes cross-product against
+    them.  ``include_collectives`` mirrors the §5 (False) vs §6 (True)
+    analysis modes.
+    """
+
+    apps: tuple[tuple[str, int], ...] = (("LULESH", 64),)
+    topologies: tuple[str, ...] = ("torus3d", "fattree", "dragonfly")
+    mappings: tuple[str, ...] = ("consecutive",)
+    payloads: tuple[int, ...] = (4096,)
+    bandwidths: tuple[float, ...] = (BANDWIDTH_BYTES_PER_S,)
+    include_collectives: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.apps:
+            raise ValueError("sweep needs at least one (app, ranks) pair")
+        unknown = set(self.topologies) - set(_TOPOLOGY_BUILDERS)
+        if unknown:
+            raise ValueError(f"unknown topologies {sorted(unknown)}")
+        unknown = set(self.mappings) - set(_MAPPING_METHODS)
+        if unknown:
+            raise ValueError(f"unknown mapping methods {sorted(unknown)}")
+        if any(p <= 0 for p in self.payloads):
+            raise ValueError("payloads must be positive")
+        if any(b <= 0 for b in self.bandwidths):
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def num_points(self) -> int:
+        return (
+            len(self.apps)
+            * len(self.topologies)
+            * len(self.mappings)
+            * len(self.payloads)
+            * len(self.bandwidths)
+        )
+
+
+def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
+    if method == "random":
+        return Mapping.random(matrix.num_ranks, topology.num_nodes, seed=seed)
+    return optimize_mapping(matrix, topology, method=method, seed=seed)
+
+
+def run_sweep(spec: SweepSpec) -> list[dict[str, Any]]:
+    """Evaluate every sweep point; one flat record per point.
+
+    Traces and per-payload matrices are cached across the grid so each
+    (app, payload) combination is built once.
+    """
+    records: list[dict[str, Any]] = []
+    trace_cache: dict[tuple[str, int], Any] = {}
+    matrix_cache: dict[tuple[str, int, int], Any] = {}
+
+    for app, ranks in spec.apps:
+        key = (app, ranks)
+        if key not in trace_cache:
+            trace_cache[key] = generate_trace(app, ranks, seed=spec.seed)
+        trace = trace_cache[key]
+        cfg = config_for(ranks)
+
+        for payload in spec.payloads:
+            mkey = (app, ranks, payload)
+            if mkey not in matrix_cache:
+                matrix_cache[mkey] = matrix_from_trace(
+                    trace,
+                    include_collectives=spec.include_collectives,
+                    payload=payload,
+                )
+            matrix = matrix_cache[mkey]
+
+            for topo_kind in spec.topologies:
+                topology = _TOPOLOGY_BUILDERS[topo_kind](cfg)
+                for mapping_method in spec.mappings:
+                    mapping = _build_mapping(
+                        mapping_method, matrix, topology, spec.seed
+                    )
+                    for bandwidth in spec.bandwidths:
+                        result = analyze_network(
+                            matrix,
+                            topology,
+                            mapping=mapping,
+                            execution_time=trace.meta.execution_time,
+                            bandwidth=bandwidth,
+                            payload=payload,
+                        )
+                        records.append(
+                            {
+                                "app": app,
+                                "ranks": ranks,
+                                "topology": topo_kind,
+                                "mapping": mapping_method,
+                                "payload": payload,
+                                "bandwidth": bandwidth,
+                                "packet_hops": result.packet_hops,
+                                "avg_hops": round(result.avg_hops, 4),
+                                "utilization_percent": round(
+                                    result.utilization_percent, 6
+                                ),
+                                "used_links": result.used_links,
+                            }
+                        )
+    return records

@@ -1,0 +1,231 @@
+"""Table builders: Tables 1, 2, 3, and 4 of the paper.
+
+Each builder returns structured rows (dataclasses) plus a ``render_*``
+companion that prints the same columns the paper reports.  Builders accept a
+``max_ranks`` cut so tests and quick runs can work on the small
+configurations only; the benchmarks run the full set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.registry import iter_configurations
+from ..comm.matrix import CommMatrix, matrix_from_trace
+from ..comm.stats import TraceStats, trace_stats
+from ..core.trace import Trace
+from ..metrics.dimensionality import locality_by_dimension
+from ..metrics.summary import MPILevelMetrics, mpi_level_metrics
+from ..model.engine import NetworkAnalysis, analyze_network
+from ..topology.configs import TABLE2, TopologyConfig, config_for
+
+__all__ = [
+    "Table1Row",
+    "build_table1",
+    "render_table1",
+    "build_table2",
+    "render_table2",
+    "Table3Row",
+    "build_table3",
+    "build_table3_row",
+    "render_table3",
+    "Table4Row",
+    "build_table4",
+    "render_table4",
+    "TABLE4_WORKLOADS",
+]
+
+TOPOLOGY_ORDER = ("torus3d", "fattree", "dragonfly")
+
+
+# ---------------------------------------------------------------- Table 1
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """Application overview: volume, split, throughput."""
+
+    stats: TraceStats
+
+    @property
+    def label(self) -> str:
+        return self.stats.label
+
+
+def build_table1(max_ranks: int | None = None, seed: int = 0) -> list[Table1Row]:
+    """Per-configuration traffic statistics over the full workload set."""
+    rows = []
+    for app, point in iter_configurations(max_ranks=max_ranks):
+        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        rows.append(Table1Row(trace_stats(trace)))
+    return rows
+
+
+def render_table1(rows: list[Table1Row]) -> str:
+    header = (
+        f"{'Application':<28} {'Ranks':>6} {'Time[s]':>10} {'Vol[MB]':>12} "
+        f"{'P2P[%]':>7} {'Coll[%]':>7} {'Vol/t':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    lines += [row.stats.format_row() for row in rows]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- Table 2
+
+
+def build_table2() -> list[TopologyConfig]:
+    """The paper's topology configurations, ascending by size."""
+    return [TABLE2[size] for size in sorted(TABLE2)]
+
+
+def render_table2(configs: list[TopologyConfig] | None = None) -> str:
+    if configs is None:
+        configs = build_table2()
+    header = (
+        f"{'Size':>6} | {'Torus (x,y,z)':>14} {'Nodes':>6} | "
+        f"{'FT (rad,st)':>12} {'Nodes':>6} | {'DF (a,h,p)':>11} {'Nodes':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for cfg in configs:
+        x, y, z = cfg.torus_dims
+        a, h, p = cfg.dragonfly_ahp
+        lines.append(
+            f"{cfg.size:>6} | {f'({x},{y},{z})':>14} {cfg.torus_nodes:>6} | "
+            f"{f'(48,{cfg.fat_tree_stages})':>12} {cfg.fat_tree_nodes:>6} | "
+            f"{f'({a},{h},{p})':>11} {cfg.dragonfly_nodes:>6}"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- Table 3
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One workload line of Table 3: MPI metrics + all three topologies."""
+
+    metrics: MPILevelMetrics
+    network: dict[str, NetworkAnalysis]  # keyed by topology kind
+
+    @property
+    def label(self) -> str:
+        return self.metrics.label
+
+
+def build_table3_row(trace: Trace, p2p_matrix: CommMatrix | None = None) -> Table3Row:
+    """Compute one Table-3 row from a trace."""
+    if p2p_matrix is None:
+        p2p_matrix = matrix_from_trace(trace, include_collectives=False)
+    metrics = mpi_level_metrics(trace, p2p_matrix)
+    full_matrix = matrix_from_trace(trace)
+    cfg = config_for(trace.meta.num_ranks)
+    topologies = {
+        "torus3d": cfg.build_torus(),
+        "fattree": cfg.build_fat_tree(),
+        "dragonfly": cfg.build_dragonfly(),
+    }
+    network = {
+        kind: analyze_network(
+            full_matrix, topo, execution_time=trace.meta.execution_time
+        )
+        for kind, topo in topologies.items()
+    }
+    return Table3Row(metrics=metrics, network=network)
+
+
+def build_table3(max_ranks: int | None = None, seed: int = 0) -> list[Table3Row]:
+    """The full Table 3 over all configurations (optionally size-capped)."""
+    rows = []
+    for app, point in iter_configurations(max_ranks=max_ranks):
+        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        rows.append(build_table3_row(trace))
+    return rows
+
+
+def render_table3(rows: list[Table3Row]) -> str:
+    header = (
+        f"{'Workload':<28} {'Peers':>6} {'Dist90':>8} {'Sel90':>6} |"
+        + "".join(
+            f" {name:>9} {'hops':>5} {'util%':>8} |"
+            for name in ("torus", "fattree", "dragonfly")
+        )
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        m = row.metrics
+        if m.has_p2p:
+            left = (
+                f"{m.label:<28} {m.peers:>6d} {m.rank_distance_90:>8.1f} "
+                f"{m.selectivity_90:>6.1f} |"
+            )
+        else:
+            left = f"{m.label:<28} {'N/A':>6} {'N/A':>8} {'N/A':>6} |"
+        cells = ""
+        for kind in TOPOLOGY_ORDER:
+            net = row.network[kind]
+            cells += (
+                f" {net.packet_hops:>9.2e} {net.avg_hops:>5.2f} "
+                f"{net.utilization_percent:>8.4f} |"
+            )
+        lines.append(left + cells)
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------- Table 4
+
+
+#: The (app, ranks) pairs the paper's Table 4 reports.
+TABLE4_WORKLOADS: tuple[tuple[str, int], ...] = (
+    ("AMG", 216),
+    ("AMG", 1728),
+    ("Boxlib_CNS", 64),
+    ("Boxlib_CNS", 256),
+    ("Boxlib_CNS", 1024),
+    ("LULESH", 64),
+    ("LULESH", 512),
+    ("MultiGrid_C", 125),
+    ("MultiGrid_C", 1000),
+    ("PARTISN", 168),
+)
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """Rank locality of one workload under 1D/2D/3D re-linearization."""
+
+    app: str
+    ranks: int
+    locality: dict[int, float]  # dim -> locality in [0, 1]
+
+    @property
+    def label(self) -> str:
+        return f"{self.app}@{self.ranks}"
+
+
+def build_table4(
+    workloads: tuple[tuple[str, int], ...] = TABLE4_WORKLOADS,
+    max_ranks: int | None = None,
+    seed: int = 0,
+) -> list[Table4Row]:
+    from ..apps.registry import generate_trace
+
+    rows = []
+    for app, ranks in workloads:
+        if max_ranks is not None and ranks > max_ranks:
+            continue
+        trace = generate_trace(app, ranks, seed=seed)
+        matrix = matrix_from_trace(trace, include_collectives=False)
+        rows.append(Table4Row(app, ranks, locality_by_dimension(matrix)))
+    return rows
+
+
+def render_table4(rows: list[Table4Row]) -> str:
+    header = f"{'Workload':<24} {'Ranks':>6} {'1D':>6} {'2D':>6} {'3D':>6}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        cells = " ".join(
+            f"{100 * row.locality[d]:>5.0f}%" for d in (1, 2, 3)
+        )
+        lines.append(f"{row.app:<24} {row.ranks:>6} {cells}")
+    return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Synthetic trace generators for the paper's 16 proxy-app configurations."""
+
+from .base import (
+    AppPattern,
+    CalibrationPoint,
+    Channels,
+    CollectivePhase,
+    SyntheticApp,
+)
+from .registry import APPS, app_names, generate_trace, get_app, iter_configurations
+from .validation import ValidationIssue, ValidationResult, validate_all, validate_app
+
+__all__ = [
+    "AppPattern",
+    "CalibrationPoint",
+    "Channels",
+    "CollectivePhase",
+    "SyntheticApp",
+    "APPS",
+    "app_names",
+    "generate_trace",
+    "get_app",
+    "iter_configurations",
+    "ValidationIssue",
+    "ValidationResult",
+    "validate_all",
+    "validate_app",
+]

@@ -1,0 +1,83 @@
+"""AMR miniapp — adaptive mesh refinement (ExaCT/DOE proxy).
+
+Block-structured AMR: each rank owns boxes at several refinement levels and
+exchanges ghost data with the owners of adjacent boxes.  Load-balancing
+scatters adjacent boxes over the rank space, so the heavy neighbourhood of a
+rank is a small set of partners at *mixed* linear distances — mostly near,
+some far (log-uniform distance profile) — plus a broad, low-volume tail of
+partners from coarse/fine interpolation and regrid metadata.  The tail is
+widest around heavily-refined regions, which is what drives the peak
+*peers* to ~0.28 × ranks (490 of 1728 in the paper) while selectivity stays
+near 10.  A small allreduce (timestep reduction) accounts for the <1%
+collective share.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.events import CollectiveOp
+from .base import AppPattern, CalibrationPoint, Channels, CollectivePhase, SyntheticApp
+from .patterns import biased_scattered_channels, scaled_channels
+
+__all__ = ["AMRMiniapp"]
+
+
+class AMRMiniapp(SyntheticApp):
+    name = "AMR_Miniapp"
+    calibration = (
+        CalibrationPoint(64, 12.93, 3106.0, 0.9966, iterations=240),
+        CalibrationPoint(1728, 42.69, 96969.0, 0.9945, iterations=24000),
+    )
+
+    #: (heavy partners per rank, tail partners of hot ranks, number of hot ranks)
+    _shape_params = {64: (10, 28, 3), 1728: (12, 470, 5)}
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        heavy_p, hot_tail, num_hot = self._shape_params.get(
+            ranks, (10, max(8, ranks // 4), 3)
+        )
+        parts = [
+            scaled_channels(
+                biased_scattered_channels(
+                    ranks,
+                    heavy_p,
+                    rng,
+                    distance="loguniform",
+                    weight_decay="zipf",
+                    zipf_exponent=1.0,
+                    # refinement neighbourhoods cluster within a window of
+                    # the rank space (keeps the 90% distance near 0.2 N)
+                    max_offset=max(ranks // 4, 32),
+                ),
+                0.92,
+            ),
+            # common interpolation tail: a handful of extra partners everywhere
+            scaled_channels(
+                biased_scattered_channels(ranks, min(8, ranks - 1), rng, distance="uniform"),
+                0.05,
+            ),
+            scaled_channels(self._hot_rank_tails(ranks, hot_tail, num_hot, rng), 0.03),
+        ]
+        return AppPattern(
+            channels=Channels.concatenate(parts),
+            collectives=[CollectivePhase(CollectiveOp.ALLREDUCE, 1.0)],
+        )
+
+    @staticmethod
+    def _hot_rank_tails(
+        ranks: int, partners: int, num_hot: int, rng: np.random.Generator
+    ) -> Channels:
+        """Wide low-volume fan-outs around heavily refined regions."""
+        partners = min(partners, ranks - 1)
+        hot = rng.choice(ranks, size=min(num_hot, ranks), replace=False)
+        srcs, dsts = [], []
+        for r in hot:
+            r = int(r)
+            others = rng.choice(ranks - 1, size=partners, replace=False)
+            others = others + (others >= r)
+            srcs.append(np.full(partners, r, dtype=np.int64))
+            dsts.append(others.astype(np.int64))
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        return Channels(src, dst, np.full(len(src), 1.0))

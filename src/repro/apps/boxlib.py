@@ -1,0 +1,111 @@
+"""Boxlib-based proxies: CNS (large), MultiGrid C, and FillBoundary.
+
+Boxlib (now AMReX) codes decompose the domain into boxes and assign boxes
+to ranks along a space-filling curve or by a load-balancing knapsack.  The
+*geometric* neighbourhood is a regular 27-point stencil, but the curve
+assignment scatters geometric neighbours across linear rank IDs — which is
+exactly why the paper measures rank distances well beyond the row-major
+stencil span while *peers* stays pinned at 26.
+
+- **Boxlib CNS (large)** — compressible Navier-Stokes with deep AMR: box
+  neighbourhoods are effectively unstructured (mild distance bias), every
+  rank additionally touches every other through regrid metadata
+  (peers = ranks − 1 in the paper), and the heavy set grows with refinement
+  (selectivity ~5 at ≤256 ranks, ~21 at 1024).  Uses MPI derived datatypes.
+- **Boxlib MultiGrid C** — the geometric multigrid bottom solver: a clean
+  27-point halo renumbered by the Morton (Z-order) box assignment; peers 26
+  at every scale.
+- **FillBoundary** — the ghost-cell exchange kernel in isolation: same
+  structure as MultiGrid C's fine level.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.events import CollectiveOp
+from ..metrics.dimensionality import grid_shape
+from .base import AppPattern, CalibrationPoint, Channels, CollectivePhase, SyntheticApp
+from .patterns import (
+    biased_scattered_channels,
+    fanout_channels,
+    halo_channels,
+    morton_permutation,
+    permute_channels,
+    scaled_channels,
+)
+
+__all__ = ["BoxlibCNS", "BoxlibMultiGridC", "FillBoundary"]
+
+
+class BoxlibCNS(SyntheticApp):
+    name = "Boxlib_CNS"
+    uses_derived_types = True
+    calibration = (
+        CalibrationPoint(64, 572.19, 9292.0, 1.0, iterations=300),
+        CalibrationPoint(256, 169.05, 15227.0, 1.0, iterations=300),
+        CalibrationPoint(256, 150.92, 15227.0, 1.0, variant="b", iterations=300),
+        CalibrationPoint(1024, 67.54, 34131.0, 1.0, iterations=350),
+    )
+
+    _heavy_partners = {64: 8, 256: 8, 1024: 30}
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        heavy = self._heavy_partners.get(ranks, 8)
+        parts = [
+            scaled_channels(
+                biased_scattered_channels(
+                    ranks,
+                    heavy,
+                    rng,
+                    distance="quadratic",
+                    weight_decay="zipf",
+                    zipf_exponent=1.0 if ranks <= 256 else 0.9,
+                ),
+                0.985,
+            ),
+            # regrid metadata: hub ranks exchange with everyone -> peers = N-1;
+            # regridding is rare relative to timesteps (low call rate)
+            fanout_channels(
+                ranks, num_hubs=min(8, max(1, ranks // 8)), total_weight=0.004
+            ).with_calls_factor(0.02),
+        ]
+        return AppPattern(channels=Channels.concatenate(parts))
+
+
+class BoxlibMultiGridC(SyntheticApp):
+    name = "Boxlib_MultiGrid_C"
+    calibration = (
+        CalibrationPoint(64, 231.42, 23742.0, 0.9994, iterations=565),
+        CalibrationPoint(256, 62.01, 44535.0, 0.9995, iterations=15000),
+        CalibrationPoint(256, 60.28, 44535.0, 0.9995, variant="b", iterations=15000),
+        CalibrationPoint(1024, 20.88, 75181.0, 0.9994, iterations=47000),
+    )
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        shape = grid_shape(ranks, 3)
+        stencil = halo_channels(
+            shape, face_weight=1.0, edge_weight=0.05, corner_weight=0.008
+        )
+        # Morton-order box assignment scatters stencil neighbours in rank space.
+        channels = permute_channels(stencil, morton_permutation(shape))
+        return AppPattern(
+            channels=channels,
+            collectives=[CollectivePhase(CollectiveOp.ALLREDUCE, 1.0)],
+        )
+
+
+class FillBoundary(SyntheticApp):
+    name = "FillBoundary"
+    calibration = (
+        CalibrationPoint(125, 2.324, 10209.0, 1.0, iterations=72),
+        CalibrationPoint(1000, 5.261, 92323.0, 1.0, iterations=57),
+    )
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        shape = grid_shape(ranks, 3)
+        stencil = halo_channels(
+            shape, face_weight=1.0, edge_weight=0.05, corner_weight=0.005
+        )
+        channels = permute_channels(stencil, morton_permutation(shape))
+        return AppPattern(channels=channels)

@@ -1,0 +1,92 @@
+"""Application registry: the paper's full workload set, by name.
+
+Iteration order follows the paper's Table 1.  Every generator is
+deterministic: ``generate_trace(name, ranks, variant, seed)`` always returns
+the same trace for the same arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core.trace import Trace
+from .amg import AMG
+from .amr import AMRMiniapp
+from .base import CalibrationPoint, SyntheticApp
+from .bigfft import BigFFT
+from .boxlib import BoxlibCNS, BoxlibMultiGridC, FillBoundary
+from .cesar import MOCFE, Nekbone
+from .crystal_router import CrystalRouter
+from .exmatex import CMC2D, LULESH
+from .minife import MiniFE
+from .multigrid_c import MultiGridC
+from .transport import PARTISN, SNAP
+
+__all__ = [
+    "APPS",
+    "app_names",
+    "get_app",
+    "generate_trace",
+    "iter_configurations",
+]
+
+#: All applications in Table-1 order, keyed by name.
+APPS: dict[str, SyntheticApp] = {
+    app.name: app
+    for app in (
+        AMG(),
+        AMRMiniapp(),
+        BigFFT(),
+        BoxlibCNS(),
+        BoxlibMultiGridC(),
+        MOCFE(),
+        Nekbone(),
+        CrystalRouter(),
+        CMC2D(),
+        LULESH(),
+        FillBoundary(),
+        MiniFE(),
+        MultiGridC(),
+        PARTISN(),
+        SNAP(),
+    )
+}
+
+
+def app_names() -> list[str]:
+    """All application names, Table-1 order."""
+    return list(APPS)
+
+
+def get_app(name: str) -> SyntheticApp:
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown application {name!r}; known: {app_names()}") from None
+
+
+def generate_trace(
+    name: str,
+    ranks: int,
+    variant: str = "",
+    seed: int = 0,
+    emit_receives: bool = False,
+) -> Trace:
+    """Generate one calibrated synthetic trace."""
+    return get_app(name).generate(
+        ranks, variant=variant, seed=seed, emit_receives=emit_receives
+    )
+
+
+def iter_configurations(
+    max_ranks: int | None = None,
+) -> Iterator[tuple[SyntheticApp, CalibrationPoint]]:
+    """Every (app, configuration) pair of the study, Table-1 order.
+
+    ``max_ranks`` restricts to small configurations (useful for quick runs
+    and tests; the full set peaks at 1728 ranks).
+    """
+    for app in APPS.values():
+        for point in app.configurations():
+            if max_ranks is None or point.ranks <= max_ranks:
+                yield app, point

@@ -1,0 +1,341 @@
+"""Command-line interface: regenerate any of the paper's tables and figures.
+
+Usage::
+
+    python -m repro table1 [--max-ranks N]
+    python -m repro table2
+    python -m repro table3 [--max-ranks N]
+    python -m repro table4 [--max-ranks N]
+    python -m repro figure1 [--app LULESH --ranks 64 --rank 0]
+    python -m repro figure3 [--max-ranks N]
+    python -m repro figure4 [--app AMG]
+    python -m repro figure5 [--min-ranks 512]
+    python -m repro claims  [--max-ranks N]
+    python -m repro report  [--max-ranks N] [--out PATH]
+    python -m repro heatmap --app LULESH --ranks 64 [--bins 32]
+    python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d]
+    python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K]
+    python -m repro trace   --app LULESH --ranks 64 [--out PATH]
+    python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
+    python -m repro compare [--max-ranks N]
+    python -m repro validate [--max-ranks N]
+    python -m repro apps
+
+The installed console script ``repro-locality`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-locality",
+        description=(
+            "Reproduction of 'On Network Locality in MPI-Based HPC "
+            "Applications' (ICPP 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_max_ranks(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--max-ranks",
+            type=int,
+            default=None,
+            help="only configurations up to this many ranks (default: all)",
+        )
+
+    def add_format(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--format",
+            choices=("text", "csv", "json"),
+            default="text",
+            help="output format (default: paper-style text)",
+        )
+
+    t1 = sub.add_parser("table1", help="application overview (Table 1)")
+    add_max_ranks(t1)
+    add_format(t1)
+    t2 = sub.add_parser("table2", help="topology configurations (Table 2)")
+    add_format(t2)
+    t3 = sub.add_parser("table3", help="full locality metrics (Table 3)")
+    add_max_ranks(t3)
+    add_format(t3)
+    t4 = sub.add_parser("table4", help="dimensionality study (Table 4)")
+    add_max_ranks(t4)
+    add_format(t4)
+
+    f1 = sub.add_parser("figure1", help="per-partner volumes of one rank (Figure 1)")
+    f1.add_argument("--app", default="LULESH")
+    f1.add_argument("--ranks", type=int, default=64)
+    f1.add_argument("--rank", type=int, default=0)
+
+    add_max_ranks(sub.add_parser("figure3", help="selectivity curves (Figure 3)"))
+
+    f4 = sub.add_parser("figure4", help="selectivity scaling of one app (Figure 4)")
+    f4.add_argument("--app", default="AMG")
+
+    f5 = sub.add_parser("figure5", help="multi-core traffic scaling (Figure 5)")
+    f5.add_argument("--min-ranks", type=int, default=512)
+    f5.add_argument("--max-ranks", type=int, default=None)
+
+    add_max_ranks(sub.add_parser("claims", help="headline-claim statistics"))
+
+    rp = sub.add_parser("report", help="full markdown characterization report")
+    rp.add_argument("--max-ranks", type=int, default=None)
+    rp.add_argument("--out", default=None, help="output path (default: stdout)")
+
+    hm = sub.add_parser("heatmap", help="ASCII communication heat map")
+    hm.add_argument("--app", required=True)
+    hm.add_argument("--ranks", type=int, required=True)
+    hm.add_argument("--bins", type=int, default=32)
+
+    sl = sub.add_parser("slack", help="per-link bandwidth slack (paper \u00a77)")
+    sl.add_argument("--app", required=True)
+    sl.add_argument("--ranks", type=int, required=True)
+    sl.add_argument(
+        "--topology", default="torus3d",
+        choices=("torus3d", "fattree", "dragonfly"),
+    )
+
+    sm = sub.add_parser(
+        "simulate", help="dynamic packet-level simulation vs the static model"
+    )
+    sm.add_argument("--app", required=True)
+    sm.add_argument("--ranks", type=int, required=True)
+    sm.add_argument(
+        "--topology", default="torus3d",
+        choices=("torus3d", "fattree", "dragonfly"),
+    )
+    sm.add_argument(
+        "--volume-scale", type=float, default=1.0,
+        help="simulate 1/k of the volume at 1/k bandwidth (for big traces)",
+    )
+
+    cv = sub.add_parser(
+        "convert", help="convert real dumpi2ascii output to repro-dumpi"
+    )
+    cv.add_argument("--dir", required=True, help="directory of per-rank files")
+    cv.add_argument("--app", required=True, help="application name for metadata")
+    cv.add_argument("--out", default=None, help="output path (default: stdout)")
+
+    tr = sub.add_parser("trace", help="generate and serialize one trace")
+    tr.add_argument("--app", required=True)
+    tr.add_argument("--ranks", type=int, required=True)
+    tr.add_argument("--variant", default="")
+    tr.add_argument("--seed", type=int, default=0)
+    tr.add_argument("--out", default=None, help="output path (default: stdout)")
+
+    cp = sub.add_parser(
+        "compare", help="cell-by-cell paper-vs-measured deviation summary"
+    )
+    cp.add_argument("--max-ranks", type=int, default=None)
+
+    va = sub.add_parser("validate", help="self-validate the synthetic generators")
+    va.add_argument("--max-ranks", type=int, default=None)
+
+    sub.add_parser("apps", help="list applications and configurations")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    # Imports deferred so --help stays fast.
+    from . import analysis
+    from .apps.registry import APPS, generate_trace
+
+    def emit(records, text):
+        if getattr(args, "format", "text") == "csv":
+            sys.stdout.write(analysis.rows_to_csv(records))
+        elif getattr(args, "format", "text") == "json":
+            print(analysis.rows_to_json(records))
+        else:
+            print(text)
+
+    if args.command == "table1":
+        rows = analysis.build_table1(max_ranks=args.max_ranks)
+        emit(analysis.table1_records(rows), analysis.render_table1(rows))
+    elif args.command == "table2":
+        configs = analysis.build_table2()
+        emit(analysis.table2_records(configs), analysis.render_table2(configs))
+    elif args.command == "table3":
+        rows = analysis.build_table3(max_ranks=args.max_ranks)
+        emit(analysis.table3_records(rows), analysis.render_table3(rows))
+    elif args.command == "table4":
+        rows = analysis.build_table4(max_ranks=args.max_ranks)
+        emit(analysis.table4_records(rows), analysis.render_table4(rows))
+    elif args.command == "figure1":
+        series = analysis.build_figure1(args.app, args.ranks, args.rank)
+        print(f"# {series.app}@{series.ranks}, rank {series.rank}")
+        print(f"{'partner#':>8} {'bytes':>14} {'cum share':>10}")
+        cum = series.cumulative_share
+        for i, (v, c) in enumerate(zip(series.volumes, cum), start=1):
+            print(f"{i:>8} {v:>14d} {c:>10.3f}")
+    elif args.command == "figure3":
+        print(analysis.render_curves(analysis.build_figure3(max_ranks=args.max_ranks)))
+    elif args.command == "figure4":
+        print(analysis.render_curves(analysis.build_figure4(args.app)))
+    elif args.command == "figure5":
+        series = analysis.build_figure5(
+            min_ranks=args.min_ranks, max_ranks=args.max_ranks
+        )
+        for s in series:
+            points = "  ".join(
+                f"{p.cores_per_node}c:{p.relative_traffic:.2f}" for p in s.points
+            )
+            print(f"{s.label:<28} {points}")
+    elif args.command == "claims":
+        rows = analysis.build_table3(max_ranks=args.max_ranks)
+        fig5 = analysis.build_figure5(max_ranks=args.max_ranks)
+        print(analysis.render_claims(analysis.evaluate_claims(rows, fig5)))
+    elif args.command == "report":
+        rows = analysis.build_report(max_ranks=args.max_ranks)
+        text = analysis.render_report(rows)
+        if args.out:
+            from pathlib import Path
+
+            Path(args.out).write_text(text + "\n", encoding="utf-8")
+            print(f"wrote report ({len(rows)} workloads) to {args.out}")
+        else:
+            print(text)
+    elif args.command == "heatmap":
+        from .comm.matrix import matrix_from_trace
+        from .metrics.heatmap import heatmap_summary, render_ascii
+
+        trace = generate_trace(args.app, args.ranks)
+        matrix = matrix_from_trace(trace, include_collectives=False)
+        print(render_ascii(matrix, bins=args.bins))
+        summary = heatmap_summary(matrix)
+        print(
+            f"\nfill {100 * summary.fill:.1f}%  "
+            f"diagonal(+-1) {100 * summary.diagonal_band_share:.0f}%  "
+            f"pairs for 90%: {summary.top_pairs_for_90pct}  "
+            f"gini {summary.gini:.2f}"
+        )
+    elif args.command == "slack":
+        from .comm.matrix import matrix_from_trace
+        from .model.slack import bandwidth_slack
+        from .topology.configs import config_for
+
+        trace = generate_trace(args.app, args.ranks)
+        matrix = matrix_from_trace(trace)
+        cfg = config_for(args.ranks)
+        topo = {
+            "torus3d": cfg.build_torus,
+            "fattree": cfg.build_fat_tree,
+            "dragonfly": cfg.build_dragonfly,
+        }[args.topology]()
+        report = bandwidth_slack(
+            matrix, topo, execution_time=trace.meta.execution_time
+        )
+        print(f"{trace.meta.label} on {topo!r}: {report.num_links} used links")
+        print(f"min slack (busiest link):   {report.min_slack:.1f}x")
+        print(f"median slack:               {report.median_slack:.1f}x")
+        print(
+            f"uniform slow-down saving:   "
+            f"{100 * report.uniform_power_saving():.1f}% (power ~ bw^2)"
+        )
+        print(
+            f"per-link provisioning:      "
+            f"{100 * report.per_link_power_saving():.1f}%"
+        )
+        gl = report.global_vs_local_slack()
+        if gl:
+            print(f"median slack global/local:  {gl[0]:.1f}x / {gl[1]:.1f}x")
+    elif args.command == "simulate":
+        from .comm.matrix import matrix_from_trace
+        from .model.engine import analyze_network
+        from .sim.engine import simulate_network
+        from .topology.configs import config_for
+
+        trace = generate_trace(args.app, args.ranks)
+        matrix = matrix_from_trace(trace)
+        cfg = config_for(args.ranks)
+        topo = {
+            "torus3d": cfg.build_torus,
+            "fattree": cfg.build_fat_tree,
+            "dragonfly": cfg.build_dragonfly,
+        }[args.topology]()
+        t = trace.meta.execution_time
+        static = analyze_network(matrix, topo, execution_time=t)
+        dyn = simulate_network(
+            matrix, topo, execution_time=t, volume_scale=args.volume_scale
+        )
+        print(f"{trace.meta.label} on {topo!r}")
+        print(f"static utilization (Eq. 5):  {static.utilization_percent:.4f}%")
+        print(f"dynamic busy fraction:       {100 * dyn.dynamic_utilization:.4f}%")
+        print(f"packets simulated:           {dyn.packets_simulated}")
+        print(f"congested packets:           {100 * dyn.congested_packet_share:.2f}%")
+        print(f"mean queueing delay:         {dyn.mean_queue_delay:.3e} s")
+        print(f"makespan inflation:          {dyn.makespan_inflation:.3f}x")
+    elif args.command == "convert":
+        from .dumpi.ascii_dumpi import load_dumpi2ascii_dir
+        from .dumpi.writer import dump_trace, dumps_trace
+
+        trace = load_dumpi2ascii_dir(args.dir, app=args.app)
+        if args.out:
+            path = dump_trace(trace, args.out)
+            print(f"converted {trace.meta.label} ({len(trace)} records) to {path}")
+        else:
+            sys.stdout.write(dumps_trace(trace))
+    elif args.command == "trace":
+        from .dumpi.writer import dump_trace, dumps_trace
+
+        trace = generate_trace(
+            args.app, args.ranks, variant=args.variant, seed=args.seed
+        )
+        if args.out:
+            path = dump_trace(trace, args.out)
+            print(f"wrote {trace.meta.label} ({len(trace)} records) to {path}")
+        else:
+            sys.stdout.write(dumps_trace(trace))
+    elif args.command == "compare":
+        from .paper.compare import compare_table3, deviation_summary
+
+        rows = analysis.build_table3(max_ranks=args.max_ranks)
+        cells = compare_table3(rows)
+        summary = deviation_summary(cells)
+        print("Paper-vs-measured deviation (Table 3 cells)")
+        print("-" * 48)
+        for line in summary.lines():
+            print(line)
+        print("\nlargest per-column deviations:")
+        worst_by_column: dict[str, object] = {}
+        for cell in cells:
+            r = cell.ratio
+            if r is None:
+                continue
+            import math as _math
+
+            prev = worst_by_column.get(cell.column)
+            if prev is None or abs(_math.log(r)) > abs(_math.log(prev[1])):  # type: ignore[index]
+                worst_by_column[cell.column] = (cell.label, r)
+        for column, (label, ratio) in sorted(worst_by_column.items()):
+            print(f"  {column:<24} {label:<28} {ratio:6.2f}x")
+    elif args.command == "validate":
+        from .apps.validation import validate_all
+
+        result = validate_all(max_ranks=args.max_ranks)
+        print(result.summary())
+        return 0 if result.ok else 1
+    elif args.command == "apps":
+        for name, app in APPS.items():
+            configs = ", ".join(
+                f"{c.ranks}{'/' + c.variant if c.variant else ''}"
+                for c in app.configurations()
+            )
+            star = " (*)" if app.uses_derived_types else ""
+            print(f"{name:<22}{star:<5} ranks: {configs}")
+    else:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,14 @@
+"""Flat collective-to-point-to-point translation (paper §4.4)."""
+
+from .patterns import SendGroup, even_split, expand_collective
+from .translate import ClassifiedSends, TrafficClass, collective_volume, iter_send_groups
+
+__all__ = [
+    "SendGroup",
+    "even_split",
+    "expand_collective",
+    "ClassifiedSends",
+    "TrafficClass",
+    "collective_volume",
+    "iter_send_groups",
+]

@@ -1,0 +1,77 @@
+"""Trace-level collective translation.
+
+Walks a trace and expands every collective record into the flat
+point-to-point messages of :mod:`repro.collectives.patterns`.  The output is
+a stream of :class:`SendGroup` fan-outs tagged with their origin (p2p or
+collective), which the traffic-matrix builder consumes directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..core.events import CollectiveEvent, P2PEvent
+from ..core.trace import Trace
+from .patterns import SendGroup, expand_collective
+
+__all__ = ["TrafficClass", "ClassifiedSends", "iter_send_groups", "collective_volume"]
+
+
+class TrafficClass(enum.Enum):
+    """Origin of a translated message stream."""
+
+    P2P = "p2p"
+    COLLECTIVE = "collective"
+
+
+@dataclass(frozen=True)
+class ClassifiedSends:
+    """A :class:`SendGroup` plus the traffic class it came from."""
+
+    group: SendGroup
+    traffic_class: TrafficClass
+
+
+def iter_send_groups(
+    trace: Trace,
+    include_p2p: bool = True,
+    include_collectives: bool = True,
+) -> Iterator[ClassifiedSends]:
+    """Yield every injected message fan-out of a trace.
+
+    Point-to-point send records become single-destination groups; collective
+    records are expanded per the paper's flat patterns.  RECV records are
+    skipped (traffic is accounted on the send side).
+    """
+    assert trace.communicators is not None
+    for ev in trace.events:
+        if isinstance(ev, P2PEvent):
+            if not include_p2p or not ev.is_send:
+                continue
+            nbytes = ev.bytes_per_call(trace.datatypes.size_of(ev.dtype))
+            group = SendGroup(
+                src=ev.caller,
+                dsts=np.array([ev.peer], dtype=np.int64),
+                bytes_per_msg=np.array([nbytes], dtype=np.int64),
+                calls=ev.repeat,
+            )
+            yield ClassifiedSends(group, TrafficClass.P2P)
+        elif isinstance(ev, CollectiveEvent):
+            if not include_collectives:
+                continue
+            comm = trace.communicators.get(ev.comm)
+            elem = trace.datatypes.size_of(ev.dtype)
+            for group in expand_collective(ev, comm, elem):
+                yield ClassifiedSends(group, TrafficClass.COLLECTIVE)
+
+
+def collective_volume(trace: Trace) -> int:
+    """Total bytes the trace's collectives put on the network once flattened."""
+    total = 0
+    for classified in iter_send_groups(trace, include_p2p=False):
+        total += classified.group.total_bytes
+    return total

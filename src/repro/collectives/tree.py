@@ -1,0 +1,167 @@
+"""Tree-based (binomial) collective expansion — the ablation counterpart.
+
+The paper deliberately flattens collectives ("there is no tree structure or
+similar to spread collectives over the network", §4.4).  Real MPI libraries
+use logarithmic algorithms; this module implements the classic **binomial
+tree** schedules so the flat-model assumption can be ablated:
+
+- rooted fan-out (bcast/scatter): root's subtree halves each round; the
+  message count drops from N to N − 1 but the *volume distribution* moves
+  off the root's links;
+- rooted fan-in (reduce/gather): the mirror image;
+- allreduce: recursive doubling — each rank exchanges with ``rank XOR 2**k``
+  per round, log2(N) rounds;
+- allgather: recursive doubling with doubling payloads;
+- alltoall keeps its direct pairwise schedule (it is already bandwidth
+  optimal).
+
+Ranks are numbered relative to a *virtual* root-rotated numbering so any
+root works; non-power-of-two sizes use the standard "fold the remainder"
+pre/post step of recursive doubling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.communicator import Communicator
+from ..core.events import CollectiveEvent, CollectiveOp
+from .patterns import SendGroup, expand_collective
+
+__all__ = ["expand_collective_tree"]
+
+
+def _vrank(local: int, root: int, n: int) -> int:
+    """Root-rotated virtual rank (vrank of the root is 0)."""
+    return (local - root) % n
+
+
+def _from_vrank(vrank: int, root: int, n: int) -> int:
+    return (vrank + root) % n
+
+
+def _binomial_children(vrank: int, n: int) -> list[int]:
+    """Children of a node in the binomial broadcast tree over n vranks.
+
+    Round k (highest first) has nodes with vrank < 2**k forward to
+    ``vrank + 2**k``; a node's children are all in-range ``vrank + 2**k``
+    for ``2**k > vrank``.
+    """
+    children = []
+    k = 1
+    while k < n:
+        k <<= 1
+    k >>= 1
+    while k >= 1:
+        if vrank < k and vrank + k < n:
+            children.append(vrank + k)
+        k >>= 1
+    return children
+
+
+def _binomial_parent(vrank: int) -> int:
+    """Parent in the binomial tree: clear the highest set bit."""
+    if vrank == 0:
+        raise ValueError("the root has no parent")
+    return vrank & ~(1 << (vrank.bit_length() - 1))
+
+
+def expand_collective_tree(
+    event: CollectiveEvent, comm: Communicator, element_size: int
+) -> list[SendGroup]:
+    """Expand one caller's collective record with log-depth schedules.
+
+    Falls back to the flat expansion for operations whose direct schedule is
+    already the practical algorithm (alltoall family, scan chains,
+    reduce_scatter slices).
+    """
+    n = comm.size
+    if n == 1:
+        return []
+    local = comm.to_local(event.caller)
+    nbytes = event.count * element_size
+    calls = event.repeat
+    op = event.op
+
+    def group(dsts: list[int], sizes: list[int]) -> SendGroup:
+        return SendGroup(
+            src=event.caller,
+            dsts=np.array([comm.to_global(d) for d in dsts], dtype=np.int64),
+            bytes_per_msg=np.array(sizes, dtype=np.int64),
+            calls=calls,
+        )
+
+    if op in (CollectiveOp.BCAST, CollectiveOp.SCATTER, CollectiveOp.SCATTERV):
+        v = _vrank(local, event.root, n)
+        children = _binomial_children(v, n)
+        if not children:
+            return []
+        if op is CollectiveOp.BCAST:
+            sizes = [nbytes] * len(children)
+        else:
+            # scatter forwards each child its whole subtree's worth of data
+            per_dest = nbytes if op is CollectiveOp.SCATTER else max(nbytes // n, 1)
+            sizes = []
+            for child in children:
+                subtree = min(_subtree_size(child, n), n - child)
+                sizes.append(per_dest * subtree)
+        dsts = [_from_vrank(c, event.root, n) for c in children]
+        return [group(dsts, sizes)]
+
+    if op in (CollectiveOp.REDUCE, CollectiveOp.GATHER, CollectiveOp.GATHERV):
+        v = _vrank(local, event.root, n)
+        if v == 0:
+            return []
+        parent = _from_vrank(_binomial_parent(v), event.root, n)
+        if op is CollectiveOp.REDUCE:
+            size = nbytes
+        else:
+            size = nbytes * min(_subtree_size(v, n), n - v)
+        return [group([parent], [size])]
+
+    if op is CollectiveOp.ALLREDUCE:
+        # recursive doubling: log2(n) pairwise exchanges of the full vector
+        groups: list[SendGroup] = []
+        pow2 = 1 << (n.bit_length() - 1)
+        if pow2 != n and local >= pow2:
+            # fold the remainder into the lower power-of-two block
+            groups.append(group([local - pow2], [nbytes]))
+            return groups
+        k = 1
+        while k < pow2:
+            partner = local ^ k
+            if partner < pow2:
+                groups.append(group([partner], [nbytes]))
+            k <<= 1
+        if local < n - pow2:
+            # unfold: send the result back to the folded remainder rank
+            groups.append(group([local + pow2], [nbytes]))
+        return groups
+
+    if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
+        # recursive doubling with doubling payloads (power-of-two part only;
+        # the remainder uses a direct exchange)
+        groups = []
+        pow2 = 1 << (n.bit_length() - 1)
+        if local >= pow2:
+            return [group([local - pow2], [nbytes])]
+        k = 1
+        while k < pow2:
+            partner = local ^ k
+            if partner < pow2:
+                groups.append(group([partner], [nbytes * k]))
+            k <<= 1
+        if local + pow2 < n:
+            groups.append(group([local + pow2], [nbytes * n]))
+        return groups
+
+    # alltoall(v), reduce_scatter, scan, barrier: direct schedule is standard
+    return expand_collective(event, comm, element_size)
+
+
+def _subtree_size(vrank: int, n: int) -> int:
+    """Size of the binomial subtree rooted at ``vrank`` (unclipped)."""
+    if vrank == 0:
+        return n
+    low = vrank & (-vrank)  # lowest set bit = subtree span
+    return low

@@ -1,0 +1,295 @@
+"""Rank-pair traffic matrices.
+
+A :class:`CommMatrix` holds, for every (source, destination) rank pair with
+traffic, the transferred **bytes**, the number of **messages**, and the
+number of **packets** (4 kB max payload, paper §4.2.1).  It is the single
+input of every static analysis in this library: MPI-level metrics consume it
+directly; topology models consume it after rank→node mapping.
+
+Matrices are built incrementally from :class:`SendGroup` fan-outs and then
+*finalized* into sorted columnar NumPy arrays (``src``, ``dst``, ``nbytes``,
+``messages``, ``packets``).  Accumulation is vectorized per fan-out; the
+finalize step merges duplicate pairs with ``np.add.at`` so no Python-level
+loop ever touches individual messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..collectives.patterns import SendGroup
+from ..collectives.translate import iter_send_groups
+from ..core.packets import MAX_PAYLOAD_BYTES, packets_for_bytes_array
+from ..core.trace import Trace
+
+__all__ = ["CommMatrix", "CommMatrixBuilder", "matrix_from_trace"]
+
+
+@dataclass(frozen=True)
+class CommMatrix:
+    """Finalized sparse rank-pair traffic matrix.
+
+    All five arrays are parallel and sorted by ``(src, dst)``.  Pairs with no
+    traffic are absent; self-pairs (``src == dst``) may be present (they
+    represent rank-local MPI messages and are skipped by network analyses).
+    """
+
+    num_ranks: int
+    src: np.ndarray  # int64[k]
+    dst: np.ndarray  # int64[k]
+    nbytes: np.ndarray  # int64[k]
+    messages: np.ndarray  # int64[k]
+    packets: np.ndarray  # int64[k]
+
+    def __post_init__(self) -> None:
+        k = len(self.src)
+        for name in ("dst", "nbytes", "messages", "packets"):
+            if len(getattr(self, name)) != k:
+                raise ValueError("CommMatrix columns must be parallel arrays")
+        if k and (self.src.max() >= self.num_ranks or self.dst.max() >= self.num_ranks):
+            raise ValueError("rank IDs exceed num_ranks")
+
+    # -- totals -------------------------------------------------------------
+
+    @property
+    def num_pairs(self) -> int:
+        return len(self.src)
+
+    @property
+    def total_bytes(self) -> int:
+        return int(self.nbytes.sum())
+
+    @property
+    def total_messages(self) -> int:
+        return int(self.messages.sum())
+
+    @property
+    def total_packets(self) -> int:
+        return int(self.packets.sum())
+
+    # -- views --------------------------------------------------------------
+
+    def dense(self, column: str = "nbytes") -> np.ndarray:
+        """Dense ``(num_ranks, num_ranks)`` matrix of the given column.
+
+        Intended for small rank counts (heat-map style inspection); memory is
+        quadratic in ``num_ranks``.
+        """
+        values = getattr(self, column)
+        out = np.zeros((self.num_ranks, self.num_ranks), dtype=np.int64)
+        out[self.src, self.dst] = values
+        return out
+
+    def row(self, source: int) -> tuple[np.ndarray, np.ndarray]:
+        """Destinations and byte volumes sent by ``source``."""
+        mask = self.src == source
+        return self.dst[mask], self.nbytes[mask]
+
+    def out_bytes_per_rank(self) -> np.ndarray:
+        """Total bytes sent by each rank, shape ``(num_ranks,)``."""
+        out = np.zeros(self.num_ranks, dtype=np.int64)
+        np.add.at(out, self.src, self.nbytes)
+        return out
+
+    def in_bytes_per_rank(self) -> np.ndarray:
+        """Total bytes received by each rank, shape ``(num_ranks,)``."""
+        out = np.zeros(self.num_ranks, dtype=np.int64)
+        np.add.at(out, self.dst, self.nbytes)
+        return out
+
+    def partners_per_rank(self) -> np.ndarray:
+        """Number of distinct destinations each rank sends to (self excluded)."""
+        out = np.zeros(self.num_ranks, dtype=np.int64)
+        off = self.src != self.dst
+        np.add.at(out, self.src[off], 1)
+        return out
+
+    # -- transforms -----------------------------------------------------------
+
+    def without_self_traffic(self) -> "CommMatrix":
+        """Drop ``src == dst`` pairs (rank-local messages never hit the wire)."""
+        mask = self.src != self.dst
+        if mask.all():
+            return self
+        return CommMatrix(
+            self.num_ranks,
+            self.src[mask],
+            self.dst[mask],
+            self.nbytes[mask],
+            self.messages[mask],
+            self.packets[mask],
+        )
+
+    def remapped(self, permutation: np.ndarray) -> "CommMatrix":
+        """Apply a rank permutation: new rank of old rank ``r`` is ``permutation[r]``.
+
+        Used by the dimensionality study (re-linearizing rank IDs on a 2D/3D
+        grid) and by mapping experiments.  The permutation must be a
+        bijection on ``range(num_ranks)``.
+        """
+        perm = np.asarray(permutation, dtype=np.int64)
+        if perm.shape != (self.num_ranks,):
+            raise ValueError(
+                f"permutation must have shape ({self.num_ranks},), got {perm.shape}"
+            )
+        if not np.array_equal(np.sort(perm), np.arange(self.num_ranks)):
+            raise ValueError("permutation must be a bijection on rank IDs")
+        builder = CommMatrixBuilder(self.num_ranks)
+        builder.add_arrays(
+            perm[self.src], perm[self.dst], self.nbytes, self.messages, self.packets
+        )
+        return builder.finalize()
+
+    def merged_with(self, other: "CommMatrix") -> "CommMatrix":
+        """Sum two matrices over the same rank space."""
+        if other.num_ranks != self.num_ranks:
+            raise ValueError("cannot merge matrices over different rank counts")
+        builder = CommMatrixBuilder(self.num_ranks)
+        builder.add_arrays(self.src, self.dst, self.nbytes, self.messages, self.packets)
+        builder.add_arrays(
+            other.src, other.dst, other.nbytes, other.messages, other.packets
+        )
+        return builder.finalize()
+
+    @staticmethod
+    def empty(num_ranks: int) -> "CommMatrix":
+        z = np.zeros(0, dtype=np.int64)
+        return CommMatrix(num_ranks, z, z.copy(), z.copy(), z.copy(), z.copy())
+
+
+class CommMatrixBuilder:
+    """Accumulates fan-outs into a :class:`CommMatrix`.
+
+    Chunks of (src, dst, bytes, messages, packets) are appended as arrays and
+    merged once at :meth:`finalize`; duplicate pairs are summed.
+    """
+
+    def __init__(self, num_ranks: int, payload: int = MAX_PAYLOAD_BYTES) -> None:
+        if num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        self.num_ranks = num_ranks
+        self.payload = payload
+        self._src: list[np.ndarray] = []
+        self._dst: list[np.ndarray] = []
+        self._nbytes: list[np.ndarray] = []
+        self._messages: list[np.ndarray] = []
+        self._packets: list[np.ndarray] = []
+
+    def add_group(self, group: SendGroup) -> None:
+        """Add one fan-out: ``calls`` messages of ``bytes_per_msg[i]`` to ``dsts[i]``."""
+        k = len(group.dsts)
+        if k == 0:
+            return
+        calls = group.calls
+        pkts_per_msg = packets_for_bytes_array(group.bytes_per_msg, self.payload)
+        self._src.append(np.full(k, group.src, dtype=np.int64))
+        self._dst.append(group.dsts.astype(np.int64, copy=False))
+        self._nbytes.append(group.bytes_per_msg * calls)
+        self._messages.append(np.full(k, calls, dtype=np.int64))
+        self._packets.append(pkts_per_msg * calls)
+
+    def add_arrays(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        nbytes: np.ndarray,
+        messages: np.ndarray,
+        packets: np.ndarray,
+    ) -> None:
+        """Add pre-aggregated pair data (packets already computed)."""
+        self._src.append(np.asarray(src, dtype=np.int64))
+        self._dst.append(np.asarray(dst, dtype=np.int64))
+        self._nbytes.append(np.asarray(nbytes, dtype=np.int64))
+        self._messages.append(np.asarray(messages, dtype=np.int64))
+        self._packets.append(np.asarray(packets, dtype=np.int64))
+
+    def add_message(self, src: int, dst: int, nbytes: int, calls: int = 1) -> None:
+        """Convenience scalar form: ``calls`` messages of ``nbytes`` from src to dst."""
+        group = SendGroup(
+            src=src,
+            dsts=np.array([dst], dtype=np.int64),
+            bytes_per_msg=np.array([nbytes], dtype=np.int64),
+            calls=calls,
+        )
+        self.add_group(group)
+
+    def finalize(self) -> CommMatrix:
+        """Merge all accumulated chunks, summing duplicate pairs."""
+        if not self._src:
+            return CommMatrix.empty(self.num_ranks)
+        src = np.concatenate(self._src)
+        dst = np.concatenate(self._dst)
+        if len(src) and (src.max() >= self.num_ranks or dst.max() >= self.num_ranks):
+            raise ValueError("rank IDs exceed num_ranks")
+        if len(src) and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("rank IDs must be non-negative")
+        nbytes = np.concatenate(self._nbytes)
+        messages = np.concatenate(self._messages)
+        packets = np.concatenate(self._packets)
+
+        key = src * self.num_ranks + dst
+        unique_keys, inverse = np.unique(key, return_inverse=True)
+        k = len(unique_keys)
+        out_bytes = np.zeros(k, dtype=np.int64)
+        out_msgs = np.zeros(k, dtype=np.int64)
+        out_pkts = np.zeros(k, dtype=np.int64)
+        np.add.at(out_bytes, inverse, nbytes)
+        np.add.at(out_msgs, inverse, messages)
+        np.add.at(out_pkts, inverse, packets)
+
+        return CommMatrix(
+            self.num_ranks,
+            unique_keys // self.num_ranks,
+            unique_keys % self.num_ranks,
+            out_bytes,
+            out_msgs,
+            out_pkts,
+        )
+
+
+def matrix_from_trace(
+    trace: Trace,
+    include_p2p: bool = True,
+    include_collectives: bool = True,
+    payload: int = MAX_PAYLOAD_BYTES,
+) -> CommMatrix:
+    """Build a traffic matrix from a trace.
+
+    MPI-level metric analyses (§5) use ``include_collectives=False`` — the
+    paper considers only point-to-point messages there, treating collectives
+    on global communicators as a uniform bias.  Topology analyses (§6) use
+    both, with collectives flattened per §4.4.
+    """
+    builder = CommMatrixBuilder(trace.meta.num_ranks, payload=payload)
+
+    # Fast path: point-to-point sends are by far the most numerous records
+    # (hundreds of thousands at the largest scales); gather them into
+    # columnar arrays in one pass instead of one SendGroup per event.
+    if include_p2p:
+        src: list[int] = []
+        dst: list[int] = []
+        per_msg: list[int] = []
+        calls: list[int] = []
+        size_of = trace.datatypes.size_of
+        for ev in trace.iter_p2p_sends():
+            src.append(ev.caller)
+            dst.append(ev.peer)
+            per_msg.append(ev.count * size_of(ev.dtype))
+            calls.append(ev.repeat)
+        if src:
+            per_msg_arr = np.array(per_msg, dtype=np.int64)
+            calls_arr = np.array(calls, dtype=np.int64)
+            builder.add_arrays(
+                np.array(src, dtype=np.int64),
+                np.array(dst, dtype=np.int64),
+                per_msg_arr * calls_arr,
+                calls_arr,
+                packets_for_bytes_array(per_msg_arr, payload) * calls_arr,
+            )
+
+    if include_collectives:
+        for classified in iter_send_groups(trace, include_p2p=False):
+            builder.add_group(classified.group)
+    return builder.finalize()

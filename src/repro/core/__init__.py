@@ -1,0 +1,44 @@
+"""Core MPI trace data model: datatypes, communicators, events, traces, packets."""
+
+from .communicator import CartesianCommunicator, Communicator, CommunicatorTable
+from .datatypes import (
+    DERIVED_SIZE_CONVENTION,
+    DatatypeRegistry,
+    DerivedDatatype,
+    DerivedKind,
+    MPIDatatype,
+)
+from .events import (
+    CollectiveEvent,
+    CollectiveOp,
+    Direction,
+    P2PEvent,
+    ROOTED_OPS,
+    TraceEvent,
+    VECTOR_OPS,
+)
+from .packets import MAX_PAYLOAD_BYTES, packets_for_bytes, packets_for_bytes_array
+from .trace import Trace, TraceMetadata
+
+__all__ = [
+    "CartesianCommunicator",
+    "Communicator",
+    "CommunicatorTable",
+    "DatatypeRegistry",
+    "DerivedDatatype",
+    "DerivedKind",
+    "MPIDatatype",
+    "DERIVED_SIZE_CONVENTION",
+    "CollectiveEvent",
+    "CollectiveOp",
+    "Direction",
+    "P2PEvent",
+    "ROOTED_OPS",
+    "TraceEvent",
+    "VECTOR_OPS",
+    "MAX_PAYLOAD_BYTES",
+    "packets_for_bytes",
+    "packets_for_bytes_array",
+    "Trace",
+    "TraceMetadata",
+]

@@ -1,0 +1,220 @@
+"""MPI datatype model.
+
+The dumpi trace format records, for every MPI call, the datatype handle and
+element count of each buffer.  To turn those into byte volumes we need the
+size (extent, for our purposes) of every datatype.  This module models the
+MPI predefined datatypes with their conventional sizes on LP64 systems and
+*derived* datatypes built from them (contiguous, vector, indexed, struct).
+
+Following the paper (§4.3), applications that use MPI Derived Data Types are
+traced without the type-construction metadata, so the size of a derived type
+cannot be recovered from the trace.  The paper assigns **one byte** per
+derived-type element; :data:`DERIVED_SIZE_CONVENTION` encodes the same
+convention and :class:`DatatypeRegistry` applies it for unknown handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+__all__ = [
+    "MPIDatatype",
+    "DatatypeRegistry",
+    "DerivedKind",
+    "DerivedDatatype",
+    "DERIVED_SIZE_CONVENTION",
+    "PREDEFINED_SIZES",
+]
+
+#: Size (in bytes) assigned to a derived-type element whose layout is not
+#: recorded in the trace, matching the paper's one-byte convention.
+DERIVED_SIZE_CONVENTION = 1
+
+#: Conventional sizes of the MPI predefined datatypes (LP64).
+PREDEFINED_SIZES: dict[str, int] = {
+    "MPI_CHAR": 1,
+    "MPI_SIGNED_CHAR": 1,
+    "MPI_UNSIGNED_CHAR": 1,
+    "MPI_BYTE": 1,
+    "MPI_PACKED": 1,
+    "MPI_SHORT": 2,
+    "MPI_UNSIGNED_SHORT": 2,
+    "MPI_INT": 4,
+    "MPI_UNSIGNED": 4,
+    "MPI_LONG": 8,
+    "MPI_UNSIGNED_LONG": 8,
+    "MPI_LONG_LONG": 8,
+    "MPI_LONG_LONG_INT": 8,
+    "MPI_UNSIGNED_LONG_LONG": 8,
+    "MPI_FLOAT": 4,
+    "MPI_DOUBLE": 8,
+    "MPI_LONG_DOUBLE": 16,
+    "MPI_WCHAR": 4,
+    "MPI_C_BOOL": 1,
+    "MPI_INT8_T": 1,
+    "MPI_INT16_T": 2,
+    "MPI_INT32_T": 4,
+    "MPI_INT64_T": 8,
+    "MPI_UINT8_T": 1,
+    "MPI_UINT16_T": 2,
+    "MPI_UINT32_T": 4,
+    "MPI_UINT64_T": 8,
+    "MPI_C_COMPLEX": 8,
+    "MPI_C_DOUBLE_COMPLEX": 16,
+    "MPI_FLOAT_INT": 8,
+    "MPI_DOUBLE_INT": 12,
+    "MPI_LONG_INT": 12,
+    "MPI_2INT": 8,
+    "MPI_SHORT_INT": 6,
+    "MPI_LONG_DOUBLE_INT": 20,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class MPIDatatype:
+    """A resolved MPI datatype: a name and a per-element size in bytes.
+
+    ``size`` is the number of bytes one element of this type contributes to a
+    message payload.  For predefined types this is the true size; for derived
+    types whose layout is known it is the aggregate size of the constructed
+    type; for *opaque* derived types (seen in traces without construction
+    records) it is :data:`DERIVED_SIZE_CONVENTION`.
+    """
+
+    name: str
+    size: int
+    derived: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"datatype size must be >= 0, got {self.size}")
+
+    def volume(self, count: int) -> int:
+        """Payload bytes for ``count`` elements of this type."""
+        if count < 0:
+            raise ValueError(f"element count must be >= 0, got {count}")
+        return self.size * count
+
+
+class DerivedKind(Enum):
+    """Constructors for MPI derived datatypes we can model explicitly."""
+
+    CONTIGUOUS = "contiguous"
+    VECTOR = "vector"
+    INDEXED = "indexed"
+    STRUCT = "struct"
+
+
+@dataclass(frozen=True, slots=True)
+class DerivedDatatype:
+    """A derived datatype with a known construction.
+
+    Only the *payload size* matters for volume accounting, so each
+    constructor reduces to a single number:
+
+    - ``contiguous(count, base)``        -> count * base.size
+    - ``vector(count, blocklen, base)``  -> count * blocklen * base.size
+    - ``indexed(blocklens, base)``       -> sum(blocklens) * base.size
+    - ``struct(blocklens, bases)``       -> sum(bl * b.size)
+    """
+
+    kind: DerivedKind
+    name: str
+    size: int
+
+    @staticmethod
+    def contiguous(name: str, count: int, base: MPIDatatype) -> "DerivedDatatype":
+        if count < 0:
+            raise ValueError("contiguous count must be >= 0")
+        return DerivedDatatype(DerivedKind.CONTIGUOUS, name, count * base.size)
+
+    @staticmethod
+    def vector(
+        name: str, count: int, blocklength: int, base: MPIDatatype
+    ) -> "DerivedDatatype":
+        if count < 0 or blocklength < 0:
+            raise ValueError("vector count/blocklength must be >= 0")
+        return DerivedDatatype(DerivedKind.VECTOR, name, count * blocklength * base.size)
+
+    @staticmethod
+    def indexed(
+        name: str, blocklengths: Iterable[int], base: MPIDatatype
+    ) -> "DerivedDatatype":
+        lens = list(blocklengths)
+        if any(b < 0 for b in lens):
+            raise ValueError("indexed blocklengths must be >= 0")
+        return DerivedDatatype(DerivedKind.INDEXED, name, sum(lens) * base.size)
+
+    @staticmethod
+    def struct(
+        name: str,
+        blocklengths: Iterable[int],
+        bases: Iterable[MPIDatatype],
+    ) -> "DerivedDatatype":
+        lens = list(blocklengths)
+        types = list(bases)
+        if len(lens) != len(types):
+            raise ValueError("struct blocklengths and bases must align")
+        if any(b < 0 for b in lens):
+            raise ValueError("struct blocklengths must be >= 0")
+        return DerivedDatatype(
+            DerivedKind.STRUCT, name, sum(n * t.size for n, t in zip(lens, types))
+        )
+
+    def as_datatype(self) -> MPIDatatype:
+        """View this derived construction as a plain resolvable datatype."""
+        return MPIDatatype(self.name, self.size, derived=True)
+
+
+@dataclass
+class DatatypeRegistry:
+    """Maps datatype names/handles to :class:`MPIDatatype` instances.
+
+    A registry starts with all MPI predefined types.  Derived types may be
+    committed explicitly (when the construction is known) or resolved lazily:
+    any unknown name is treated as an opaque derived type with the paper's
+    one-byte convention.  Lazily-resolved names are remembered so repeated
+    lookups return the same object and callers can audit which types were
+    guessed (``opaque_names``).
+    """
+
+    _types: dict[str, MPIDatatype] = field(default_factory=dict)
+    opaque_names: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        for name, size in PREDEFINED_SIZES.items():
+            self._types[name] = MPIDatatype(name, size)
+
+    def commit(self, dtype: MPIDatatype | DerivedDatatype) -> MPIDatatype:
+        """Register a datatype, returning the stored :class:`MPIDatatype`."""
+        if isinstance(dtype, DerivedDatatype):
+            dtype = dtype.as_datatype()
+        existing = self._types.get(dtype.name)
+        if existing is not None and existing != dtype:
+            raise ValueError(
+                f"datatype {dtype.name!r} already committed with size "
+                f"{existing.size}, refusing to rebind to {dtype.size}"
+            )
+        self._types[dtype.name] = dtype
+        return dtype
+
+    def resolve(self, name: str) -> MPIDatatype:
+        """Look up a datatype by name, applying the opaque convention."""
+        dtype = self._types.get(name)
+        if dtype is None:
+            dtype = MPIDatatype(name, DERIVED_SIZE_CONVENTION, derived=True)
+            self._types[name] = dtype
+            self.opaque_names.add(name)
+        return dtype
+
+    def size_of(self, name: str) -> int:
+        """Per-element size in bytes of the named datatype."""
+        return self.resolve(name).size
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._types
+
+    def known_names(self) -> list[str]:
+        return sorted(self._types)

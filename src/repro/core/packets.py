@@ -1,0 +1,46 @@
+"""Packetization model.
+
+The network model splits every MPI message into packets with a maximum
+payload of 4 kB (paper §4.2.1).  The number of hops a *message* contributes
+is then ``num_packets(message) * hops(route)``, which is what Eq. 3 sums.
+
+All helpers are exact integer arithmetic; vectorized variants operate on
+NumPy arrays without Python-level loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MAX_PAYLOAD_BYTES", "packets_for_bytes", "packets_for_bytes_array"]
+
+#: Maximum packet payload in bytes (paper §4.2.1).
+MAX_PAYLOAD_BYTES = 4096
+
+
+def packets_for_bytes(nbytes: int, payload: int = MAX_PAYLOAD_BYTES) -> int:
+    """Number of packets needed to carry ``nbytes`` of payload.
+
+    A zero-byte message still occupies one packet (headers/sync travel the
+    network), matching the convention that every MPI message is at least one
+    packet on the wire.
+    """
+    if nbytes < 0:
+        raise ValueError(f"byte count must be >= 0, got {nbytes}")
+    if payload <= 0:
+        raise ValueError(f"payload must be positive, got {payload}")
+    if nbytes == 0:
+        return 1
+    return -(-nbytes // payload)  # ceil division
+
+
+def packets_for_bytes_array(
+    nbytes: np.ndarray, payload: int = MAX_PAYLOAD_BYTES
+) -> np.ndarray:
+    """Vectorized :func:`packets_for_bytes` over an integer array."""
+    if payload <= 0:
+        raise ValueError(f"payload must be positive, got {payload}")
+    arr = np.asarray(nbytes, dtype=np.int64)
+    if np.any(arr < 0):
+        raise ValueError("byte counts must be >= 0")
+    return np.maximum(-(-arr // payload), 1)

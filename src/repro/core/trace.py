@@ -1,0 +1,135 @@
+"""Trace container.
+
+A :class:`Trace` bundles everything one analyzed run contributes:
+
+- metadata (application name, rank count, traced execution time),
+- the datatype registry used to resolve element sizes,
+- the communicator table,
+- a flat stream of :class:`~repro.core.events.TraceEvent` records.
+
+Execution time is taken from trace timestamps, exactly as the paper takes it
+from dumpi wall-clock records; synthetic generators stamp it from their
+calibrated duration model.  It is the ``t_execution`` of the utilization
+formula (Eq. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from .communicator import CommunicatorTable
+from .datatypes import DatatypeRegistry
+from .events import CollectiveEvent, Direction, P2PEvent, TraceEvent
+
+__all__ = ["TraceMetadata", "Trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceMetadata:
+    """Identifying metadata of one traced run."""
+
+    app: str
+    num_ranks: int
+    execution_time: float
+    variant: str = ""
+    uses_derived_types: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_ranks <= 0:
+            raise ValueError("num_ranks must be positive")
+        if self.execution_time <= 0:
+            raise ValueError("execution_time must be positive")
+
+    @property
+    def label(self) -> str:
+        """Human-readable ``app@ranks`` label, with variant if present."""
+        base = f"{self.app}@{self.num_ranks}"
+        return f"{base}/{self.variant}" if self.variant else base
+
+
+@dataclass
+class Trace:
+    """An ordered stream of MPI call records plus run metadata."""
+
+    meta: TraceMetadata
+    datatypes: DatatypeRegistry = field(default_factory=DatatypeRegistry)
+    communicators: CommunicatorTable | None = None
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.communicators is None:
+            self.communicators = CommunicatorTable.for_world(self.meta.num_ranks)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, event: TraceEvent) -> None:
+        """Append one event after validating its ranks and communicator."""
+        self._validate(event)
+        self.events.append(event)
+
+    def extend(self, events: Iterable[TraceEvent]) -> None:
+        for ev in events:
+            self.add(ev)
+
+    def _validate(self, event: TraceEvent) -> None:
+        n = self.meta.num_ranks
+        if event.caller >= n:
+            raise ValueError(
+                f"event caller {event.caller} out of range for {n}-rank trace"
+            )
+        if isinstance(event, P2PEvent) and event.peer >= n:
+            raise ValueError(
+                f"event peer {event.peer} out of range for {n}-rank trace"
+            )
+        assert self.communicators is not None
+        if event.comm not in self.communicators:
+            raise ValueError(f"event references unknown communicator {event.comm!r}")
+
+    # -- iteration --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def iter_p2p_sends(self) -> Iterator[P2PEvent]:
+        """All point-to-point records that inject traffic."""
+        for ev in self.events:
+            if isinstance(ev, P2PEvent) and ev.direction is Direction.SEND:
+                yield ev
+
+    def iter_collectives(self) -> Iterator[CollectiveEvent]:
+        for ev in self.events:
+            if isinstance(ev, CollectiveEvent):
+                yield ev
+
+    # -- summary properties ------------------------------------------------
+
+    @property
+    def num_calls(self) -> int:
+        """Total MPI calls represented (repeat-expanded count)."""
+        return sum(ev.repeat for ev in self.events)
+
+    def p2p_bytes(self) -> int:
+        """Total bytes injected by point-to-point sends (repeat-expanded)."""
+        total = 0
+        for ev in self.iter_p2p_sends():
+            total += ev.total_bytes(self.datatypes.size_of(ev.dtype))
+        return total
+
+    def active_ranks(self) -> set[int]:
+        """Ranks that appear as caller or peer of any record."""
+        ranks: set[int] = set()
+        for ev in self.events:
+            ranks.add(ev.caller)
+            if isinstance(ev, P2PEvent):
+                ranks.add(ev.peer)
+        return ranks
+
+    @property
+    def uses_only_global_communicators(self) -> bool:
+        """Paper §4.3 inclusion criterion."""
+        assert self.communicators is not None
+        return self.communicators.uses_only_global

@@ -1,0 +1,249 @@
+"""Converter for real SST-dumpi ``dumpi2ascii`` output.
+
+The Sandia trace portal ships binary dumpi traces; ``dumpi2ascii`` renders
+them as one text file per rank, with records of the form::
+
+    MPI_Send entering at walltime 11651.672436, cputime 0.000112 seconds in thread 0.
+    int count=4096
+    MPI_Datatype datatype=2 (MPI_CHAR)
+    int dest=5
+    int tag=0
+    MPI_Comm comm=2 (MPI_COMM_WORLD)
+    MPI_Send returning at walltime 11651.672440, cputime 0.000116 seconds in thread 0.
+
+This module parses that layout into :class:`~repro.core.trace.Trace`
+objects so the full analysis pipeline runs unchanged on real traces when
+they are available.  The parser is deliberately tolerant: unknown MPI
+functions are skipped (dumpi records *every* call, most of which carry no
+traffic), unknown datatypes resolve through the registry's 1-byte
+convention (the paper's treatment of underdocumented derived types), and
+per-call fields are matched by name with sensible fallbacks
+(``sendcount``/``count``, ``dest``/``source``/``root``).
+
+Cartesian/sub-communicator calls cannot be reconstructed from dumpi output
+(the paper excludes such traces, §4.3); records referencing a communicator
+other than ``MPI_COMM_WORLD``/``MPI_COMM_SELF`` raise
+:class:`UnsupportedCommunicatorError` unless ``strict=False``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import replace
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from ..core.events import CollectiveOp, Direction, P2P_CALLS, P2PEvent, CollectiveEvent
+from ..core.trace import Trace, TraceMetadata
+
+__all__ = [
+    "UnsupportedCommunicatorError",
+    "parse_rank_stream",
+    "load_rank_file",
+    "load_dumpi2ascii_dir",
+    "RANK_FILE_PATTERN",
+]
+
+#: dumpi2ascii file naming: <prefix>-<rank>.txt (rank zero-padded).
+RANK_FILE_PATTERN = re.compile(r"-(\d+)\.txt$")
+
+_ENTER_RE = re.compile(
+    r"^(MPI_\w+) entering at walltime ([0-9.eE+-]+), cputime ([0-9.eE+-]+)"
+)
+_RETURN_RE = re.compile(
+    r"^(MPI_\w+) returning at walltime ([0-9.eE+-]+)"
+)
+_FIELD_RE = re.compile(
+    r"^\s*(?:\w[\w\s*]*\s)?(\w+)=(-?\d+)(?:\s+\(([\w-]+)\))?"
+)
+
+_COLLECTIVE_BY_NAME = {op.value: op for op in CollectiveOp}
+
+#: World-like communicator names dumpi prints; everything else is a
+#: sub-communicator we cannot resolve.
+_WORLD_COMMS = {"MPI_COMM_WORLD", "MPI_COMM_SELF"}
+
+
+class UnsupportedCommunicatorError(ValueError):
+    """A record references a communicator whose rank mapping is unknown."""
+
+
+class _Record:
+    """One MPI call being assembled."""
+
+    __slots__ = ("func", "t_enter", "t_leave", "ints", "names")
+
+    def __init__(self, func: str, t_enter: float) -> None:
+        self.func = func
+        self.t_enter = t_enter
+        self.t_leave = t_enter
+        self.ints: dict[str, int] = {}
+        self.names: dict[str, str] = {}
+
+
+def _first(record: _Record, *keys: str, default: int | None = None) -> int | None:
+    for key in keys:
+        if key in record.ints:
+            return record.ints[key]
+    return default
+
+
+def _check_comm(record: _Record, strict: bool) -> bool:
+    """True when the record may be translated; raises/False otherwise."""
+    comm_name = record.names.get("comm", "MPI_COMM_WORLD")
+    if comm_name in _WORLD_COMMS:
+        return True
+    if strict:
+        raise UnsupportedCommunicatorError(
+            f"{record.func} uses communicator {comm_name!r}; dumpi traces do "
+            "not carry sub-communicator rank mappings (paper §4.3 exclusion)"
+        )
+    return False
+
+
+def parse_rank_stream(
+    stream: TextIO | Iterable[str],
+    rank: int,
+    strict: bool = True,
+) -> tuple[list, float, float]:
+    """Parse one rank's dumpi2ascii text.
+
+    Returns ``(events, first_walltime, last_walltime)``.  Events carry the
+    given caller rank; receives are kept (they do not inject traffic but
+    complete the record, as in real traces).
+    """
+    events: list = []
+    t_min = float("inf")
+    t_max = float("-inf")
+    current: _Record | None = None
+
+    for line in stream:
+        line = line.rstrip("\n")
+        enter = _ENTER_RE.match(line)
+        if enter:
+            current = _Record(enter.group(1), float(enter.group(2)))
+            t_min = min(t_min, current.t_enter)
+            continue
+        ret = _RETURN_RE.match(line)
+        if ret and current is not None and ret.group(1) == current.func:
+            current.t_leave = float(ret.group(2))
+            t_max = max(t_max, current.t_leave)
+            event = _translate(current, rank, strict)
+            if event is not None:
+                events.append(event)
+            current = None
+            continue
+        if current is not None:
+            field = _FIELD_RE.match(line)
+            if field:
+                key, value, name = field.group(1), int(field.group(2)), field.group(3)
+                current.ints[key] = value
+                if name:
+                    current.names[key] = name
+    if t_min > t_max:
+        t_min = t_max = 0.0
+    return events, t_min, t_max
+
+
+def _translate(record: _Record, rank: int, strict: bool):
+    """Turn one assembled record into a trace event (or None to skip)."""
+    func = record.func
+    if func in P2P_CALLS:
+        if not _check_comm(record, strict):
+            return None
+        direction = P2P_CALLS[func]
+        peer_key = "dest" if direction is Direction.SEND else "source"
+        peer = _first(record, peer_key, "dest", "source")
+        count = _first(record, "count", default=0)
+        if peer is None or peer < 0:  # MPI_ANY_SOURCE etc.
+            return None
+        return P2PEvent(
+            caller=rank,
+            peer=int(peer),
+            count=int(count or 0),
+            dtype=record.names.get("datatype", "MPI_BYTE"),
+            direction=direction,
+            func=func,
+            tag=int(_first(record, "tag", default=0) or 0),
+            t_enter=record.t_enter,
+            t_leave=record.t_leave,
+        )
+    op = _COLLECTIVE_BY_NAME.get(func)
+    if op is not None:
+        if not _check_comm(record, strict):
+            return None
+        count = _first(
+            record, "sendcount", "count", "recvcount", "sendcounts", default=0
+        )
+        dtype = record.names.get(
+            "sendtype", record.names.get("datatype", "MPI_BYTE")
+        )
+        if op is CollectiveOp.BARRIER:
+            count = 0
+        return CollectiveEvent(
+            caller=rank,
+            op=op,
+            count=max(int(count or 0), 0),
+            dtype=dtype,
+            root=int(_first(record, "root", default=0) or 0),
+            t_enter=record.t_enter,
+            t_leave=record.t_leave,
+        )
+    return None  # bookkeeping calls (Comm_rank, Wait, Init, ...) carry no traffic
+
+
+def load_rank_file(path: str | Path, rank: int, strict: bool = True):
+    """Parse one per-rank dumpi2ascii file."""
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        return parse_rank_stream(fh, rank, strict)
+
+
+def load_dumpi2ascii_dir(
+    directory: str | Path,
+    app: str,
+    strict: bool = True,
+) -> Trace:
+    """Assemble a trace from a directory of dumpi2ascii per-rank files.
+
+    Files are matched by the ``<prefix>-<rank>.txt`` convention; the rank
+    count is the number of files, the execution time the span between the
+    earliest and latest walltime across ranks.
+    """
+    directory = Path(directory)
+    rank_files: dict[int, Path] = {}
+    for path in sorted(directory.glob("*.txt")):
+        match = RANK_FILE_PATTERN.search(path.name)
+        if match:
+            rank_files[int(match.group(1))] = path
+    if not rank_files:
+        raise FileNotFoundError(
+            f"no dumpi2ascii rank files (*-NNNN.txt) under {directory}"
+        )
+    num_ranks = max(rank_files) + 1
+    if set(rank_files) != set(range(num_ranks)):
+        missing = sorted(set(range(num_ranks)) - set(rank_files))
+        raise ValueError(f"missing rank files for ranks {missing[:10]}")
+
+    all_events = []
+    t_min = float("inf")
+    t_max = float("-inf")
+    for rank in range(num_ranks):
+        events, lo, hi = load_rank_file(rank_files[rank], rank, strict)
+        all_events.extend(events)
+        if events:
+            t_min = min(t_min, lo)
+            t_max = max(t_max, hi)
+    duration = max(t_max - t_min, 1e-9) if t_min <= t_max else 1e-9
+
+    trace = Trace(
+        TraceMetadata(app=app, num_ranks=num_ranks, execution_time=duration)
+    )
+    if not all_events:
+        return trace
+    # normalize walltimes to start at zero, preserving order
+    all_events.sort(key=lambda ev: ev.t_enter)
+    for ev in all_events:
+        trace.add(
+            replace(ev, t_enter=ev.t_enter - t_min, t_leave=ev.t_leave - t_min)
+        )
+    return trace

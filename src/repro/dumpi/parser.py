@@ -1,0 +1,172 @@
+"""Parse repro-dumpi ASCII traces.
+
+The parser is strict about structure (magic line, required header fields,
+known record tags) but tolerant about record order and unknown datatypes —
+an unknown datatype name resolves through the registry's opaque 1-byte
+convention, exactly how the paper treats underdocumented derived types.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..core.communicator import Communicator
+from ..core.datatypes import MPIDatatype
+from ..core.events import CollectiveEvent, CollectiveOp, P2P_CALLS, P2PEvent
+from ..core.trace import Trace, TraceMetadata
+from .format import COLL_TAG, FORMAT_VERSION, MAGIC, P2P_TAG
+
+__all__ = ["ParseError", "read_trace", "load_trace", "loads_trace"]
+
+_OPS_BY_NAME = {op.value: op for op in CollectiveOp}
+
+
+class ParseError(ValueError):
+    """A malformed repro-dumpi trace, with the offending line number."""
+
+    def __init__(self, lineno: int, message: str) -> None:
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+def _parse_kv(parts: list[str], lineno: int) -> dict[str, str]:
+    out: dict[str, str] = {}
+    for part in parts:
+        if "=" not in part:
+            raise ParseError(lineno, f"expected key=value, got {part!r}")
+        key, value = part.split("=", 1)
+        out[key] = value
+    return out
+
+
+def _require(kv: dict[str, str], key: str, lineno: int) -> str:
+    try:
+        return kv[key]
+    except KeyError:
+        raise ParseError(lineno, f"missing required field {key!r}") from None
+
+
+def _parse_times(kv: dict[str, str], lineno: int) -> tuple[float, float]:
+    raw = kv.get("t", "0,0")
+    try:
+        enter_s, leave_s = raw.split(",")
+        return float(enter_s), float(leave_s)
+    except ValueError:
+        raise ParseError(lineno, f"malformed timestamp pair {raw!r}") from None
+
+
+def read_trace(stream: TextIO) -> Trace:
+    """Parse one trace from an open text stream."""
+    header: dict[str, str] = {}
+    dtypes: list[tuple[str, int]] = []
+    comms: list[tuple[str, tuple[int, ...]]] = []
+    records: list[tuple[int, list[str]]] = []
+
+    first = stream.readline()
+    if not first.startswith(MAGIC):
+        raise ParseError(1, f"not a repro-dumpi trace (expected {MAGIC!r} magic)")
+    try:
+        version = int(first.split()[1])
+    except (IndexError, ValueError):
+        raise ParseError(1, "malformed magic line") from None
+    if version != FORMAT_VERSION:
+        raise ParseError(1, f"unsupported format version {version}")
+
+    for lineno, line in enumerate(stream, start=2):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("%"):
+            parts = line[1:].split()
+            key = parts[0]
+            if key == "dtype":
+                kv = _parse_kv(parts[2:], lineno)
+                dtypes.append((parts[1], int(_require(kv, "size", lineno))))
+            elif key == "comm":
+                kv = _parse_kv(parts[2:], lineno)
+                members = tuple(
+                    int(x) for x in _require(kv, "members", lineno).split(",")
+                )
+                comms.append((parts[1], members))
+            else:
+                header[key] = parts[1] if len(parts) > 1 else ""
+        else:
+            records.append((lineno, line.split()))
+
+    for key in ("app", "ranks", "time"):
+        if key not in header:
+            raise ParseError(1, f"missing %{key} header")
+    meta = TraceMetadata(
+        app=header["app"],
+        num_ranks=int(header["ranks"]),
+        execution_time=float(header["time"]),
+        variant=header.get("variant", ""),
+        uses_derived_types=header.get("derived", "0") == "1",
+    )
+    trace = Trace(meta)
+    for name, size in dtypes:
+        trace.datatypes.commit(MPIDatatype(name, size, derived=True))
+    assert trace.communicators is not None
+    for name, members in comms:
+        trace.communicators.add(Communicator(name, members))
+
+    for lineno, parts in records:
+        tag = parts[0]
+        if tag == P2P_TAG:
+            func = parts[1]
+            direction = P2P_CALLS.get(func)
+            if direction is None:
+                raise ParseError(lineno, f"unknown p2p function {func!r}")
+            kv = _parse_kv(parts[2:], lineno)
+            t_enter, t_leave = _parse_times(kv, lineno)
+            trace.add(
+                P2PEvent(
+                    caller=int(_require(kv, "caller", lineno)),
+                    peer=int(_require(kv, "peer", lineno)),
+                    count=int(_require(kv, "count", lineno)),
+                    dtype=_require(kv, "dtype", lineno),
+                    direction=direction,
+                    func=func,
+                    tag=int(kv.get("tag", "0")),
+                    comm=kv.get("comm", "MPI_COMM_WORLD"),
+                    t_enter=t_enter,
+                    t_leave=t_leave,
+                    repeat=int(kv.get("repeat", "1")),
+                )
+            )
+        elif tag == COLL_TAG:
+            func = parts[1]
+            op = _OPS_BY_NAME.get(func)
+            if op is None:
+                raise ParseError(lineno, f"unknown collective {func!r}")
+            kv = _parse_kv(parts[2:], lineno)
+            t_enter, t_leave = _parse_times(kv, lineno)
+            trace.add(
+                CollectiveEvent(
+                    caller=int(_require(kv, "caller", lineno)),
+                    op=op,
+                    count=int(kv.get("count", "0")),
+                    dtype=kv.get("dtype", "MPI_BYTE"),
+                    root=int(kv.get("root", "0")),
+                    comm=kv.get("comm", "MPI_COMM_WORLD"),
+                    t_enter=t_enter,
+                    t_leave=t_leave,
+                    repeat=int(kv.get("repeat", "1")),
+                )
+            )
+        else:
+            raise ParseError(lineno, f"unknown record tag {tag!r}")
+    return trace
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Parse a trace file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return read_trace(fh)
+
+
+def loads_trace(text: str) -> Trace:
+    """Parse a trace from a string."""
+    return read_trace(io.StringIO(text))

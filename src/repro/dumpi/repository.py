@@ -1,0 +1,105 @@
+"""On-disk trace repository.
+
+Mirrors the role of Sandia's mini-app trace portal: a directory of dumpi
+traces indexed by (application, rank count, variant).  Traces can be stored
+explicitly (:meth:`TraceRepository.store`) or materialized on demand from
+the synthetic generators (:meth:`TraceRepository.ensure`), giving the rest
+of the pipeline a uniform "read trace from repository" entry point whether
+the trace came from a file or a generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.trace import Trace
+from .parser import load_trace
+from .writer import dump_trace
+
+__all__ = ["TraceKey", "TraceRepository"]
+
+
+@dataclass(frozen=True, order=True)
+class TraceKey:
+    """Repository index entry."""
+
+    app: str
+    ranks: int
+    variant: str = ""
+
+    @property
+    def filename(self) -> str:
+        suffix = f"-{self.variant}" if self.variant else ""
+        return f"{self.app}.{self.ranks}{suffix}.dumpi.txt"
+
+    @staticmethod
+    def from_filename(name: str) -> "TraceKey":
+        if not name.endswith(".dumpi.txt"):
+            raise ValueError(f"not a repository trace file: {name!r}")
+        stem = name[: -len(".dumpi.txt")]
+        app, _, scale = stem.rpartition(".")
+        if not app:
+            raise ValueError(f"malformed trace filename: {name!r}")
+        ranks_s, _, variant = scale.partition("-")
+        return TraceKey(app=app, ranks=int(ranks_s), variant=variant)
+
+    @staticmethod
+    def of(trace: Trace) -> "TraceKey":
+        return TraceKey(trace.meta.app, trace.meta.num_ranks, trace.meta.variant)
+
+
+class TraceRepository:
+    """A directory of repro-dumpi traces."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_of(self, key: TraceKey) -> Path:
+        return self.root / key.filename
+
+    def __contains__(self, key: TraceKey) -> bool:
+        return self.path_of(key).exists()
+
+    def keys(self) -> list[TraceKey]:
+        """All traces present on disk, sorted."""
+        out = []
+        for path in self.root.glob("*.dumpi.txt"):
+            try:
+                out.append(TraceKey.from_filename(path.name))
+            except ValueError:
+                continue
+        return sorted(out)
+
+    def store(self, trace: Trace) -> Path:
+        """Serialize a trace into the repository (overwrites)."""
+        return dump_trace(trace, self.path_of(TraceKey.of(trace)))
+
+    def load(self, key: TraceKey) -> Trace:
+        path = self.path_of(key)
+        if not path.exists():
+            raise FileNotFoundError(f"no trace {key} in repository {self.root}")
+        trace = load_trace(path)
+        stored = TraceKey.of(trace)
+        if stored != key:
+            raise ValueError(
+                f"repository file {path.name} contains trace {stored}, "
+                f"expected {key} — repository is inconsistent"
+            )
+        return trace
+
+    def ensure(self, app: str, ranks: int, variant: str = "", seed: int = 0) -> Trace:
+        """Load a trace, generating and caching it if absent.
+
+        The generator import is deferred so a repository of real trace files
+        can be used without the synthetic-apps subpackage.
+        """
+        key = TraceKey(app, ranks, variant)
+        if key in self:
+            return self.load(key)
+        from ..apps.registry import generate_trace
+
+        trace = generate_trace(app, ranks, variant=variant, seed=seed)
+        self.store(trace)
+        return trace

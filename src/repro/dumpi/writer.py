@@ -1,0 +1,88 @@
+"""Serialize traces to the repro-dumpi ASCII format."""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO
+
+from ..core.communicator import WORLD_NAME
+from ..core.datatypes import PREDEFINED_SIZES
+from ..core.events import CollectiveEvent, P2PEvent
+from ..core.trace import Trace
+from .format import COLL_TAG, FORMAT_VERSION, MAGIC, P2P_TAG, format_float
+
+__all__ = ["write_trace", "dump_trace", "dumps_trace"]
+
+
+def _used_datatypes(trace: Trace) -> set[str]:
+    return {ev.dtype for ev in trace.events}
+
+
+def write_trace(trace: Trace, stream: TextIO) -> None:
+    """Write one trace to an open text stream."""
+    meta = trace.meta
+    stream.write(f"{MAGIC} {FORMAT_VERSION}\n")
+    stream.write(f"%app {meta.app}\n")
+    stream.write(f"%ranks {meta.num_ranks}\n")
+    stream.write(f"%time {format_float(meta.execution_time)}\n")
+    if meta.variant:
+        stream.write(f"%variant {meta.variant}\n")
+    if meta.uses_derived_types:
+        stream.write("%derived 1\n")
+    for name in sorted(_used_datatypes(trace)):
+        if name not in PREDEFINED_SIZES:
+            stream.write(f"%dtype {name} size={trace.datatypes.size_of(name)}\n")
+    assert trace.communicators is not None
+    for comm_name in trace.communicators.names():
+        comm = trace.communicators.get(comm_name)
+        if comm_name == WORLD_NAME or comm.is_world_like:
+            continue
+        members = ",".join(str(m) for m in comm.members)
+        stream.write(f"%comm {comm_name} members={members}\n")
+
+    for ev in trace.events:
+        if isinstance(ev, P2PEvent):
+            parts = [
+                P2P_TAG,
+                ev.func,
+                f"caller={ev.caller}",
+                f"peer={ev.peer}",
+                f"count={ev.count}",
+                f"dtype={ev.dtype}",
+                f"tag={ev.tag}",
+                f"comm={ev.comm}",
+                f"t={format_float(ev.t_enter)},{format_float(ev.t_leave)}",
+            ]
+        elif isinstance(ev, CollectiveEvent):
+            parts = [
+                COLL_TAG,
+                ev.op.value,
+                f"caller={ev.caller}",
+                f"count={ev.count}",
+                f"dtype={ev.dtype}",
+                f"root={ev.root}",
+                f"comm={ev.comm}",
+                f"t={format_float(ev.t_enter)},{format_float(ev.t_leave)}",
+            ]
+        else:  # pragma: no cover - TraceEvent is a closed union
+            raise TypeError(f"cannot serialize event of type {type(ev)}")
+        if ev.repeat != 1:
+            parts.append(f"repeat={ev.repeat}")
+        stream.write(" ".join(parts) + "\n")
+
+
+def dump_trace(trace: Trace, path: str | Path) -> Path:
+    """Write a trace to a file, creating parent directories as needed."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        write_trace(trace, fh)
+    return path
+
+
+def dumps_trace(trace: Trace) -> str:
+    """Render a trace to a string (round-trip tests, small traces)."""
+    buf = io.StringIO()
+    write_trace(trace, buf)
+    return buf.getvalue()

@@ -1,0 +1,28 @@
+"""Rank-to-node mapping strategies and the multi-core study."""
+
+from .base import Mapping
+from .multicore import DEFAULT_CORES, MulticorePoint, inter_node_bytes, multicore_sweep
+from .optimized import (
+    bisection_mapping,
+    greedy_ordering,
+    optimize_mapping,
+    place_ordering,
+    refine_mapping,
+    spectral_ordering,
+    weighted_hop_cost,
+)
+
+__all__ = [
+    "Mapping",
+    "bisection_mapping",
+    "DEFAULT_CORES",
+    "MulticorePoint",
+    "inter_node_bytes",
+    "multicore_sweep",
+    "greedy_ordering",
+    "optimize_mapping",
+    "place_ordering",
+    "refine_mapping",
+    "spectral_ordering",
+    "weighted_hop_cost",
+]

@@ -1,0 +1,72 @@
+"""Multi-core scaling study (paper §6.1, Figure 5).
+
+With ``c`` cores per socket, consecutive mapping places ranks
+``c*k .. c*k + c - 1`` on node ``k``.  Traffic between co-located ranks
+stays on-chip; everything else crosses the interconnect.  The study is
+topology-independent — it only asks *how much* traffic remains inter-node,
+relative to the one-rank-per-node configuration, as ``c`` sweeps 1 → 48.
+
+Both point-to-point and (flattened) collective traffic count, per the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..comm.matrix import CommMatrix
+from .base import Mapping
+
+__all__ = ["MulticorePoint", "inter_node_bytes", "multicore_sweep", "DEFAULT_CORES"]
+
+#: Cores-per-socket values swept in Figure 5.
+DEFAULT_CORES: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 48)
+
+
+@dataclass(frozen=True)
+class MulticorePoint:
+    """One x-position of Figure 5."""
+
+    cores_per_node: int
+    inter_node_bytes: int
+    relative_traffic: float  # vs. the 1-core configuration
+
+
+def inter_node_bytes(matrix: CommMatrix, mapping: Mapping) -> int:
+    """Bytes that cross the network under a mapping (co-located pairs excluded)."""
+    if mapping.num_ranks < matrix.num_ranks:
+        raise ValueError(
+            f"mapping covers {mapping.num_ranks} ranks, matrix has {matrix.num_ranks}"
+        )
+    src_nodes = mapping.node_of(matrix.src)
+    dst_nodes = mapping.node_of(matrix.dst)
+    crossing = src_nodes != dst_nodes
+    return int(matrix.nbytes[crossing].sum())
+
+
+def multicore_sweep(
+    matrix: CommMatrix,
+    cores: tuple[int, ...] = DEFAULT_CORES,
+) -> list[MulticorePoint]:
+    """Relative inter-node traffic for each cores-per-socket value.
+
+    The relative value of the 1-core point is 1.0 by construction; the curve
+    typically saturates around 8–16 cores (paper §6.1).  Node counts are
+    sized to fit each configuration, which is all the study needs — it never
+    routes, it only separates on-node from off-node traffic.
+    """
+    if not cores or cores[0] != 1:
+        raise ValueError("the sweep must start at 1 core per node (the baseline)")
+    n = matrix.num_ranks
+    points: list[MulticorePoint] = []
+    baseline: int | None = None
+    for c in cores:
+        if c < 1:
+            raise ValueError(f"cores per node must be >= 1, got {c}")
+        num_nodes = -(-n // c)
+        mapping = Mapping.consecutive(n, num_nodes, ranks_per_node=c)
+        crossing = inter_node_bytes(matrix, mapping)
+        if baseline is None:
+            baseline = crossing
+        rel = crossing / baseline if baseline else 0.0
+        points.append(MulticorePoint(c, crossing, rel))
+    return points

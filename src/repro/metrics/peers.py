@@ -1,0 +1,30 @@
+"""Peers metric (Klenk et al. [7], reused in paper §5).
+
+*Peers* is the peak number of distinct point-to-point destination ranks any
+single rank addresses during the run.  It bounds — but, as the paper shows,
+vastly overestimates — the size of the communication set that actually
+matters (compare selectivity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+
+__all__ = ["peers", "peers_per_rank"]
+
+
+def peers_per_rank(matrix: CommMatrix) -> np.ndarray:
+    """Distinct p2p destinations of every rank (self excluded)."""
+    return matrix.partners_per_rank()
+
+
+def peers(matrix: CommMatrix) -> int:
+    """Peak number of p2p destination ranks addressed by any rank.
+
+    Returns 0 for traces without point-to-point traffic (N/A in the paper's
+    tables).
+    """
+    per_rank = peers_per_rank(matrix)
+    return int(per_rank.max()) if per_rank.size else 0

@@ -1,0 +1,131 @@
+"""Selectivity (paper §4.1.2).
+
+For a given source rank, sort its point-to-point destinations by exchanged
+byte volume; *selectivity* is the number of top destinations needed to cover
+90% of that rank's total p2p volume.  The application-level value reported in
+Table 3 is the mean over all ranks that send any p2p traffic.
+
+This module also produces the cumulative-share curves of Figures 1, 3 and 4:
+x — destinations sorted by volume (rank 1 = heaviest partner), y — cumulative
+share of the source rank's traffic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+
+__all__ = [
+    "per_rank_selectivity",
+    "selectivity",
+    "partner_volumes",
+    "selectivity_curve",
+    "mean_selectivity_curve",
+]
+
+DEFAULT_SHARE = 0.9
+
+
+def _sorted_partner_bytes(matrix: CommMatrix) -> dict[int, np.ndarray]:
+    """Per source rank: partner byte volumes sorted descending (self excluded)."""
+    mask = matrix.src != matrix.dst
+    src = matrix.src[mask]
+    nbytes = matrix.nbytes[mask]
+    out: dict[int, np.ndarray] = {}
+    if src.size == 0:
+        return out
+    order = np.argsort(src, kind="stable")
+    src = src[order]
+    nbytes = nbytes[order]
+    boundaries = np.flatnonzero(np.diff(src)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(src)]))
+    for s, e in zip(starts, ends):
+        vols = np.sort(nbytes[s:e])[::-1]
+        out[int(src[s])] = vols
+    return out
+
+
+def _partners_to_cover(volumes_desc: np.ndarray, share: float) -> int:
+    """Smallest k such that the top-k volumes reach ``share`` of the total."""
+    total = volumes_desc.sum()
+    if total == 0:
+        return 0
+    cum = np.cumsum(volumes_desc)
+    return int(np.searchsorted(cum, share * total - 1e-9) + 1)
+
+
+def per_rank_selectivity(
+    matrix: CommMatrix, share: float = DEFAULT_SHARE
+) -> dict[int, int]:
+    """Selectivity of every rank that sends p2p traffic."""
+    if not 0 < share <= 1:
+        raise ValueError(f"share must be in (0, 1], got {share}")
+    return {
+        rank: _partners_to_cover(vols, share)
+        for rank, vols in _sorted_partner_bytes(matrix).items()
+        if vols.sum() > 0
+    }
+
+
+def selectivity(matrix: CommMatrix, share: float = DEFAULT_SHARE) -> float:
+    """Application-level selectivity: mean of the per-rank values.
+
+    NaN when no rank sends point-to-point traffic (all-collective workloads,
+    reported N/A in the paper).
+    """
+    per_rank = per_rank_selectivity(matrix, share)
+    if not per_rank:
+        return float("nan")
+    return float(np.mean(list(per_rank.values())))
+
+
+def partner_volumes(matrix: CommMatrix, rank: int) -> np.ndarray:
+    """Byte volume to each partner of ``rank``, sorted descending (Figure 1)."""
+    dsts, nbytes = matrix.row(rank)
+    off = dsts != rank
+    return np.sort(nbytes[off])[::-1]
+
+
+def selectivity_curve(matrix: CommMatrix, rank: int) -> np.ndarray:
+    """Cumulative traffic share of ``rank``'s sorted partners.
+
+    ``curve[k-1]`` is the share of the rank's p2p volume covered by its top-k
+    partners; the final entry is 1.0.  Empty when the rank sends nothing.
+    """
+    vols = partner_volumes(matrix, rank)
+    total = vols.sum()
+    if total == 0:
+        return np.zeros(0, dtype=np.float64)
+    return np.cumsum(vols) / total
+
+
+def mean_selectivity_curve(matrix: CommMatrix, max_partners: int | None = None) -> np.ndarray:
+    """Average cumulative-share curve across all sending ranks (Figures 3/4).
+
+    Ranks with fewer partners than the curve length are padded with 1.0
+    (their whole volume is already covered).  Returns an empty array when no
+    rank sends p2p traffic.
+    """
+    per_rank = _sorted_partner_bytes(matrix)
+    curves = []
+    longest = 0
+    for vols in per_rank.values():
+        total = vols.sum()
+        if total == 0:
+            continue
+        curves.append(np.cumsum(vols) / total)
+        longest = max(longest, len(vols))
+    if not curves:
+        return np.zeros(0, dtype=np.float64)
+    if max_partners is not None:
+        longest = min(longest, max_partners)
+    acc = np.zeros(longest, dtype=np.float64)
+    for curve in curves:
+        if len(curve) >= longest:
+            acc += curve[:longest]
+        else:
+            acc[: len(curve)] += curve
+            acc[len(curve) :] += 1.0
+    return acc / len(curves)

@@ -1,0 +1,55 @@
+"""Weighted quantile utilities.
+
+The paper quantizes both of its MPI-level metrics at the 90% traffic share:
+*"the maximum spatial distance for which 90% of the overall traffic is
+covered"*.  Reported values are fractional (e.g. a rank distance of 3.7 over
+integer distances), so the implementation interpolates the cumulative
+coverage function: with distinct values sorted ascending and ``cum(v)`` the
+share of total weight at values ``<= v``, the ``q``-quantile interpolates
+linearly between consecutive ``(value, cum)`` points.
+
+Consequences that matter for the locality metrics:
+
+- if the smallest value already covers ``q`` of the weight, the quantile is
+  (at most) that value — neighbour-dominated traffic yields distance <= 1;
+- a crossing inside a value's coverage block lands fractionally below it,
+  matching the paper's 3.7 / 15.7 style results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["weighted_quantile"]
+
+
+def weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
+    """Interpolated ``q``-quantile of ``values`` weighted by ``weights``.
+
+    Duplicate values are merged before interpolation.  For ``q`` at or below
+    the first value's coverage the first value is returned (clamped), and
+    ``q = 1`` returns the maximum value.
+
+    Raises ``ValueError`` on empty input, negative weights, non-positive
+    total weight, or a quantile outside [0, 1].
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    vals = np.asarray(values, dtype=np.float64)
+    wts = np.asarray(weights, dtype=np.float64)
+    if vals.shape != wts.shape:
+        raise ValueError("values and weights must be parallel arrays")
+    if vals.size == 0:
+        raise ValueError("cannot take a quantile of empty data")
+    if np.any(wts < 0):
+        raise ValueError("weights must be non-negative")
+    total = wts.sum()
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+
+    unique, inverse = np.unique(vals, return_inverse=True)
+    merged = np.zeros(len(unique), dtype=np.float64)
+    np.add.at(merged, inverse, wts)
+    coverage = np.cumsum(merged) / total  # right-edge cumulative shares
+    # np.interp clamps below coverage[0] to unique[0] and at 1.0 to the max.
+    return float(np.interp(q, coverage, unique))

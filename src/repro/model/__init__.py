@@ -1,0 +1,23 @@
+"""Static network model: hops, utilization, link loads, latency, energy."""
+
+from .energy import SERDES_POWER_SHARE, EnergyModel, EnergyReport
+from .engine import BANDWIDTH_BYTES_PER_S, NetworkAnalysis, analyze_network
+from .latency import LatencyModel, LatencyReport
+from .linkload import LinkLoadStats, link_load_stats, link_loads
+from .slack import SlackReport, bandwidth_slack
+
+__all__ = [
+    "SERDES_POWER_SHARE",
+    "EnergyModel",
+    "EnergyReport",
+    "BANDWIDTH_BYTES_PER_S",
+    "NetworkAnalysis",
+    "analyze_network",
+    "LatencyModel",
+    "LatencyReport",
+    "LinkLoadStats",
+    "link_load_stats",
+    "link_loads",
+    "SlackReport",
+    "bandwidth_slack",
+]

@@ -1,0 +1,105 @@
+"""Interconnect energy model.
+
+The paper motivates its utilization metric with energy: interconnects draw
+power statically — SerDes account for ~85% of switch power, internal logic
+~15% (Zahn et al. [19], paper §2.2.1) — so a network that transmits data 1%
+of the time wastes almost all of its energy.  This module quantifies that
+argument:
+
+- static energy of a configuration (links × per-link power × wall time);
+- the energetically *useful* share (scaled by utilization);
+- savings projections for the two §7 proposals — power-gating idle links
+  (bounded by the SerDes share) and frequency/bandwidth scaling with
+  super-linear power reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .engine import NetworkAnalysis
+
+__all__ = ["EnergyModel", "EnergyReport", "SERDES_POWER_SHARE"]
+
+#: Share of link/switch power consumed by SerDes (Zahn et al. [19]).
+SERDES_POWER_SHARE = 0.85
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one analyzed configuration."""
+
+    total_energy_j: float
+    useful_energy_j: float
+    idle_energy_j: float
+    gating_savings_j: float
+    frequency_scaling_savings_j: float
+
+    @property
+    def useful_fraction(self) -> float:
+        return self.useful_energy_j / self.total_energy_j if self.total_energy_j else 0.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Static interconnect power model.
+
+    Parameters
+    ----------
+    link_power_w:
+        Constant power drawn per active link (SerDes + share of switch
+        logic).  A few watts per link is typical for the 12 GB/s class of
+        interconnect the paper assumes.
+    serdes_share:
+        Fraction of link power attributable to SerDes — the part that
+        idle-period power gating can remove.
+    frequency_exponent:
+        Power ~ bandwidth**exponent for frequency/voltage scaling;
+        exponent > 1 captures the paper's "super-linear" claim.
+    """
+
+    link_power_w: float = 3.0
+    serdes_share: float = SERDES_POWER_SHARE
+    frequency_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.link_power_w <= 0:
+            raise ValueError("link_power_w must be positive")
+        if not 0 <= self.serdes_share <= 1:
+            raise ValueError("serdes_share must be in [0, 1]")
+        if self.frequency_exponent < 1:
+            raise ValueError("frequency_exponent must be >= 1")
+
+    def static_energy_j(self, num_links: float, duration_s: float) -> float:
+        """Energy drawn by ``num_links`` always-on links over ``duration_s``."""
+        if duration_s < 0:
+            raise ValueError("duration must be >= 0")
+        return self.link_power_w * num_links * duration_s
+
+    def report(self, analysis: NetworkAnalysis) -> EnergyReport:
+        """Energy breakdown of one network analysis.
+
+        - *useful* energy scales with utilization (links busy transmitting);
+        - *gating* savings: SerDes power removed during the idle fraction;
+        - *frequency scaling* savings: running all links at exactly the
+          bandwidth needed to sustain the offered load (utilization → 1)
+          reduces power by ``utilization**(exponent - 1)`` relative terms.
+        """
+        util = min(analysis.utilization, 1.0)
+        total = self.static_energy_j(analysis.used_links, analysis.execution_time)
+        useful = total * util
+        idle = total - useful
+        gating = idle * self.serdes_share
+        # Scaling bandwidth by `util` scales power by util**exponent; the
+        # transmission then takes the same wall time (load is fixed), so
+        # energy shrinks from `total` to `total * util**exponent`... bounded
+        # below by the useful energy at full rate.
+        scaled_total = total * util ** (self.frequency_exponent - 1.0)
+        frequency_savings = max(total - scaled_total, 0.0)
+        return EnergyReport(
+            total_energy_j=total,
+            useful_energy_j=useful,
+            idle_energy_j=idle,
+            gating_savings_j=gating,
+            frequency_scaling_savings_j=frequency_savings,
+        )

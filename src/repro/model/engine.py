@@ -1,0 +1,178 @@
+"""Static network analysis engine (paper §4.2, §6.2–6.3).
+
+Combines a traffic matrix (collectives already flattened), a topology, and a
+rank→node mapping into the paper's system-level metrics:
+
+- **packet hops** (Eq. 3): every message is split into 4 kB packets; each
+  packet contributes the hop count of its pair's shortest route.
+- **average hops per packet** (Eq. 4): packet hops over *all* packets.
+  Packets between co-located ranks (or a collective's root sending to
+  itself) count in the denominator with zero hops — the paper's convention,
+  visible in Table 3 rows like BigFFT@9 on the single-switch fat tree
+  averaging 2·(N−1)/N = 1.78 rather than 2.0.
+- **network utilization** (Eq. 5): data volume over ``BW · t · links``, with
+  only links that actually transmit data counted (deterministic routes of
+  all inter-node pairs).  The default wire volume is the **raw payload
+  bytes** — Eq. 5's ``datavolume`` verbatim; this is the only convention
+  consistent across the paper's small-message workloads (Nekbone's packet
+  counts imply ~4-byte messages whose padded volume would exceed the
+  published utilizations a thousandfold) and its large-message ones (for
+  BigFFT raw and padded coincide).  ``volume_mode="padded"`` charges a full
+  4 kB slot per packet instead.
+
+The model is non-temporal: no congestion, no flow interaction, full
+bandwidth assumed per message — identical to the paper's methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+from ..core.packets import MAX_PAYLOAD_BYTES
+from ..mapping.base import Mapping
+from ..topology.base import Topology
+from ..topology.dragonfly import Dragonfly
+
+__all__ = ["BANDWIDTH_BYTES_PER_S", "NetworkAnalysis", "analyze_network"]
+
+#: Link bandwidth assumed by the paper: 12 GB/s.
+BANDWIDTH_BYTES_PER_S = 12e9
+
+
+@dataclass(frozen=True)
+class NetworkAnalysis:
+    """System-level metrics of one (traffic, topology, mapping) combination."""
+
+    topology_kind: str
+    num_ranks: int
+    packet_hops: int
+    total_packets: int
+    network_bytes: int
+    wire_bytes: int
+    used_links: int
+    nominal_links: float
+    execution_time: float
+    bandwidth: float
+    global_link_packet_share: float | None = None
+
+    @property
+    def avg_hops(self) -> float:
+        """Eq. 4 — mean hops per packet (zero-hop packets included)."""
+        return self.packet_hops / self.total_packets if self.total_packets else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Eq. 5 over *used* links, in [0, ...] (1.0 = fully busy links)."""
+        denom = self.bandwidth * self.execution_time * self.used_links
+        return self.wire_bytes / denom if denom else 0.0
+
+    @property
+    def utilization_nominal(self) -> float:
+        """Eq. 5 over the paper's per-topology nominal link count."""
+        denom = self.bandwidth * self.execution_time * self.nominal_links
+        return self.wire_bytes / denom if denom else 0.0
+
+    @property
+    def utilization_percent(self) -> float:
+        return 100.0 * self.utilization
+
+
+def _node_pair_aggregate(
+    matrix: CommMatrix, mapping: Mapping
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregate rank-pair traffic onto node pairs.
+
+    Returns parallel arrays ``(src_node, dst_node, nbytes, packets)`` with
+    unique node pairs (self-pairs included; they carry the zero-hop packets).
+    """
+    src_nodes = mapping.node_of(matrix.src)
+    dst_nodes = mapping.node_of(matrix.dst)
+    key = src_nodes * np.int64(mapping.num_nodes) + dst_nodes
+    unique_keys, inverse = np.unique(key, return_inverse=True)
+    nbytes = np.zeros(len(unique_keys), dtype=np.int64)
+    packets = np.zeros(len(unique_keys), dtype=np.int64)
+    np.add.at(nbytes, inverse, matrix.nbytes)
+    np.add.at(packets, inverse, matrix.packets)
+    return (
+        unique_keys // mapping.num_nodes,
+        unique_keys % mapping.num_nodes,
+        nbytes,
+        packets,
+    )
+
+
+def analyze_network(
+    matrix: CommMatrix,
+    topology: Topology,
+    mapping: Mapping | None = None,
+    execution_time: float = 1.0,
+    bandwidth: float = BANDWIDTH_BYTES_PER_S,
+    volume_mode: str = "raw",
+    payload: int = MAX_PAYLOAD_BYTES,
+) -> NetworkAnalysis:
+    """Run the full static analysis for one topology.
+
+    Parameters
+    ----------
+    matrix:
+        Traffic matrix *including* flattened collectives for paper-faithful
+        results (build with :func:`repro.comm.matrix_from_trace`).
+    mapping:
+        Defaults to the paper's consecutive one-rank-per-node mapping.
+    execution_time:
+        Traced wall time (``trace.meta.execution_time``), the ``t`` of Eq. 5.
+    volume_mode:
+        ``"raw"`` — payload bytes, Eq. 5's ``datavolume`` (default);
+        ``"padded"`` — every packet charges a full ``payload`` slot.
+    """
+    if volume_mode not in ("padded", "raw"):
+        raise ValueError(f"volume_mode must be 'padded' or 'raw', got {volume_mode!r}")
+    if execution_time <= 0:
+        raise ValueError("execution_time must be positive")
+    if mapping is None:
+        mapping = Mapping.consecutive(matrix.num_ranks, topology.num_nodes)
+    if mapping.num_nodes != topology.num_nodes:
+        raise ValueError(
+            f"mapping targets {mapping.num_nodes} nodes, topology has "
+            f"{topology.num_nodes}"
+        )
+
+    src_n, dst_n, nbytes, packets = _node_pair_aggregate(matrix, mapping)
+    hops = topology.hops_array(src_n, dst_n)
+
+    packet_hops = int((packets * hops).sum())
+    total_packets = int(packets.sum())
+
+    crossing = src_n != dst_n
+    network_bytes = int(nbytes[crossing].sum())
+    if volume_mode == "padded":
+        wire_bytes = int(packets[crossing].sum()) * payload
+    else:
+        wire_bytes = network_bytes
+
+    incidence = topology.route_incidence(src_n[crossing], dst_n[crossing])
+    used_links = len(incidence.used_links())
+
+    global_share: float | None = None
+    if isinstance(topology, Dragonfly):
+        crosses = topology.crosses_groups(src_n, dst_n)
+        global_share = (
+            float(packets[crosses].sum()) / total_packets if total_packets else 0.0
+        )
+
+    return NetworkAnalysis(
+        topology_kind=topology.kind,
+        num_ranks=matrix.num_ranks,
+        packet_hops=packet_hops,
+        total_packets=total_packets,
+        network_bytes=network_bytes,
+        wire_bytes=wire_bytes,
+        used_links=used_links,
+        nominal_links=topology.nominal_links(mapping.num_used_nodes),
+        execution_time=execution_time,
+        bandwidth=bandwidth,
+        global_link_packet_share=global_share,
+    )

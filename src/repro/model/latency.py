@@ -1,0 +1,153 @@
+"""Latency translation of the static hop analysis.
+
+The paper notes that packet hops "can directly be translated to network
+latency and energy consumption" (§4.2.1).  This module performs that
+translation with the standard store-and-forward / cut-through switch
+models:
+
+- per-message latency: injection serialization + per-hop switch traversal
+  (+ per-hop re-serialization under store-and-forward),
+- aggregate *communication time* of a traffic matrix on a topology — a
+  lower bound, since the static model has no congestion,
+- per-app mean/percentile message-latency distributions.
+
+Default constants are representative of the 12 GB/s interconnect class the
+paper assumes (~100 ns per switch traversal, ~5 ns/m of cable at 2 m mean
+hop length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+from ..core.packets import MAX_PAYLOAD_BYTES
+from ..mapping.base import Mapping
+from ..topology.base import Topology
+from .engine import BANDWIDTH_BYTES_PER_S
+
+__all__ = ["LatencyModel", "LatencyReport"]
+
+
+@dataclass(frozen=True)
+class LatencyReport:
+    """Latency statistics of one (traffic, topology, mapping) combination."""
+
+    mean_message_latency_s: float
+    p50_message_latency_s: float
+    p99_message_latency_s: float
+    max_message_latency_s: float
+    total_serial_comm_time_s: float  # sum of all message latencies
+
+    @property
+    def mean_message_latency_us(self) -> float:
+        return 1e6 * self.mean_message_latency_s
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Per-hop network latency model.
+
+    Parameters
+    ----------
+    switch_latency_s:
+        Time through one switch (arbitration + crossbar), per hop.
+    wire_latency_s:
+        Propagation delay per hop (cable length x ~5 ns/m).
+    bandwidth:
+        Link bandwidth for serialization delay (paper: 12 GB/s).
+    cut_through:
+        Cut-through switching serializes the message once (at injection);
+        store-and-forward re-serializes the *packet* at every hop.
+    """
+
+    switch_latency_s: float = 100e-9
+    wire_latency_s: float = 10e-9
+    bandwidth: float = BANDWIDTH_BYTES_PER_S
+    cut_through: bool = True
+    payload: int = MAX_PAYLOAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.switch_latency_s < 0 or self.wire_latency_s < 0:
+            raise ValueError("latencies must be >= 0")
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    # -- single message -----------------------------------------------------
+
+    def message_latency(self, nbytes: int, hops: int) -> float:
+        """End-to-end latency of one message over a ``hops``-long route.
+
+        Zero-hop (co-located) messages cost one serialization only.
+        """
+        if nbytes < 0 or hops < 0:
+            raise ValueError("nbytes and hops must be >= 0")
+        serialization = nbytes / self.bandwidth
+        per_hop = self.switch_latency_s + self.wire_latency_s
+        if hops == 0:
+            return serialization
+        if self.cut_through:
+            # head flit pays per-hop latency; body streams behind it
+            return serialization + hops * per_hop
+        # store-and-forward: every hop re-serializes each packet; the
+        # pipeline over packets overlaps all but one packet per extra hop
+        packet_serial = min(nbytes, self.payload) / self.bandwidth
+        return serialization + hops * per_hop + (hops - 1) * packet_serial
+
+    def message_latency_array(
+        self, nbytes: np.ndarray, hops: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized :meth:`message_latency` (per-message arrays)."""
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        hops = np.asarray(hops, dtype=np.float64)
+        serialization = nbytes / self.bandwidth
+        per_hop = self.switch_latency_s + self.wire_latency_s
+        base = serialization + hops * per_hop
+        if self.cut_through:
+            return base
+        packet_serial = np.minimum(nbytes, self.payload) / self.bandwidth
+        return base + np.maximum(hops - 1, 0) * packet_serial
+
+    # -- traffic-matrix aggregate ---------------------------------------------
+
+    def report(
+        self,
+        matrix: CommMatrix,
+        topology: Topology,
+        mapping: Mapping | None = None,
+    ) -> LatencyReport:
+        """Message-latency distribution for a traffic matrix.
+
+        Messages of one pair share that pair's route; per-pair mean message
+        size is used (the matrix stores aggregates).  Percentiles are
+        message-count weighted.
+        """
+        if mapping is None:
+            mapping = Mapping.consecutive(matrix.num_ranks, topology.num_nodes)
+        if matrix.num_pairs == 0:
+            return LatencyReport(0.0, 0.0, 0.0, 0.0, 0.0)
+        src_n = mapping.node_of(matrix.src)
+        dst_n = mapping.node_of(matrix.dst)
+        hops = topology.hops_array(src_n, dst_n)
+        mean_size = matrix.nbytes / np.maximum(matrix.messages, 1)
+        lat = self.message_latency_array(mean_size, hops)
+        weights = matrix.messages.astype(np.float64)
+
+        order = np.argsort(lat)
+        lat_sorted = lat[order]
+        cum = np.cumsum(weights[order])
+        total_msgs = cum[-1]
+
+        def percentile(q: float) -> float:
+            idx = int(np.searchsorted(cum, q * total_msgs))
+            return float(lat_sorted[min(idx, len(lat_sorted) - 1)])
+
+        return LatencyReport(
+            mean_message_latency_s=float((lat * weights).sum() / total_msgs),
+            p50_message_latency_s=percentile(0.50),
+            p99_message_latency_s=percentile(0.99),
+            max_message_latency_s=float(lat.max()),
+            total_serial_comm_time_s=float((lat * weights).sum()),
+        )

@@ -1,0 +1,26 @@
+"""The paper's published values and paper-vs-measured comparison tooling."""
+
+from .compare import CellComparison, DeviationSummary, compare_table3, deviation_summary
+from .values import (
+    TABLE1,
+    TABLE3,
+    TABLE4,
+    PaperTable1Row,
+    PaperTable3Row,
+    table1_row,
+    table3_row,
+)
+
+__all__ = [
+    "CellComparison",
+    "DeviationSummary",
+    "compare_table3",
+    "deviation_summary",
+    "TABLE1",
+    "TABLE3",
+    "TABLE4",
+    "PaperTable1Row",
+    "PaperTable3Row",
+    "table1_row",
+    "table3_row",
+]

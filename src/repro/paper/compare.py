@@ -1,0 +1,159 @@
+"""Paper-vs-measured comparison engine.
+
+Joins the published values (:mod:`repro.paper.values`) against our Table-3
+rows and produces per-cell deviation records — the machine-checkable core of
+EXPERIMENTS.md.  Each comparison carries the ratio (measured / paper) so
+"within a factor of two" style statements are one filter away.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..analysis.tables import Table3Row
+from .values import TABLE3, PaperTable3Row
+
+__all__ = ["CellComparison", "compare_table3", "deviation_summary"]
+
+
+@dataclass(frozen=True)
+class CellComparison:
+    """One (workload, column) paper-vs-measured cell."""
+
+    label: str
+    column: str
+    paper: float | None
+    measured: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / paper; None when either side is N/A or paper is 0."""
+        if self.paper is None or self.measured is None or self.paper == 0:
+            return None
+        if math.isnan(self.measured):
+            return None
+        return self.measured / self.paper
+
+    def within_factor(self, factor: float) -> bool | None:
+        """True/False when comparable; None for N/A cells."""
+        r = self.ratio
+        if r is None:
+            return None
+        return 1.0 / factor <= r <= factor
+
+
+def _cells_for(row: Table3Row, paper: PaperTable3Row) -> list[CellComparison]:
+    m = row.metrics
+    label = m.label
+    measured_mpi = {
+        "peers": float(m.peers) if m.has_p2p else None,
+        "rank_distance_90": m.rank_distance_90 if m.has_p2p else None,
+        "selectivity_90": m.selectivity_90 if m.has_p2p else None,
+    }
+    paper_mpi = {
+        "peers": float(paper.peers) if paper.peers is not None else None,
+        "rank_distance_90": paper.rank_distance_90,
+        "selectivity_90": paper.selectivity_90,
+    }
+    cells = [
+        CellComparison(label, col, paper_mpi[col], measured_mpi[col])
+        for col in measured_mpi
+    ]
+    topo_columns = {
+        "torus3d_avg_hops": (paper.torus_avg_hops, row.network["torus3d"].avg_hops),
+        "fattree_avg_hops": (paper.fattree_avg_hops, row.network["fattree"].avg_hops),
+        "dragonfly_avg_hops": (
+            paper.dragonfly_avg_hops,
+            row.network["dragonfly"].avg_hops,
+        ),
+        "torus3d_packet_hops": (
+            paper.torus_packet_hops,
+            float(row.network["torus3d"].packet_hops),
+        ),
+        "fattree_packet_hops": (
+            paper.fattree_packet_hops,
+            float(row.network["fattree"].packet_hops),
+        ),
+        "dragonfly_packet_hops": (
+            paper.dragonfly_packet_hops,
+            float(row.network["dragonfly"].packet_hops),
+        ),
+    }
+    cells += [
+        CellComparison(label, col, p, v) for col, (p, v) in topo_columns.items()
+    ]
+    return cells
+
+
+def compare_table3(rows: list[Table3Row]) -> list[CellComparison]:
+    """Per-cell comparisons for every row with a published counterpart."""
+    cells: list[CellComparison] = []
+    for row in rows:
+        m = row.metrics
+        key = (m.app, m.num_ranks, m.variant)
+        paper = TABLE3.get(key)
+        if paper is None:
+            continue
+        cells.extend(_cells_for(row, paper))
+    return cells
+
+
+@dataclass(frozen=True)
+class DeviationSummary:
+    """Aggregate agreement statistics over a set of cell comparisons."""
+
+    comparable_cells: int
+    within_1_2x: int
+    within_2x: int
+    within_3x: int
+    geometric_mean_ratio: float
+    worst: CellComparison | None
+
+    def lines(self) -> list[str]:
+        out = [
+            f"comparable cells:        {self.comparable_cells}",
+            f"within 1.2x of paper:    {self.within_1_2x}"
+            f" ({100 * self.within_1_2x / max(self.comparable_cells, 1):.0f}%)",
+            f"within 2x of paper:      {self.within_2x}"
+            f" ({100 * self.within_2x / max(self.comparable_cells, 1):.0f}%)",
+            f"within 3x of paper:      {self.within_3x}"
+            f" ({100 * self.within_3x / max(self.comparable_cells, 1):.0f}%)",
+            f"geometric mean ratio:    {self.geometric_mean_ratio:.3f}",
+        ]
+        if self.worst is not None and self.worst.ratio is not None:
+            out.append(
+                f"largest deviation:       {self.worst.label} {self.worst.column} "
+                f"({self.worst.ratio:.2f}x)"
+            )
+        return out
+
+
+def deviation_summary(cells: list[CellComparison]) -> DeviationSummary:
+    """Aggregate a comparison set into agreement statistics."""
+    comparable = [c for c in cells if c.ratio is not None]
+    if not comparable:
+        return DeviationSummary(0, 0, 0, 0, 1.0, None)
+    log_sum = 0.0
+    worst = comparable[0]
+    worst_dev = 0.0
+    counts = {1.2: 0, 2.0: 0, 3.0: 0}
+    for cell in comparable:
+        r = cell.ratio
+        assert r is not None
+        dev = abs(math.log(r))
+        log_sum += math.log(r)
+        if dev > worst_dev:
+            worst_dev = dev
+            worst = cell
+        for factor in counts:
+            if cell.within_factor(factor):
+                counts[factor] += 1
+    return DeviationSummary(
+        comparable_cells=len(comparable),
+        within_1_2x=counts[1.2],
+        within_2x=counts[2.0],
+        within_3x=counts[3.0],
+        geometric_mean_ratio=math.exp(log_sum / len(comparable)),
+        worst=worst,
+    )

@@ -1,0 +1,203 @@
+"""The paper's published numbers, as structured data.
+
+Everything the evaluation section prints — Table 1 aggregates, Table 3
+metrics per topology, Table 4 dimensionality rows — transcribed from the
+paper so that code (benchmarks, comparison reports, notebooks) can query
+"what did the paper report for X" instead of hard-coding constants.
+
+Keys are ``(app, ranks)`` or ``(app, ranks, variant)``; variants ("b")
+denote the duplicated-scale traces (CNS@256, Boxlib MG@256, LULESH@64).
+Values are ``None`` where the paper prints N/A (the all-collective apps'
+MPI-level metrics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "PaperTable1Row",
+    "PaperTable3Row",
+    "TABLE1",
+    "TABLE3",
+    "TABLE4",
+    "table1_row",
+    "table3_row",
+]
+
+
+@dataclass(frozen=True)
+class PaperTable1Row:
+    """One row of the paper's Table 1."""
+
+    app: str
+    ranks: int
+    variant: str
+    time_s: float
+    volume_mb: float
+    p2p_percent: float
+    collective_percent: float
+    throughput_mb_s: float
+
+
+@dataclass(frozen=True)
+class PaperTable3Row:
+    """One row of the paper's Table 3 (all fifteen numeric columns)."""
+
+    app: str
+    ranks: int
+    variant: str
+    peers: int | None
+    rank_distance_90: float | None
+    selectivity_90: float | None
+    torus_packet_hops: float
+    torus_avg_hops: float
+    torus_utilization_percent: float
+    fattree_packet_hops: float
+    fattree_avg_hops: float
+    fattree_utilization_percent: float
+    dragonfly_packet_hops: float
+    dragonfly_avg_hops: float
+    dragonfly_utilization_percent: float
+
+
+def _t1(app, ranks, time_s, vol, p2p, coll, thr, variant=""):
+    return PaperTable1Row(app, ranks, variant, time_s, vol, p2p, coll, thr)
+
+
+#: Paper Table 1, verbatim (times as printed; AMG@216's printed 0.10 s is
+#: inconsistent with its own Vol/t column — see repro.apps calibration notes).
+TABLE1: dict[tuple[str, int, str], PaperTable1Row] = {
+    (r.app, r.ranks, r.variant): r
+    for r in [
+        _t1("AMG", 8, 0.03, 3.0, 100.0, 0.0, 116.3),
+        _t1("AMG", 27, 0.16, 13.6, 100.0, 0.0, 86.98),
+        _t1("AMG", 216, 0.10, 136.9, 100.0, 0.0, 461.5),
+        _t1("AMG", 1728, 2.92, 1208.0, 100.0, 0.0, 413.7),
+        _t1("AMR_Miniapp", 64, 12.93, 3106.0, 99.66, 0.34, 240.3),
+        _t1("AMR_Miniapp", 1728, 42.69, 96969.0, 99.45, 0.55, 2271.0),
+        _t1("BigFFT", 9, 0.18, 299.2, 0.0, 100.0, 1659.0),
+        _t1("BigFFT", 100, 0.50, 3169.0, 0.0, 100.0, 6340.0),
+        _t1("BigFFT", 1024, 1.89, 32064.0, 0.0, 100.0, 17003.0),
+        _t1("Boxlib_CNS", 64, 572.19, 9292.0, 100.0, 0.0, 16.24),
+        _t1("Boxlib_CNS", 256, 169.05, 15227.0, 100.0, 0.0, 90.08),
+        _t1("Boxlib_CNS", 256, 150.92, 15227.0, 100.0, 0.0, 100.9, "b"),
+        _t1("Boxlib_CNS", 1024, 67.54, 34131.0, 100.0, 0.0, 505.4),
+        _t1("Boxlib_MultiGrid_C", 64, 231.42, 23742.0, 99.94, 0.06, 102.6),
+        _t1("Boxlib_MultiGrid_C", 256, 62.01, 44535.0, 99.95, 0.05, 718.2),
+        _t1("Boxlib_MultiGrid_C", 256, 60.28, 44535.0, 99.95, 0.05, 738.8, "b"),
+        _t1("Boxlib_MultiGrid_C", 1024, 20.88, 75181.0, 99.94, 0.06, 3600.9),
+        _t1("MOCFE", 64, 0.38, 19.0, 5.01, 94.99, 50.3),
+        _t1("MOCFE", 256, 1.10, 81.6, 5.51, 94.49, 74.11),
+        _t1("MOCFE", 1024, 3.95, 686.2, 6.96, 93.04, 173.9),
+        _t1("Nekbone", 64, 11.83, 5307.0, 100.0, 0.0, 448.8),
+        _t1("Nekbone", 256, 3.17, 1272.0, 50.66, 49.34, 401.8),
+        _t1("Nekbone", 1024, 5.15, 13232.0, 99.98, 0.02, 2568.8),
+        _t1("CrystalRouter", 10, 0.14, 133.8, 100.0, 0.0, 930.3),
+        _t1("CrystalRouter", 100, 0.71, 3439.9, 100.0, 0.0, 4854.0),
+        _t1("CrystalRouter", 1000, 1.28, 115521.0, 100.0, 0.0, 90491.0),
+        _t1("CMC_2D", 64, 842.80, 16.0, 0.0, 100.0, 0.019),
+        _t1("CMC_2D", 256, 208.44, 16.1, 0.0, 100.0, 0.077),
+        _t1("CMC_2D", 1024, 58.85, 16.4, 0.0, 100.0, 0.279),
+        _t1("LULESH", 64, 54.14, 3585.0, 100.0, 0.0, 66.23),
+        _t1("LULESH", 64, 44.03, 3585.0, 100.0, 0.0, 81.43, "b"),
+        _t1("LULESH", 512, 50.24, 33548.0, 100.0, 0.0, 667.8),
+        _t1("FillBoundary", 125, 2.32, 10209.0, 100.0, 0.0, 4393.0),
+        _t1("FillBoundary", 1000, 5.26, 92323.0, 100.0, 0.0, 17549.0),
+        _t1("MiniFE", 18, 59.70, 1615.0, 100.0, 0.0, 27.06),
+        _t1("MiniFE", 144, 61.06, 16586.0, 99.99, 0.01, 271.63),
+        _t1("MiniFE", 1152, 84.75, 147264.0, 99.96, 0.04, 1737.7),
+        _t1("MultiGrid_C", 125, 0.77, 374.0, 100.0, 0.0, 4889.0),
+        _t1("MultiGrid_C", 1000, 3.57, 2973.0, 100.0, 0.0, 832.83),
+        _t1("PARTISN", 168, 2.2e6, 42123.0, 99.96, 0.04, 0.02),
+        _t1("SNAP", 168, 1.2e6, 128561.0, 100.0, 0.0, 0.11),
+    ]
+}
+
+
+def _t3(app, ranks, peers, dist, sel, th, tah, tu, fh, fah, fu, dh, dah, du, variant=""):
+    return PaperTable3Row(
+        app, ranks, variant, peers, dist, sel,
+        th, tah, tu, fh, fah, fu, dh, dah, du,
+    )
+
+
+#: Paper Table 3, verbatim.  Packet-hop columns keep the paper's printed
+#: precision (often one significant digit for the dragonfly).
+TABLE3: dict[tuple[str, int, str], PaperTable3Row] = {
+    (r.app, r.ranks, r.variant): r
+    for r in [
+        _t3("AMG", 8, 7, 3.7, 2.8, 4.2e3, 1.57, 0.0052, 5.7e3, 2.00, 0.0303, 8e3, 2.83, 0.0116),
+        _t3("AMG", 27, 26, 8.7, 4.2, 2.9e4, 1.74, 0.0012, 3.5e4, 2.00, 0.0034, 7e4, 4.01, 0.0034),
+        _t3("AMG", 216, 127, 35.8, 5.2, 5.5e5, 2.36, 0.0008, 8.2e5, 3.41, 0.0032, 1e6, 4.14, 0.0021),
+        _t3("AMG", 1728, 293, 143.8, 5.6, 6.0e6, 2.62, 0.0001, 8.5e6, 3.62, 0.0004, 1e7, 4.28, 0.0002),
+        _t3("AMR_Miniapp", 64, 39, 27.1, 8.3, 5.9e6, 2.93, 0.0034, 6.6e6, 3.20, 0.0058, 9e6, 4.19, 0.0048),
+        _t3("AMR_Miniapp", 1728, 490, 348.3, 13.0, 8.9e9, 8.97, 0.0278, 4.9e9, 4.86, 0.0229, 5e9, 4.74, 0.0119),
+        _t3("BigFFT", 9, None, None, None, 1.0e6, 1.56, 0.6721, 1.2e6, 1.78, 3.0725, 2e6, 2.91, 1.2943),
+        _t3("BigFFT", 100, None, None, None, 7.7e7, 3.40, 7.4849, 2.7e8, 3.52, 10.5544, 3e8, 4.36, 7.6985),
+        _t3("BigFFT", 1024, None, None, None, 6.4e10, 8.00, 47.2317, 3.5e10, 4.35, 38.4346, 4e10, 4.69, 22.1491),
+        _t3("Boxlib_CNS", 64, 63, 35.1, 5.7, 5.7e6, 2.99, 0.0002, 6.5e6, 3.23, 0.0003, 9e6, 4.23, 0.0003),
+        _t3("Boxlib_CNS", 256, 255, 109.2, 5.4, 1.5e7, 4.93, 0.0004, 1.2e7, 3.75, 0.0005, 2e7, 4.49, 0.0004),
+        _t3("Boxlib_CNS", 256, 255, 109.2, 5.4, 1.5e7, 4.93, 0.0005, 1.2e7, 3.75, 0.0006, 2e7, 4.49, 0.0004, "b"),
+        _t3("Boxlib_CNS", 1024, 1023, 661.5, 20.8, 1.1e8, 7.97, 0.0012, 6.4e7, 4.35, 0.0010, 7e7, 4.68, 0.0006),
+        _t3("Boxlib_MultiGrid_C", 64, 26, 27.1, 4.4, 2.6e7, 2.92, 0.0011, 3.0e7, 3.19, 0.0020, 4e7, 4.19, 0.0017),
+        _t3("Boxlib_MultiGrid_C", 256, 26, 54.3, 4.4, 3.9e8, 4.94, 0.0035, 3.0e8, 3.76, 0.0045, 4e8, 4.50, 0.0032),
+        _t3("Boxlib_MultiGrid_C", 256, 26, 54.3, 4.4, 3.9e8, 4.94, 0.0036, 3.0e8, 3.76, 0.0046, 4e8, 4.50, 0.0033, "b"),
+        _t3("Boxlib_MultiGrid_C", 1024, 26, 109.1, 4.9, 8.9e9, 7.96, 0.0106, 4.9e9, 4.33, 0.0092, 5e9, 4.67, 0.0054),
+        _t3("MOCFE", 64, 12, 51.3, 8.9, 2.4e6, 2.96, 0.0498, 2.7e6, 3.28, 0.0769, 3e6, 4.24, 0.0605),
+        _t3("MOCFE", 256, 20, 195.3, 14.0, 6.2e7, 4.96, 0.1216, 4.7e7, 3.80, 0.1368, 6e7, 4.53, 0.0895),
+        _t3("MOCFE", 1024, 20, 771.8, 13.3, 3.2e9, 7.98, 0.4495, 1.7e9, 4.36, 0.3656, 2e9, 4.69, 0.2108),
+        _t3("Nekbone", 64, 27, 15.8, 4.8, 4.0e7, 2.92, 0.0027, 4.6e7, 3.25, 0.0090, 6e7, 4.24, 0.0081),
+        _t3("Nekbone", 256, 15, 28.4, 5.4, 1.2e9, 4.99, 0.3447, 9.0e8, 3.80, 0.3882, 1e9, 4.53, 0.2541),
+        _t3("Nekbone", 1024, 36, 127.9, 10.2, 2.5e10, 7.96, 0.0029, 1.4e10, 4.35, 0.0057, 1e10, 4.69, 0.0035),
+        _t3("CrystalRouter", 10, 4, 6.4, 3.0, 2.4e5, 1.74, 0.0469, 2.7e5, 2.00, 0.1938, 4e5, 3.18, 0.0882),
+        _t3("CrystalRouter", 100, 8, 44.3, 5.8, 1.4e6, 2.41, 0.0408, 7.4e6, 2.76, 0.0637, 1e7, 3.61, 0.0490),
+        _t3("CrystalRouter", 1000, 11, 334.3, 8.9, 2.8e8, 4.69, 0.1475, 1.9e8, 3.26, 0.1531, 2e8, 3.82, 0.0959),
+        _t3("CMC_2D", 64, None, None, None, 7.9e5, 3.00, 2.0e-5, 8.4e5, 3.28, 3.0e-5, 1e6, 4.25, 2.4e-5),
+        _t3("CMC_2D", 256, None, None, None, 5.2e6, 5.00, 0.0001, 4.0e6, 3.81, 0.0001, 5e6, 4.54, 0.0001),
+        _t3("CMC_2D", 1024, None, None, None, 3.4e7, 8.00, 0.0008, 2.0e7, 4.36, 0.0007, 2e7, 4.69, 0.0004),
+        _t3("LULESH", 64, 26, 15.7, 4.5, 2.3e6, 2.70, 0.0004, 3.8e6, 3.17, 0.0013, 5e6, 4.18, 0.0011),
+        _t3("LULESH", 64, 26, 15.7, 4.5, 2.3e6, 2.70, 0.0004, 3.8e6, 3.17, 0.0016, 5e6, 4.18, 0.0013, "b"),
+        _t3("LULESH", 512, 26, 63.7, 5.0, 1.7e8, 5.80, 0.0005, 1.3e8, 3.88, 0.0020, 2e8, 4.60, 0.0012),
+        _t3("FillBoundary", 125, 26, 42.3, 4.8, 6.6e6, 3.27, 0.0319, 6.9e6, 3.32, 0.0466, 9e6, 4.13, 0.0351),
+        _t3("FillBoundary", 1000, 26, 219.1, 5.3, 9.9e7, 7.13, 0.0245, 6.6e7, 4.15, 0.0248, 8e7, 4.55, 0.0160),
+        _t3("MiniFE", 18, 8, 7.4, 3.4, 8.9e5, 1.82, 0.0008, 1.1e6, 1.90, 0.0031, 2e6, 3.69, 0.0015),
+        _t3("MiniFE", 144, 22, 31.5, 4.6, 4.5e7, 3.97, 0.0017, 4.2e7, 3.62, 0.0025, 5e7, 4.40, 0.0017),
+        _t3("MiniFE", 1152, 22, 91.8, 5.1, 4.6e9, 7.98, 0.0039, 2.6e9, 4.47, 0.0037, 3e9, 4.71, 0.0022),
+        _t3("MultiGrid_C", 125, 22, 59.7, 5.5, 1.2e6, 3.52, 0.0038, 1.3e6, 3.57, 0.0056, 2e6, 4.33, 0.0041),
+        _t3("MultiGrid_C", 1000, 22, 392.0, 5.4, 1.0e8, 7.43, 0.0013, 6.0e7, 4.31, 0.0013, 7e7, 4.66, 0.0008),
+        _t3("PARTISN", 168, 167, 13.8, 3.4, 8.0e7, 2.70, 7.4e-8, 1.0e8, 3.04, 1.6e-7, 1e8, 3.88, 1.2e-7),
+        _t3("SNAP", 168, 48, 139.1, 9.8, 1.6e8, 3.85, 4.2e-7, 1.5e8, 3.74, 6.2e-7, 2e8, 4.41, 4.0e-7),
+    ]
+}
+
+
+#: Paper Table 4 — rank locality (percent) under 1D/2D/3D re-linearization.
+TABLE4: dict[tuple[str, int], tuple[int, int, int]] = {
+    ("AMG", 216): (3, 17, 100),
+    ("AMG", 1728): (1, 8, 100),
+    ("Boxlib_CNS", 64): (3, 13, 21),
+    ("Boxlib_CNS", 256): (1, 8, 13),
+    ("Boxlib_CNS", 1024): (0, 3, 7),
+    ("LULESH", 64): (6, 24, 100),
+    ("LULESH", 512): (2, 6, 100),
+    ("MultiGrid_C", 125): (2, 6, 17),
+    ("MultiGrid_C", 1000): (0, 3, 9),
+    ("PARTISN", 168): (7, 100, 22),
+}
+
+
+def table1_row(app: str, ranks: int, variant: str = "") -> PaperTable1Row:
+    """Look up a published Table-1 row."""
+    try:
+        return TABLE1[(app, ranks, variant)]
+    except KeyError:
+        raise KeyError(f"paper Table 1 has no row for {app}@{ranks}/{variant!r}") from None
+
+
+def table3_row(app: str, ranks: int, variant: str = "") -> PaperTable3Row:
+    """Look up a published Table-3 row."""
+    try:
+        return TABLE3[(app, ranks, variant)]
+    except KeyError:
+        raise KeyError(f"paper Table 3 has no row for {app}@{ranks}/{variant!r}") from None

@@ -1,0 +1,5 @@
+"""Dynamic packet-level network simulation (the paper's stated future work)."""
+
+from .engine import SimulationResult, simulate_network
+
+__all__ = ["SimulationResult", "simulate_network"]

@@ -1,0 +1,193 @@
+"""Dynamic packet-level network simulation — the paper's future work.
+
+The paper is explicit about its static model's limits: "without the
+temporal character of a simulation, the results do not contain any
+information about the interaction of traffic flows" (§4.2), and closes with
+"it seems very promising to address dynamic effects in future work" (§8).
+This module implements that future work at packet granularity:
+
+- every message is split into 4 kB packets (as in the static model);
+- packets are injected over the traced execution time and walk their
+  deterministic route hop by hop;
+- every link is an output-queued FIFO server: a packet occupies a link for
+  ``payload / bandwidth`` seconds and waits while the link serves earlier
+  arrivals — this is where flow *interaction* (queueing, congestion)
+  appears;
+- the simulation is event-driven (one heap event per packet-hop) and fully
+  deterministic given the seed.
+
+Outputs directly test the static model's headline claims: dynamic per-link
+utilization (the paper argues static utilization is an *upper bound* —
+§8), queueing-delay distributions (the "probability of congestions" the
+utilization metric is a proxy for, §4.2.3), and makespan inflation.
+
+Cost is one event per packet-hop; large traces can be sampled with
+``volume_scale`` (simulate a 1/k volume at 1/k bandwidth — utilization and
+queueing behaviour are first-order invariant under this scaling, a standard
+fluid-limit argument).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+from ..core.packets import MAX_PAYLOAD_BYTES
+from ..mapping.base import Mapping
+from ..topology.base import Topology
+from ..model.engine import BANDWIDTH_BYTES_PER_S
+
+__all__ = ["SimulationResult", "simulate_network"]
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Observables of one dynamic simulation run."""
+
+    packets_simulated: int
+    total_hops: int
+    makespan: float  # last packet delivery time
+    injection_window: float  # time span over which packets were injected
+    link_busy_time_total: float
+    used_links: int
+    mean_queue_delay: float  # seconds a packet waited, averaged over packets
+    p99_queue_delay: float
+    max_queue_delay: float
+    congested_packet_share: float  # packets that waited at least one service time
+
+    @property
+    def dynamic_utilization(self) -> float:
+        """Mean busy fraction of the used links over the makespan."""
+        if not self.used_links or self.makespan <= 0:
+            return 0.0
+        return self.link_busy_time_total / (self.used_links * self.makespan)
+
+    @property
+    def makespan_inflation(self) -> float:
+        """Makespan relative to the injection window (1.0 = no backlog)."""
+        if self.injection_window <= 0:
+            return 1.0
+        return self.makespan / self.injection_window
+
+
+def simulate_network(
+    matrix: CommMatrix,
+    topology: Topology,
+    mapping: Mapping | None = None,
+    execution_time: float = 1.0,
+    bandwidth: float = BANDWIDTH_BYTES_PER_S,
+    payload: int = MAX_PAYLOAD_BYTES,
+    hop_latency: float = 100e-9,
+    volume_scale: float = 1.0,
+    max_packets: int = 2_000_000,
+    seed: int = 0,
+) -> SimulationResult:
+    """Run the event-driven packet simulation for one configuration.
+
+    Parameters
+    ----------
+    matrix:
+        Traffic matrix (collectives flattened, as for the static model).
+    execution_time:
+        Packets are injected uniformly (with jitter) over this window —
+        the traced wall time, matching the static utilization's denominator.
+    volume_scale:
+        Simulate ``1/volume_scale`` of each pair's packets at
+        ``bandwidth / volume_scale``; utilization/queueing statistics are
+        invariant to first order.  Use > 1 for large traces.
+    max_packets:
+        Safety cap; raises if the (scaled) packet count exceeds it.
+    """
+    if execution_time <= 0:
+        raise ValueError("execution_time must be positive")
+    if bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if volume_scale < 1.0:
+        raise ValueError("volume_scale must be >= 1")
+    if mapping is None:
+        mapping = Mapping.consecutive(matrix.num_ranks, topology.num_nodes)
+
+    src_n = mapping.node_of(matrix.src)
+    dst_n = mapping.node_of(matrix.dst)
+    crossing = src_n != dst_n
+    src_n = src_n[crossing]
+    dst_n = dst_n[crossing]
+    pair_packets = matrix.packets[crossing]
+
+    scaled = np.maximum(pair_packets // int(volume_scale), 1) if len(
+        pair_packets
+    ) else pair_packets
+    total_packets = int(scaled.sum()) if len(scaled) else 0
+    if total_packets == 0:
+        return SimulationResult(0, 0, 0.0, 0.0, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+    if total_packets > max_packets:
+        raise ValueError(
+            f"{total_packets} packets exceed max_packets={max_packets}; "
+            f"raise volume_scale (currently {volume_scale})"
+        )
+
+    # Per-pair routes as flat link-id arrays.
+    incidence = topology.route_incidence(src_n, dst_n)
+    order = np.argsort(incidence.pair_index, kind="stable")
+    sorted_pairs = incidence.pair_index[order]
+    sorted_links = incidence.link_id[order]
+    route_starts = np.searchsorted(sorted_pairs, np.arange(len(src_n)))
+    route_ends = np.searchsorted(sorted_pairs, np.arange(len(src_n)), side="right")
+
+    service = payload / (bandwidth / volume_scale)
+    rng = np.random.default_rng(seed)
+
+    # Injection times: uniform over the execution window.
+    inject_pair = np.repeat(np.arange(len(src_n)), scaled)
+    inject_time = rng.uniform(0.0, execution_time, size=total_packets)
+    injection_window = float(inject_time.max() - inject_time.min())
+
+    # Event loop: (time, seq, packet_index, hop_index).
+    events: list[tuple[float, int, int, int]] = [
+        (float(t), i, i, 0) for i, t in enumerate(inject_time)
+    ]
+    heapq.heapify(events)
+    seq = total_packets
+
+    link_free: dict[int, float] = {}
+    link_busy: dict[int, float] = {}
+    wait = np.zeros(total_packets, dtype=np.float64)  # cumulative queueing
+    delivered_at = np.zeros(total_packets, dtype=np.float64)
+    total_hops = 0
+
+    while events:
+        t, _, pkt, hop = heapq.heappop(events)
+        pair = inject_pair[pkt]
+        start_idx = route_starts[pair] + hop
+        if start_idx >= route_ends[pair]:
+            delivered_at[pkt] = t
+            continue
+        link = int(sorted_links[start_idx])
+        free = link_free.get(link, 0.0)
+        begin = max(t, free)
+        done = begin + service
+        link_free[link] = done
+        link_busy[link] = link_busy.get(link, 0.0) + service
+        wait[pkt] += begin - t
+        total_hops += 1
+        seq += 1
+        heapq.heappush(events, (done + hop_latency, seq, pkt, hop + 1))
+
+    queue_delay = wait  # total time spent queueing across all hops
+    congested = float((queue_delay >= service).sum()) / total_packets
+
+    return SimulationResult(
+        packets_simulated=total_packets,
+        total_hops=total_hops,
+        makespan=float(delivered_at.max()),
+        injection_window=injection_window,
+        link_busy_time_total=float(sum(link_busy.values())),
+        used_links=len(link_busy),
+        mean_queue_delay=float(queue_delay.mean()),
+        p99_queue_delay=float(np.quantile(queue_delay, 0.99)),
+        max_queue_delay=float(queue_delay.max()),
+        congested_packet_share=congested,
+    )

@@ -1,0 +1,145 @@
+"""Topology abstraction.
+
+A topology is a *non-temporal* network model (paper §4.2): it answers, for
+node pairs, (a) how many link traversals (**hops**) a packet takes under the
+topology's deterministic shortest-path routing, and (b) *which* links the
+route uses — enough to count used links for the utilization metric (Eq. 5)
+and to study link-load distributions.  No timing, congestion, or adaptive
+behaviour is modeled, exactly like the paper.
+
+Hop conventions (validated against the paper's Table 3):
+
+- **3D torus** — switches are integrated into the NIC, so a hop is one
+  inter-node link traversal; same-node traffic is 0 hops.
+- **fat tree / dragonfly** — the node↔switch injection/ejection links count
+  as hops (two nodes on the same switch are 2 hops apart).
+
+Routes are exposed in a vectorized form: arrays of node pairs in, arrays of
+hop counts or ``(pair_index, link_id)`` incidence pairs out.  Link IDs are
+opaque non-negative int64 identifiers, unique within one topology instance;
+``describe_link`` decodes them for humans.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Topology", "RouteIncidence"]
+
+
+@dataclass(frozen=True)
+class RouteIncidence:
+    """Sparse pair→link incidence of a batch of routes.
+
+    ``pair_index[i]`` says that route ``pair_index[i]`` (an index into the
+    query arrays) traverses ``link_id[i]``.  A route of h hops contributes h
+    incidence rows; 0-hop (same node) routes contribute none.
+    """
+
+    pair_index: np.ndarray  # int64[m]
+    link_id: np.ndarray  # int64[m]
+
+    def __post_init__(self) -> None:
+        if self.pair_index.shape != self.link_id.shape:
+            raise ValueError("pair_index and link_id must be parallel arrays")
+
+    @property
+    def num_incidences(self) -> int:
+        return len(self.link_id)
+
+    def used_links(self) -> np.ndarray:
+        """Sorted unique link IDs appearing in any route."""
+        return np.unique(self.link_id)
+
+    def link_loads(self, pair_weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Aggregate a per-pair weight (bytes, packets, ...) onto links.
+
+        Returns ``(link_ids, loads)`` with link_ids sorted unique.
+        """
+        ids, inverse = np.unique(self.link_id, return_inverse=True)
+        loads = np.zeros(len(ids), dtype=np.float64)
+        np.add.at(loads, inverse, np.asarray(pair_weights)[self.pair_index])
+        return ids, loads
+
+
+class Topology(abc.ABC):
+    """Static network model with deterministic shortest-path routing."""
+
+    #: Short identifier ("torus3d", "fattree", "dragonfly").
+    kind: str = "topology"
+
+    @property
+    @abc.abstractmethod
+    def num_nodes(self) -> int:
+        """Number of compute-node attachment points."""
+
+    @property
+    @abc.abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop count between any two distinct nodes."""
+
+    @abc.abstractmethod
+    def hops_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Hop count of the shortest route for each node pair (vectorized)."""
+
+    @abc.abstractmethod
+    def route_incidence(self, src: np.ndarray, dst: np.ndarray) -> RouteIncidence:
+        """Every link on every pair's deterministic route."""
+
+    @abc.abstractmethod
+    def nominal_links(self, used_nodes: int) -> float:
+        """Link count the paper's utilization formula charges for ``used_nodes``.
+
+        Paper §4.2.3: fat tree — ``nodes * stages`` with only half the links
+        for the last stage; torus — three links per node; dragonfly — the
+        per-router links (p node ports + a−1 local + h global) divided by p
+        nodes, i.e. 3.5–3.8 links/node for the standard configurations.
+        """
+
+    @abc.abstractmethod
+    def describe_link(self, link_id: int) -> str:
+        """Human-readable description of a link ID (for debugging/reports)."""
+
+    # -- conveniences (shared implementations) --------------------------------
+
+    def hops(self, src: int, dst: int) -> int:
+        """Scalar hop count."""
+        return int(
+            self.hops_array(
+                np.array([src], dtype=np.int64), np.array([dst], dtype=np.int64)
+            )[0]
+        )
+
+    def route_links(self, src: int, dst: int) -> list[int]:
+        """Link IDs of one route, in traversal order where meaningful."""
+        inc = self.route_incidence(
+            np.array([src], dtype=np.int64), np.array([dst], dtype=np.int64)
+        )
+        return [int(x) for x in inc.link_id]
+
+    def _check_nodes(self, src: np.ndarray, dst: np.ndarray) -> None:
+        for arr, label in ((src, "src"), (dst, "dst")):
+            if arr.size and (arr.min() < 0 or arr.max() >= self.num_nodes):
+                raise ValueError(
+                    f"{label} node IDs out of range for {self.num_nodes}-node "
+                    f"{self.kind}"
+                )
+
+    def average_hops_uniform(self) -> float:
+        """Mean hop count over all ordered distinct node pairs.
+
+        A topology-intrinsic figure of merit (uniform-traffic average
+        distance), useful for cross-topology comparisons and tests.
+        """
+        n = self.num_nodes
+        # Evaluate in row blocks to bound memory at O(n) per block.
+        total = 0.0
+        idx = np.arange(n, dtype=np.int64)
+        for s in range(n):
+            src = np.full(n, s, dtype=np.int64)
+            h = self.hops_array(src, idx)
+            total += float(h.sum())
+        return total / (n * (n - 1))

@@ -1,0 +1,130 @@
+"""Topology hardware-cost accounting.
+
+The paper motivates the dragonfly as "minimiz[ing] the usage of costly
+optical links" (§2.2.2) and compares topologies by links-per-node (§7).
+This module makes those cost arguments explicit for the three Table-2
+families:
+
+- **switch count** (48-port switch equivalents for the fat tree; integrated
+  NIC-switches for the torus; group routers for the dragonfly),
+- **electrical vs optical link counts** — cables within a rack/group are
+  electrical, long-reach cables optical.  Convention: torus links and
+  fat-tree node/leaf links are electrical; fat-tree upper stages and
+  dragonfly global links are optical; dragonfly node/local links are
+  electrical,
+- a scalar **cost estimate** from per-component price weights so
+  configurations can be compared per attached node.
+
+The absolute prices are illustrative (defaults: switch 1.0, electrical link
+0.1, optical link 0.4 — optical ~4x electrical, the ratio the dragonfly
+design targets); comparisons across topologies at a fixed scale are the
+point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .dragonfly import Dragonfly
+from .fattree import FatTree
+from .mesh import Mesh3D
+from .torus import Torus3D
+
+__all__ = ["CostModel", "TopologyCost", "topology_cost"]
+
+
+@dataclass(frozen=True)
+class TopologyCost:
+    """Component counts and cost of one topology instance."""
+
+    kind: str
+    num_nodes: int
+    switches: int
+    electrical_links: int
+    optical_links: int
+    cost: float
+
+    @property
+    def total_links(self) -> int:
+        return self.electrical_links + self.optical_links
+
+    @property
+    def optical_share(self) -> float:
+        return self.optical_links / self.total_links if self.total_links else 0.0
+
+    @property
+    def cost_per_node(self) -> float:
+        return self.cost / self.num_nodes if self.num_nodes else 0.0
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-component price weights (arbitrary units)."""
+
+    switch_cost: float = 1.0
+    electrical_link_cost: float = 0.1
+    optical_link_cost: float = 0.4
+
+    def __post_init__(self) -> None:
+        if min(self.switch_cost, self.electrical_link_cost, self.optical_link_cost) < 0:
+            raise ValueError("costs must be >= 0")
+
+    def price(self, switches: int, electrical: int, optical: int) -> float:
+        return (
+            switches * self.switch_cost
+            + electrical * self.electrical_link_cost
+            + optical * self.optical_link_cost
+        )
+
+
+def topology_cost(
+    topology: Torus3D | FatTree | Dragonfly,
+    model: CostModel | None = None,
+) -> TopologyCost:
+    """Component counts and scalar cost of a topology instance."""
+    model = model or CostModel()
+
+    if isinstance(topology, (Mesh3D, Torus3D)):
+        # every node integrates a 6-port switch; all cables electrical
+        switches = topology.num_nodes
+        electrical = topology.num_links
+        optical = 0
+    elif isinstance(topology, FatTree):
+        k = topology.k
+        n = topology.num_nodes
+        if topology.stages == 1:
+            switches = 1
+            electrical = n  # node cables only
+            optical = 0
+        else:
+            leaves = topology.num_leaves
+            if topology.stages == 2:
+                switches = leaves + leaves // 2  # top stage: half the switches
+                electrical = n  # node-to-leaf cables
+                optical = leaves * k  # leaf-to-top, long reach
+            else:
+                pods = topology.num_pods
+                mids = pods * k
+                tops = (pods * k) // 2
+                switches = leaves + mids + tops
+                electrical = n + leaves * k  # in-pod cabling
+                optical = pods * k * k  # pod-to-core
+    elif isinstance(topology, Dragonfly):
+        g = topology.num_groups
+        switches = g * topology.a
+        # node + local cables are short (electrical); globals are optical
+        electrical = topology.num_nodes + g * (
+            topology.a * (topology.a - 1) // 2
+        )
+        optical = g * (g - 1) // 2
+    else:
+        raise TypeError(f"no cost model for topology {type(topology).__name__}")
+
+    return TopologyCost(
+        kind=topology.kind,
+        num_nodes=topology.num_nodes,
+        switches=switches,
+        electrical_links=electrical,
+        optical_links=optical,
+        cost=model.price(switches, electrical, optical),
+    )

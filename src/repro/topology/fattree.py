@@ -1,0 +1,190 @@
+"""Fat tree topology (paper §2.2.2, Leiserson [10]).
+
+A radix-``r`` fat tree built from ``r``-port switches with ``st`` stages.
+With the paper's radix 48:
+
+- 1 stage: a single switch, up to 48 nodes;
+- 2 stages: 24 leaf switches x 24 nodes = 576 nodes;
+- 3 stages: 24 pods x 576 = 13824 nodes.
+
+Every non-top stage provides constant bisection bandwidth by splitting the
+radix half down / half up (k = r/2 = 24); the top stage uses half the
+switches.  Routing is deterministic up/down through the nearest common
+ancestor stage, with destination-based (d-mod-k) upward lane selection — the
+standard deterministic shortest-path scheme for fat trees.
+
+Hop convention: node↔switch traversals count, so two nodes on the same leaf
+switch are 2 hops apart, same pod 4, cross-pod 6.
+
+Link identifiers (folded-Clos view — one bidirectional link per up/down pair):
+
+- level 0 (node↔leaf):   one per node;
+- level 1 (leaf↔mid):    ``(leaf, lane1)``, ``k`` per leaf — N links total;
+- level 2 (mid↔top):     ``(pod, lane1, lane2)`` — N links total.
+
+The paper's utilization accounting charges ``nodes * stages`` links with
+only half for the last stage, i.e. ``nodes * (stages - 0.5)``; that is what
+:meth:`nominal_links` returns (scaled to the used nodes).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import RouteIncidence, Topology
+
+__all__ = ["FatTree"]
+
+
+class FatTree(Topology):
+    """A k-ary fat tree with deterministic d-mod-k shortest-path routing."""
+
+    kind = "fattree"
+
+    def __init__(self, radix: int = 48, stages: int = 1) -> None:
+        if radix < 2 or radix % 2:
+            raise ValueError(f"radix must be even and >= 2, got {radix}")
+        if not 1 <= stages <= 3:
+            raise ValueError(f"stages must be 1..3, got {stages}")
+        self.radix = radix
+        self.stages = stages
+        self.k = radix // 2
+        if stages == 1:
+            # A single switch can use its full radix for nodes.
+            self._num_nodes = radix
+        else:
+            self._num_nodes = self.k**stages
+
+    def __repr__(self) -> str:
+        return f"FatTree(radix={self.radix}, stages={self.stages})"
+
+    @property
+    def num_nodes(self) -> int:
+        return self._num_nodes
+
+    @property
+    def diameter(self) -> int:
+        return 2 * self.stages
+
+    # -- structure helpers ------------------------------------------------------
+
+    def leaf_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Leaf-switch index of each node."""
+        if self.stages == 1:
+            return np.zeros_like(np.asarray(nodes, dtype=np.int64))
+        return np.asarray(nodes, dtype=np.int64) // self.k
+
+    def pod_of(self, nodes: np.ndarray) -> np.ndarray:
+        """Pod index (stage-2 subtree) of each node."""
+        if self.stages < 3:
+            return np.zeros_like(np.asarray(nodes, dtype=np.int64))
+        return np.asarray(nodes, dtype=np.int64) // (self.k * self.k)
+
+    @property
+    def num_leaves(self) -> int:
+        return 1 if self.stages == 1 else self._num_nodes // self.k
+
+    @property
+    def num_pods(self) -> int:
+        return 1 if self.stages < 3 else self._num_nodes // (self.k * self.k)
+
+    def _nca_level(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Stage of the nearest common ancestor: 0 = same node, 1 = same
+        leaf, 2 = same pod, 3 = cross-pod."""
+        level = np.zeros(len(src), dtype=np.int64)
+        differ = src != dst
+        level[differ] = 1
+        if self.stages >= 2:
+            diff_leaf = self.leaf_of(src) != self.leaf_of(dst)
+            level[diff_leaf] = 2
+        if self.stages >= 3:
+            diff_pod = self.pod_of(src) != self.pod_of(dst)
+            level[diff_pod] = 3
+        return level
+
+    # -- hops ---------------------------------------------------------------------
+
+    def hops_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        self._check_nodes(src, dst)
+        return 2 * self._nca_level(src, dst)
+
+    # -- links ----------------------------------------------------------------------
+
+    @property
+    def _l1_base(self) -> int:
+        return self._num_nodes  # level-0 ids occupy [0, N)
+
+    @property
+    def _l2_base(self) -> int:
+        return self._num_nodes + self.num_leaves * self.k
+
+    def route_incidence(self, src: np.ndarray, dst: np.ndarray) -> RouteIncidence:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        self._check_nodes(src, dst)
+        level = self._nca_level(src, dst)
+        pair_ids = np.arange(len(src), dtype=np.int64)
+
+        pair_chunks: list[np.ndarray] = []
+        link_chunks: list[np.ndarray] = []
+
+        def emit(mask: np.ndarray, links: np.ndarray) -> None:
+            pair_chunks.append(pair_ids[mask])
+            link_chunks.append(links)
+
+        moving = level >= 1
+        if moving.any():
+            emit(moving, src[moving])  # node -> leaf injection link
+            emit(moving, dst[moving])  # leaf -> node ejection link
+
+        if self.stages >= 2:
+            up1 = level >= 2
+            if up1.any():
+                lane1 = dst[up1] % self.k  # d-mod-k upward lane
+                emit(up1, self._l1_base + self.leaf_of(src[up1]) * self.k + lane1)
+                emit(up1, self._l1_base + self.leaf_of(dst[up1]) * self.k + lane1)
+
+        if self.stages >= 3:
+            up2 = level >= 3
+            if up2.any():
+                lane1 = dst[up2] % self.k
+                lane2 = (dst[up2] // self.k) % self.k
+                src_pod = self.pod_of(src[up2])
+                dst_pod = self.pod_of(dst[up2])
+                emit(
+                    up2,
+                    self._l2_base + (src_pod * self.k + lane1) * self.k + lane2,
+                )
+                emit(
+                    up2,
+                    self._l2_base + (dst_pod * self.k + lane1) * self.k + lane2,
+                )
+
+        if pair_chunks:
+            return RouteIncidence(
+                np.concatenate(pair_chunks), np.concatenate(link_chunks)
+            )
+        empty = np.zeros(0, dtype=np.int64)
+        return RouteIncidence(empty, empty.copy())
+
+    def nominal_links(self, used_nodes: int) -> float:
+        """``used_nodes * stages`` links, half for the last stage (paper §4.2.3)."""
+        if used_nodes < 0:
+            raise ValueError("used_nodes must be >= 0")
+        used = min(used_nodes, self._num_nodes)
+        return used * (self.stages - 0.5)
+
+    def describe_link(self, link_id: int) -> str:
+        link_id = int(link_id)
+        if link_id < self._l1_base:
+            return f"fattree node link at node {link_id}"
+        if link_id < self._l2_base:
+            rel = link_id - self._l1_base
+            leaf, lane = divmod(rel, self.k)
+            return f"fattree L1 link leaf {leaf} lane {lane}"
+        rel = link_id - self._l2_base
+        pod_lane1, lane2 = divmod(rel, self.k)
+        pod, lane1 = divmod(pod_lane1, self.k)
+        return f"fattree L2 link pod {pod} lanes ({lane1},{lane2})"

@@ -1,0 +1,48 @@
+"""Shared fixtures: small traces, matrices, and generated workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import CommMatrix, matrix_from_trace
+from repro.core.communicator import Communicator
+from repro.core.events import CollectiveEvent, CollectiveOp, P2PEvent
+from repro.core.trace import Trace
+
+from helpers import make_trace
+
+
+@pytest.fixture
+def world8() -> Communicator:
+    return Communicator.world(8)
+
+
+@pytest.fixture
+def ring_trace() -> Trace:
+    """4 ranks, each sending 1000 B to its right neighbour (wrapping)."""
+    trace = make_trace(4)
+    for r in range(4):
+        trace.add(P2PEvent(caller=r, peer=(r + 1) % 4, count=1000, dtype="MPI_BYTE"))
+    return trace
+
+
+@pytest.fixture
+def mixed_trace() -> Trace:
+    """4 ranks with p2p traffic plus one allreduce."""
+    trace = make_trace(4)
+    trace.add(P2PEvent(caller=0, peer=1, count=5000, dtype="MPI_BYTE", repeat=3))
+    trace.add(P2PEvent(caller=2, peer=3, count=100, dtype="MPI_INT"))
+    for r in range(4):
+        trace.add(CollectiveEvent(caller=r, op=CollectiveOp.ALLREDUCE, count=64))
+    return trace
+
+
+@pytest.fixture(scope="session")
+def lulesh64_trace() -> Trace:
+    return generate_trace("LULESH", 64)
+
+
+@pytest.fixture(scope="session")
+def lulesh64_p2p(lulesh64_trace) -> CommMatrix:
+    return matrix_from_trace(lulesh64_trace, include_collectives=False)

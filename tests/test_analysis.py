@@ -1,0 +1,148 @@
+"""Tests for the table/figure builders and headline-claim evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.claims import evaluate_claims, render_claims
+from repro.analysis.figures import (
+    build_figure1,
+    build_figure3,
+    build_figure4,
+    build_figure5,
+    render_curves,
+)
+from repro.analysis.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+CAP = 130  # keep analysis sweeps quick
+
+
+@pytest.fixture(scope="module")
+def table3_rows():
+    return build_table3(max_ranks=CAP)
+
+
+class TestTable1:
+    def test_row_count_matches_configs(self):
+        rows = build_table1(max_ranks=CAP)
+        assert len(rows) == 17  # all configs <= 130 ranks (incl. LULESH variant)
+
+    def test_render_contains_apps(self):
+        text = render_table1(build_table1(max_ranks=30))
+        assert "AMG@8" in text and "Vol[MB]" in text
+
+    def test_volumes_positive(self):
+        for row in build_table1(max_ranks=CAP):
+            assert row.stats.total_bytes > 0
+
+
+class TestTable2:
+    def test_all_17_sizes(self):
+        assert len(build_table2()) == 17
+
+    def test_render(self):
+        text = render_table2()
+        assert "(12,12,12)" in text and "13824" in text
+
+
+class TestTable3:
+    def test_rows_have_three_topologies(self, table3_rows):
+        for row in table3_rows:
+            assert set(row.network) == {"torus3d", "fattree", "dragonfly"}
+
+    def test_na_rows_for_collective_apps(self, table3_rows):
+        bigfft = [r for r in table3_rows if r.metrics.app == "BigFFT"]
+        assert bigfft and all(not r.metrics.has_p2p for r in bigfft)
+
+    def test_render(self, table3_rows):
+        text = render_table3(table3_rows)
+        assert "N/A" in text and "torus" in text
+
+    def test_packet_hops_positive(self, table3_rows):
+        for row in table3_rows:
+            for net in row.network.values():
+                assert net.packet_hops > 0
+                assert net.total_packets > 0
+
+
+class TestTable4:
+    def test_builds_capped(self):
+        rows = build_table4(max_ranks=200)
+        labels = {row.label for row in rows}
+        assert "LULESH@64" in labels and "PARTISN@168" in labels
+
+    def test_localities_in_unit_range(self):
+        for row in build_table4(max_ranks=200):
+            for v in row.locality.values():
+                assert 0.0 < v <= 1.0
+
+    def test_render(self):
+        text = render_table4(build_table4(max_ranks=70))
+        assert "LULESH" in text and "%" in text
+
+
+class TestFigures:
+    def test_figure1_lulesh_rank0(self):
+        series = build_figure1("LULESH", 64, 0)
+        assert len(series.volumes) == 7  # corner rank of a 4^3 halo
+        assert np.all(np.diff(series.volumes) <= 0)
+        assert series.cumulative_share[-1] == pytest.approx(1.0)
+
+    def test_figure3_excludes_collective_apps(self):
+        curves = build_figure3(max_ranks=CAP)
+        apps = {c.app for c in curves}
+        assert "BigFFT" not in apps and "CMC_2D" not in apps
+        assert "LULESH@64" in {c.label for c in curves}
+
+    def test_figure3_crossings_match_selectivity_scale(self):
+        for c in build_figure3(max_ranks=70):
+            assert 1 <= c.partners_for_share(0.9) <= 30
+
+    def test_figure4_amg_scaling(self):
+        curves = build_figure4("AMG")
+        assert [c.ranks for c in curves] == [8, 27, 216, 1728]
+        # paper Figure 4: curves shift right (more partners needed) with scale
+        crossings = [c.partners_for_share(0.9) for c in curves]
+        assert crossings[0] <= crossings[-1]
+
+    def test_figure5_min_ranks_cut(self):
+        series = build_figure5(min_ranks=500, max_ranks=600)
+        assert {s.ranks for s in series} == {512}
+        for s in series:
+            assert s.points[0].relative_traffic == 1.0
+
+    def test_render_curves(self):
+        text = render_curves(build_figure3(max_ranks=30))
+        assert "partners@90%" in text
+
+
+class TestClaims:
+    def test_report_structure(self, table3_rows):
+        report = evaluate_claims(table3_rows)
+        assert report.num_configs == len(table3_rows)
+        assert 0.0 <= report.selectivity_le_10_share <= 1.0
+        assert report.small_configs + report.large_configs == report.num_configs
+
+    def test_small_scale_claims_hold(self, table3_rows):
+        report = evaluate_claims(table3_rows)
+        # at <= 130 ranks every config is "small": torus mostly wins
+        assert report.torus_wins_small >= report.small_configs * 0.6
+        # utilization < 1% everywhere except BigFFT
+        assert report.utilization_below_1pct_share >= 0.7
+        assert report.selectivity_le_10_share >= 0.7
+
+    def test_render(self, table3_rows):
+        text = render_claims(evaluate_claims(table3_rows))
+        assert "selectivity" in text and "dragonfly" in text
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_claims([])

@@ -1,0 +1,175 @@
+"""Tests for the synthetic application generators.
+
+Every generator must (a) hit its Table-1 calibration aggregates, (b) be
+deterministic, and (c) produce the structural properties its pattern
+promises (stencil peers, sweep grids, hypercube partners, ...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.base import MB, CalibrationPoint, Channels
+from repro.apps.registry import APPS, app_names, generate_trace, get_app, iter_configurations
+from repro.comm.matrix import matrix_from_trace
+from repro.comm.stats import trace_stats
+from repro.metrics.peers import peers
+
+SMALL = 300  # rank cap for per-config sweeps in tests
+
+
+class TestRegistry:
+    def test_all_sixteen_configured_apps(self):
+        # 15 generators covering the paper's 16 trace families (Boxlib CNS's
+        # two 256-rank traces are variants of one generator)
+        assert len(APPS) == 15
+        assert "AMG" in APPS and "SNAP" in APPS
+
+    def test_app_names_order_stable(self):
+        assert app_names()[0] == "AMG"
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            get_app("NOPE")
+
+    def test_unknown_configuration(self):
+        with pytest.raises(KeyError):
+            generate_trace("AMG", 999)
+
+    def test_derived_type_markers_match_paper(self):
+        starred = {name for name, app in APPS.items() if app.uses_derived_types}
+        assert starred == {"Boxlib_CNS", "MOCFE", "Nekbone", "PARTISN", "SNAP"}
+
+    def test_iter_configurations_cap(self):
+        ranks = [p.ranks for _, p in iter_configurations(max_ranks=100)]
+        assert ranks and max(ranks) <= 100
+
+    def test_total_configuration_count(self):
+        # Table 1 has 41 rows (including the three duplicated-scale variants)
+        assert sum(1 for _ in iter_configurations()) == 41
+
+
+class TestCalibration:
+    @pytest.mark.parametrize(
+        "app,point",
+        [(a.name, p) for a, p in iter_configurations(max_ranks=SMALL)],
+        ids=lambda v: str(getattr(v, "ranks", v)),
+    )
+    def test_volume_and_split_match_table1(self, app, point):
+        trace = generate_trace(app, point.ranks, variant=point.variant)
+        stats = trace_stats(trace)
+        assert stats.total_mb == pytest.approx(point.volume_mb, rel=0.02)
+        assert stats.p2p_share == pytest.approx(point.p2p_share, abs=0.02)
+        assert stats.execution_time == point.time_s
+
+    def test_throughput_column_consistent(self):
+        trace = generate_trace("CrystalRouter", 10)
+        stats = trace_stats(trace)
+        # paper: 133.8 MB over 0.1438 s = ~930 MB/s
+        assert stats.throughput_mb_per_s == pytest.approx(930.0, rel=0.05)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = generate_trace("MiniFE", 18, seed=1)
+        b = generate_trace("MiniFE", 18, seed=1)
+        assert a.events == b.events
+
+    def test_different_seeds_differ_for_randomized_apps(self):
+        a = generate_trace("MOCFE", 64, seed=1)
+        b = generate_trace("MOCFE", 64, seed=2)
+        assert a.events != b.events
+
+    def test_seed_zero_is_default(self):
+        assert generate_trace("AMG", 8).events == generate_trace("AMG", 8, seed=0).events
+
+
+class TestStructure:
+    def test_lulesh_halo_peers(self):
+        m = matrix_from_trace(generate_trace("LULESH", 64), include_collectives=False)
+        assert peers(m) == 26
+
+    def test_amg_full_connectivity_at_8(self):
+        m = matrix_from_trace(generate_trace("AMG", 8), include_collectives=False)
+        assert peers(m) == 7
+
+    def test_crystal_router_hypercube_partners(self):
+        m = matrix_from_trace(
+            generate_trace("CrystalRouter", 100), include_collectives=False
+        )
+        # partners of rank 0: 1, 2, 4, 8, 16, 32, 64
+        dsts, _ = m.row(0)
+        assert set(dsts.tolist()) == {1, 2, 4, 8, 16, 32, 64}
+
+    def test_partisn_peers_everyone(self):
+        m = matrix_from_trace(generate_trace("PARTISN", 168), include_collectives=False)
+        assert peers(m) == 167
+
+    def test_all_collective_apps_have_no_p2p(self):
+        for name, ranks in (("BigFFT", 9), ("CMC_2D", 64)):
+            trace = generate_trace(name, ranks)
+            m = matrix_from_trace(trace, include_collectives=False)
+            assert m.num_pairs == 0, name
+
+    def test_derived_type_apps_use_opaque_dtype(self):
+        trace = generate_trace("SNAP", 168)
+        dtypes = {ev.dtype for ev in trace.events}
+        assert dtypes == {"SNAP_DERIVED_T"}
+        assert trace.datatypes.size_of("SNAP_DERIVED_T") == 1
+
+    def test_variants_share_pattern_but_not_time(self):
+        a = generate_trace("LULESH", 64)
+        b = generate_trace("LULESH", 64, variant="b")
+        assert a.meta.execution_time != b.meta.execution_time
+        ma = matrix_from_trace(a, include_collectives=False)
+        mb = matrix_from_trace(b, include_collectives=False)
+        assert np.array_equal(ma.src, mb.src) and np.array_equal(ma.dst, mb.dst)
+
+    def test_no_self_channels(self):
+        for name, ranks in (("AMG", 27), ("MOCFE", 64), ("SNAP", 168)):
+            m = matrix_from_trace(generate_trace(name, ranks), include_collectives=False)
+            assert not np.any(m.src == m.dst), name
+
+    def test_events_within_rank_range(self):
+        trace = generate_trace("AMR_Miniapp", 64)
+        assert max(trace.active_ranks()) < 64
+
+    def test_timestamps_monotone(self):
+        trace = generate_trace("MiniFE", 18)
+        times = [ev.t_enter for ev in trace.events]
+        assert times == sorted(times)
+        assert times[-1] <= trace.meta.execution_time
+
+
+class TestChannels:
+    def test_concatenate_preserves_factors(self):
+        a = Channels(np.array([0]), np.array([1]), np.array([1.0]))
+        b = Channels(
+            np.array([1]), np.array([2]), np.array([2.0])
+        ).with_calls_factor(0.5)
+        c = Channels.concatenate([a, b])
+        assert c.factors().tolist() == [1.0, 0.5]
+
+    def test_self_channel_rejected(self):
+        with pytest.raises(ValueError):
+            Channels(np.array([1]), np.array([1]), np.array([1.0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Channels(np.array([0]), np.array([1]), np.array([-1.0]))
+
+
+class TestCalibrationPoint:
+    def test_byte_targets(self):
+        p = CalibrationPoint(8, 1.0, 100.0, 0.75)
+        assert p.p2p_bytes == int(75 * MB)
+        assert p.collective_logical_bytes == int(25 * MB)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CalibrationPoint(0, 1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CalibrationPoint(8, 0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            CalibrationPoint(8, 1.0, 1.0, 1.5)
+        with pytest.raises(ValueError):
+            CalibrationPoint(8, 1.0, 1.0, 1.0, iterations=0)

@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    assert code == 0
+    return capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        out = run(capsys, "table1", "--max-ranks", "30")
+        assert "AMG@8" in out and "Vol[MB]" in out
+
+    def test_table2(self, capsys):
+        out = run(capsys, "table2")
+        assert "(16,8,8)" in out
+
+    def test_table3(self, capsys):
+        out = run(capsys, "table3", "--max-ranks", "30")
+        assert "torus" in out and "AMG@27" in out
+
+    def test_table4(self, capsys):
+        out = run(capsys, "table4", "--max-ranks", "70")
+        assert "LULESH" in out
+
+    def test_figure1(self, capsys):
+        out = run(capsys, "figure1", "--app", "LULESH", "--ranks", "64")
+        assert "cum share" in out
+
+    def test_figure3(self, capsys):
+        out = run(capsys, "figure3", "--max-ranks", "30")
+        assert "partners@90%" in out
+
+    def test_figure4(self, capsys):
+        out = run(capsys, "figure4", "--app", "CrystalRouter")
+        assert "CrystalRouter@10" in out
+
+    def test_figure5(self, capsys):
+        out = run(capsys, "figure5", "--min-ranks", "500", "--max-ranks", "600")
+        assert "1c:1.00" in out
+
+    def test_claims(self, capsys):
+        out = run(capsys, "claims", "--max-ranks", "30")
+        assert "selectivity" in out
+
+    def test_apps(self, capsys):
+        out = run(capsys, "apps")
+        assert "SNAP" in out and "(*)" in out
+
+    def test_trace_to_stdout(self, capsys):
+        out = run(capsys, "trace", "--app", "MiniFE", "--ranks", "18")
+        assert out.startswith("%repro-dumpi 1")
+        assert "P2P MPI_Isend" in out
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        path = tmp_path / "t.dumpi.txt"
+        out = run(
+            capsys, "trace", "--app", "MiniFE", "--ranks", "18", "--out", str(path)
+        )
+        assert path.exists()
+        assert "wrote MiniFE@18" in out
+
+    def test_trace_roundtrips_through_parser(self, capsys, tmp_path):
+        from repro.dumpi.parser import load_trace
+
+        path = tmp_path / "t.dumpi.txt"
+        run(capsys, "trace", "--app", "CrystalRouter", "--ranks", "10", "--out", str(path))
+        trace = load_trace(path)
+        assert trace.meta.app == "CrystalRouter"
+        assert trace.meta.num_ranks == 10

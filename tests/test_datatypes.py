@@ -1,0 +1,110 @@
+"""Unit tests for the MPI datatype model."""
+
+import pytest
+
+from repro.core.datatypes import (
+    DERIVED_SIZE_CONVENTION,
+    DatatypeRegistry,
+    DerivedDatatype,
+    DerivedKind,
+    MPIDatatype,
+    PREDEFINED_SIZES,
+)
+
+
+class TestMPIDatatype:
+    def test_volume_scales_with_count(self):
+        double = MPIDatatype("MPI_DOUBLE", 8)
+        assert double.volume(0) == 0
+        assert double.volume(7) == 56
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            MPIDatatype("MPI_INT", 4).volume(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            MPIDatatype("BAD", -3)
+
+
+class TestDerivedConstructors:
+    def test_contiguous(self):
+        base = MPIDatatype("MPI_DOUBLE", 8)
+        d = DerivedDatatype.contiguous("VEC", 10, base)
+        assert d.size == 80
+        assert d.kind is DerivedKind.CONTIGUOUS
+
+    def test_vector(self):
+        base = MPIDatatype("MPI_INT", 4)
+        d = DerivedDatatype.vector("V", count=3, blocklength=5, base=base)
+        assert d.size == 60
+
+    def test_indexed(self):
+        base = MPIDatatype("MPI_CHAR", 1)
+        d = DerivedDatatype.indexed("I", [1, 2, 3], base)
+        assert d.size == 6
+
+    def test_struct(self):
+        d = DerivedDatatype.struct(
+            "S",
+            [2, 1],
+            [MPIDatatype("MPI_INT", 4), MPIDatatype("MPI_DOUBLE", 8)],
+        )
+        assert d.size == 16
+
+    def test_struct_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            DerivedDatatype.struct("S", [1, 2], [MPIDatatype("MPI_INT", 4)])
+
+    def test_as_datatype_marks_derived(self):
+        base = MPIDatatype("MPI_INT", 4)
+        dt = DerivedDatatype.contiguous("C", 2, base).as_datatype()
+        assert dt.derived and dt.size == 8
+
+
+class TestRegistry:
+    def test_predefined_types_present(self):
+        reg = DatatypeRegistry()
+        for name, size in PREDEFINED_SIZES.items():
+            assert reg.size_of(name) == size
+        assert reg.size_of("MPI_DOUBLE") == 8
+
+    def test_unknown_resolves_to_one_byte(self):
+        reg = DatatypeRegistry()
+        dt = reg.resolve("SOME_APP_TYPE")
+        assert dt.size == DERIVED_SIZE_CONVENTION
+        assert dt.derived
+        assert "SOME_APP_TYPE" in reg.opaque_names
+
+    def test_opaque_resolution_is_stable(self):
+        reg = DatatypeRegistry()
+        assert reg.resolve("X") is reg.resolve("X")
+
+    def test_commit_and_lookup(self):
+        reg = DatatypeRegistry()
+        reg.commit(MPIDatatype("BIG", 4096, derived=True))
+        assert reg.size_of("BIG") == 4096
+        assert "BIG" not in reg.opaque_names
+
+    def test_commit_conflict_rejected(self):
+        reg = DatatypeRegistry()
+        reg.commit(MPIDatatype("T", 8, derived=True))
+        with pytest.raises(ValueError, match="already committed"):
+            reg.commit(MPIDatatype("T", 16, derived=True))
+
+    def test_commit_idempotent(self):
+        reg = DatatypeRegistry()
+        dt = MPIDatatype("T", 8, derived=True)
+        assert reg.commit(dt) == reg.commit(dt)
+
+    def test_commit_derived_construction(self):
+        reg = DatatypeRegistry()
+        d = DerivedDatatype.contiguous("ROW", 100, reg.resolve("MPI_DOUBLE"))
+        reg.commit(d)
+        assert reg.size_of("ROW") == 800
+
+    def test_contains_and_known_names(self):
+        reg = DatatypeRegistry()
+        assert "MPI_INT" in reg
+        assert "NOPE" not in reg
+        assert "MPI_INT" in reg.known_names()

@@ -1,0 +1,193 @@
+"""Tests for the repro-dumpi ASCII format: writer, parser, repository."""
+
+import pytest
+
+from repro.comm.stats import trace_stats
+from repro.core.communicator import Communicator
+from repro.core.datatypes import MPIDatatype
+from repro.core.events import CollectiveEvent, CollectiveOp, Direction, P2PEvent
+from repro.dumpi.parser import ParseError, load_trace, loads_trace
+from repro.dumpi.repository import TraceKey, TraceRepository
+from repro.dumpi.writer import dump_trace, dumps_trace
+
+from helpers import make_trace
+
+
+def roundtrip(trace):
+    return loads_trace(dumps_trace(trace))
+
+
+class TestRoundTrip:
+    def test_metadata(self, mixed_trace):
+        back = roundtrip(mixed_trace)
+        assert back.meta == mixed_trace.meta
+
+    def test_events_preserved(self, mixed_trace):
+        back = roundtrip(mixed_trace)
+        assert back.events == mixed_trace.events
+
+    def test_recv_events(self):
+        trace = make_trace(2)
+        trace.add(
+            P2PEvent(
+                caller=1, peer=0, count=10, dtype="MPI_INT",
+                direction=Direction.RECV, func="MPI_Irecv", tag=42,
+            )
+        )
+        back = roundtrip(trace)
+        assert back.events == trace.events
+
+    def test_derived_datatype_size_preserved(self):
+        trace = make_trace(2)
+        trace.datatypes.commit(MPIDatatype("APP_ROW_T", 4096, derived=True))
+        trace.add(P2PEvent(caller=0, peer=1, count=3, dtype="APP_ROW_T"))
+        back = roundtrip(trace)
+        assert back.datatypes.size_of("APP_ROW_T") == 4096
+        assert back.p2p_bytes() == trace.p2p_bytes()
+
+    def test_sub_communicator_preserved(self):
+        trace = make_trace(6)
+        assert trace.communicators is not None
+        trace.communicators.add(Communicator("HALF", (0, 2, 4)))
+        trace.add(
+            CollectiveEvent(caller=2, op=CollectiveOp.ALLGATHER, count=5, comm="HALF")
+        )
+        back = roundtrip(trace)
+        assert back.communicators is not None
+        assert back.communicators.get("HALF").members == (0, 2, 4)
+        assert not back.uses_only_global_communicators
+
+    def test_timestamps_exact(self):
+        trace = make_trace(2)
+        trace.add(
+            P2PEvent(
+                caller=0, peer=1, count=1, dtype="MPI_BYTE",
+                t_enter=0.12345678901234567, t_leave=0.2,
+            )
+        )
+        back = roundtrip(trace)
+        assert back.events[0].t_enter == trace.events[0].t_enter
+
+    def test_stats_invariant_under_serialization(self, mixed_trace):
+        assert trace_stats(roundtrip(mixed_trace)) == trace_stats(mixed_trace)
+
+    def test_generated_trace_roundtrip(self):
+        from repro.apps.registry import generate_trace
+
+        trace = generate_trace("MiniFE", 18)
+        back = roundtrip(trace)
+        assert trace_stats(back) == trace_stats(trace)
+        assert len(back) == len(trace)
+
+
+class TestParserErrors:
+    def test_bad_magic(self):
+        with pytest.raises(ParseError, match="magic"):
+            loads_trace("not a trace\n")
+
+    def test_bad_version(self):
+        with pytest.raises(ParseError, match="version"):
+            loads_trace("%repro-dumpi 99\n%app x\n%ranks 2\n%time 1.0\n")
+
+    def test_missing_header(self):
+        with pytest.raises(ParseError, match="%ranks"):
+            loads_trace("%repro-dumpi 1\n%app x\n%time 1.0\n")
+
+    def test_unknown_tag(self):
+        text = "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\nBOGUS MPI_Send\n"
+        with pytest.raises(ParseError, match="unknown record tag"):
+            loads_trace(text)
+
+    def test_unknown_collective(self):
+        text = (
+            "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\n"
+            "COLL MPI_Magic caller=0 count=1\n"
+        )
+        with pytest.raises(ParseError, match="unknown collective"):
+            loads_trace(text)
+
+    def test_missing_required_field(self):
+        text = (
+            "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\n"
+            "P2P MPI_Send caller=0 count=1 dtype=MPI_BYTE\n"
+        )
+        with pytest.raises(ParseError, match="peer"):
+            loads_trace(text)
+
+    def test_malformed_kv(self):
+        text = "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\nP2P MPI_Send nonsense\n"
+        with pytest.raises(ParseError, match="key=value"):
+            loads_trace(text)
+
+    def test_error_carries_line_number(self):
+        text = "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\nBOGUS x\n"
+        with pytest.raises(ParseError) as err:
+            loads_trace(text)
+        assert err.value.lineno == 5
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = (
+            "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\n"
+            "# a comment\n\n"
+            "P2P MPI_Send caller=0 peer=1 count=5 dtype=MPI_BYTE t=0.0,0.1\n"
+        )
+        trace = loads_trace(text)
+        assert len(trace) == 1
+
+    def test_defaults_for_optional_fields(self):
+        text = (
+            "%repro-dumpi 1\n%app x\n%ranks 2\n%time 1.0\n"
+            "P2P MPI_Send caller=0 peer=1 count=5 dtype=MPI_BYTE\n"
+        )
+        ev = loads_trace(text).events[0]
+        assert ev.tag == 0 and ev.repeat == 1 and ev.t_enter == 0.0
+
+
+class TestFileIO:
+    def test_dump_and_load(self, tmp_path, mixed_trace):
+        path = dump_trace(mixed_trace, tmp_path / "sub" / "t.dumpi.txt")
+        assert path.exists()
+        back = load_trace(path)
+        assert back.events == mixed_trace.events
+
+
+class TestRepository:
+    def test_key_filename_roundtrip(self):
+        for key in (
+            TraceKey("AMG", 216),
+            TraceKey("Boxlib_CNS", 256, "b"),
+        ):
+            assert TraceKey.from_filename(key.filename) == key
+
+    def test_bad_filename(self):
+        with pytest.raises(ValueError):
+            TraceKey.from_filename("whatever.txt")
+
+    def test_store_load_cycle(self, tmp_path, mixed_trace):
+        repo = TraceRepository(tmp_path)
+        repo.store(mixed_trace)
+        key = TraceKey.of(mixed_trace)
+        assert key in repo
+        assert repo.load(key).events == mixed_trace.events
+        assert repo.keys() == [key]
+
+    def test_load_missing(self, tmp_path):
+        repo = TraceRepository(tmp_path)
+        with pytest.raises(FileNotFoundError):
+            repo.load(TraceKey("X", 4))
+
+    def test_ensure_generates_and_caches(self, tmp_path):
+        repo = TraceRepository(tmp_path)
+        key = TraceKey("MiniFE", 18)
+        assert key not in repo
+        trace = repo.ensure("MiniFE", 18)
+        assert key in repo
+        again = repo.ensure("MiniFE", 18)  # now loaded from disk
+        assert trace_stats(again) == trace_stats(trace)
+
+    def test_inconsistent_file_detected(self, tmp_path, mixed_trace):
+        repo = TraceRepository(tmp_path)
+        path = repo.path_of(TraceKey("WRONG", 4))
+        dump_trace(mixed_trace, path)  # file says app "test"
+        with pytest.raises(ValueError, match="inconsistent"):
+            repo.load(TraceKey("WRONG", 4))

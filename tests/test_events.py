@@ -1,0 +1,101 @@
+"""Unit tests for trace event records."""
+
+import pytest
+
+from repro.core.events import (
+    CollectiveEvent,
+    CollectiveOp,
+    Direction,
+    P2PEvent,
+    ROOTED_OPS,
+    VECTOR_OPS,
+)
+
+
+class TestP2PEvent:
+    def test_bytes_accounting(self):
+        ev = P2PEvent(caller=0, peer=1, count=100, dtype="MPI_DOUBLE", repeat=3)
+        assert ev.bytes_per_call(8) == 800
+        assert ev.total_bytes(8) == 2400
+
+    def test_send_detection(self):
+        send = P2PEvent(caller=0, peer=1, count=1, dtype="MPI_BYTE")
+        recv = P2PEvent(
+            caller=1, peer=0, count=1, dtype="MPI_BYTE",
+            direction=Direction.RECV, func="MPI_Recv",
+        )
+        assert send.is_send and not recv.is_send
+
+    def test_direction_function_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            P2PEvent(
+                caller=0, peer=1, count=1, dtype="MPI_BYTE",
+                direction=Direction.RECV, func="MPI_Send",
+            )
+
+    def test_isend_is_send(self):
+        ev = P2PEvent(caller=0, peer=1, count=1, dtype="MPI_BYTE", func="MPI_Isend")
+        assert ev.is_send
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            P2PEvent(caller=-1, peer=0, count=1, dtype="MPI_BYTE")
+        with pytest.raises(ValueError):
+            P2PEvent(caller=0, peer=1, count=-1, dtype="MPI_BYTE")
+        with pytest.raises(ValueError):
+            P2PEvent(caller=0, peer=1, count=1, dtype="MPI_BYTE", repeat=0)
+
+    def test_expanded_repeats(self):
+        ev = P2PEvent(caller=0, peer=1, count=5, dtype="MPI_BYTE", repeat=4)
+        expanded = ev.expanded()
+        assert len(expanded) == 4
+        assert all(e.repeat == 1 and e.count == 5 for e in expanded)
+        assert sum(e.total_bytes(1) for e in expanded) == ev.total_bytes(1)
+
+
+class TestCollectiveEvent:
+    def test_func_mirrors_op(self):
+        ev = CollectiveEvent(caller=0, op=CollectiveOp.BCAST, count=10)
+        assert ev.func == "MPI_Bcast"
+
+    def test_rooted_and_vector_flags(self):
+        assert CollectiveEvent(caller=0, op=CollectiveOp.GATHER, count=1).is_rooted
+        assert not CollectiveEvent(caller=0, op=CollectiveOp.ALLREDUCE, count=1).is_rooted
+        assert CollectiveEvent(caller=0, op=CollectiveOp.ALLTOALLV, count=1).is_vector
+        assert not CollectiveEvent(caller=0, op=CollectiveOp.ALLTOALL, count=1).is_vector
+
+    def test_barrier_must_carry_no_payload(self):
+        CollectiveEvent(caller=0, op=CollectiveOp.BARRIER, count=0)
+        with pytest.raises(ValueError):
+            CollectiveEvent(caller=0, op=CollectiveOp.BARRIER, count=1)
+
+    def test_bytes_per_call(self):
+        ev = CollectiveEvent(caller=0, op=CollectiveOp.REDUCE, count=16)
+        assert ev.bytes_per_call(4) == 64
+
+    def test_expanded(self):
+        ev = CollectiveEvent(caller=2, op=CollectiveOp.ALLGATHER, count=8, repeat=3)
+        assert [e.repeat for e in ev.expanded()] == [1, 1, 1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CollectiveEvent(caller=-1, op=CollectiveOp.BCAST)
+        with pytest.raises(ValueError):
+            CollectiveEvent(caller=0, op=CollectiveOp.BCAST, root=-1)
+        with pytest.raises(ValueError):
+            CollectiveEvent(caller=0, op=CollectiveOp.BCAST, repeat=0)
+
+
+class TestOpSets:
+    def test_rooted_ops_have_roots(self):
+        assert CollectiveOp.BCAST in ROOTED_OPS
+        assert CollectiveOp.SCATTERV in ROOTED_OPS
+        assert CollectiveOp.ALLREDUCE not in ROOTED_OPS
+
+    def test_vector_ops(self):
+        assert VECTOR_OPS == {
+            CollectiveOp.GATHERV,
+            CollectiveOp.SCATTERV,
+            CollectiveOp.ALLGATHERV,
+            CollectiveOp.ALLTOALLV,
+        }

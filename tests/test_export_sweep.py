@@ -1,0 +1,159 @@
+"""Tests for structured export and the parameter-sweep harness."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    curve_records,
+    figure1_records,
+    figure5_records,
+    rows_to_csv,
+    rows_to_json,
+    table1_records,
+    table2_records,
+    table3_records,
+    table4_records,
+)
+from repro.analysis.figures import build_figure1, build_figure4, build_figure5
+from repro.analysis.sweep import SweepSpec, run_sweep
+from repro.analysis.tables import (
+    build_table1,
+    build_table2,
+    build_table3,
+    build_table4,
+)
+
+
+class TestSerializers:
+    def test_csv_roundtrip(self):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = rows_to_csv(records)
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_csv_empty(self):
+        assert rows_to_csv([]) == ""
+
+    def test_nan_becomes_null(self):
+        text = rows_to_json([{"v": float("nan")}])
+        assert json.loads(text) == [{"v": None}]
+
+    def test_nan_becomes_empty_csv_cell(self):
+        text = rows_to_csv([{"v": float("nan"), "w": 1}])
+        reader = csv.DictReader(io.StringIO(text))
+        row = next(reader)
+        assert row["v"] == "" and row["w"] == "1"
+
+
+class TestTableRecords:
+    def test_table1(self):
+        records = table1_records(build_table1(max_ranks=30))
+        assert all(r["volume_mb"] > 0 for r in records)
+        assert {"app", "ranks", "p2p_percent"} <= set(records[0])
+
+    def test_table2(self):
+        records = table2_records(build_table2())
+        assert len(records) == 17
+        assert records[-1]["torus_nodes"] == 1728
+
+    def test_table3_na_handling(self):
+        records = table3_records(build_table3(max_ranks=30))
+        bigfft = [r for r in records if r["app"] == "BigFFT"]
+        assert bigfft and bigfft[0]["peers"] is None
+        assert bigfft[0]["torus3d_avg_hops"] > 0
+        # serializes cleanly despite the Nones
+        assert json.loads(rows_to_json(records))
+
+    def test_table4(self):
+        records = table4_records(build_table4(max_ranks=70))
+        for r in records:
+            assert 0 <= r["locality_3d_percent"] <= 100
+
+
+class TestFigureRecords:
+    def test_figure1(self):
+        records = figure1_records(build_figure1("LULESH", 64, 0))
+        assert len(records) == 7
+        assert records[-1]["cumulative_share"] == pytest.approx(1.0)
+
+    def test_curves(self):
+        records = curve_records(build_figure4("CrystalRouter"))
+        assert {r["ranks"] for r in records} == {10, 100, 1000}
+        assert all(0 < r["cumulative_share"] <= 1.0 for r in records)
+
+    def test_figure5(self):
+        records = figure5_records(build_figure5(min_ranks=500, max_ranks=600))
+        assert all(r["ranks"] == 512 for r in records)
+        baselines = [r for r in records if r["cores_per_node"] == 1]
+        assert all(r["relative_traffic"] == 1.0 for r in baselines)
+
+
+class TestSweep:
+    def test_point_count(self):
+        spec = SweepSpec(
+            apps=(("MiniFE", 18), ("CrystalRouter", 10)),
+            topologies=("torus3d", "fattree"),
+            mappings=("consecutive",),
+            payloads=(1024, 4096),
+        )
+        assert spec.num_points == 8
+        records = run_sweep(spec)
+        assert len(records) == 8
+
+    def test_records_complete(self):
+        records = run_sweep(SweepSpec(apps=(("MiniFE", 18),)))
+        for r in records:
+            assert r["packet_hops"] > 0
+            assert r["used_links"] > 0
+            assert r["avg_hops"] > 0
+
+    def test_payload_axis_changes_packet_hops(self):
+        records = run_sweep(
+            SweepSpec(
+                apps=(("LULESH", 64),),
+                topologies=("torus3d",),
+                payloads=(512, 4096),
+            )
+        )
+        by_payload = {r["payload"]: r["packet_hops"] for r in records}
+        assert by_payload[512] > by_payload[4096]
+
+    def test_mapping_axis(self):
+        records = run_sweep(
+            SweepSpec(
+                apps=(("MOCFE", 64),),
+                topologies=("torus3d",),
+                mappings=("consecutive", "random", "bisection"),
+            )
+        )
+        by_mapping = {r["mapping"]: r["packet_hops"] for r in records}
+        assert by_mapping["bisection"] <= by_mapping["random"]
+
+    def test_bandwidth_axis_scales_utilization(self):
+        records = run_sweep(
+            SweepSpec(
+                apps=(("MiniFE", 18),),
+                topologies=("torus3d",),
+                bandwidths=(1e9, 1e10),
+            )
+        )
+        by_bw = {r["bandwidth"]: r["utilization_percent"] for r in records}
+        assert by_bw[1e9] == pytest.approx(10 * by_bw[1e10], rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(apps=())
+        with pytest.raises(ValueError):
+            SweepSpec(topologies=("hypercube",))
+        with pytest.raises(ValueError):
+            SweepSpec(mappings=("magic",))
+        with pytest.raises(ValueError):
+            SweepSpec(payloads=(0,))
+
+    def test_exports_cleanly(self):
+        records = run_sweep(SweepSpec(apps=(("MiniFE", 18),)))
+        assert rows_to_csv(records)
+        assert json.loads(rows_to_json(records))

@@ -1,0 +1,137 @@
+"""Tests for the latency model and the bandwidth-slack analysis."""
+
+import numpy as np
+import pytest
+
+from repro.comm.matrix import matrix_from_trace
+from repro.mapping.base import Mapping
+from repro.model.latency import LatencyModel
+from repro.model.slack import bandwidth_slack
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.torus import Torus3D
+
+from helpers import make_matrix
+
+
+class TestLatencyModel:
+    def test_zero_hop_is_serialization_only(self):
+        model = LatencyModel(bandwidth=1e9)
+        assert model.message_latency(1000, 0) == pytest.approx(1e-6)
+
+    def test_scales_with_hops(self):
+        model = LatencyModel(switch_latency_s=100e-9, wire_latency_s=0.0)
+        l1 = model.message_latency(0, 1)
+        l5 = model.message_latency(0, 5)
+        assert l5 == pytest.approx(5 * l1)
+
+    def test_cut_through_faster_than_store_and_forward(self):
+        ct = LatencyModel(cut_through=True)
+        sf = LatencyModel(cut_through=False)
+        nbytes, hops = 100_000, 6
+        assert ct.message_latency(nbytes, hops) < sf.message_latency(nbytes, hops)
+
+    def test_store_and_forward_single_hop_equals_cut_through(self):
+        ct = LatencyModel(cut_through=True)
+        sf = LatencyModel(cut_through=False)
+        assert ct.message_latency(5000, 1) == pytest.approx(
+            sf.message_latency(5000, 1)
+        )
+
+    def test_vectorized_matches_scalar(self):
+        model = LatencyModel(cut_through=False)
+        nbytes = np.array([0, 100, 4096, 100_000])
+        hops = np.array([0, 1, 3, 6])
+        vec = model.message_latency_array(nbytes, hops)
+        for nb, h, v in zip(nbytes, hops, vec):
+            assert v == pytest.approx(model.message_latency(int(nb), int(h)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyModel(switch_latency_s=-1.0)
+        with pytest.raises(ValueError):
+            LatencyModel(bandwidth=0.0)
+        with pytest.raises(ValueError):
+            LatencyModel().message_latency(-1, 0)
+
+    def test_report_on_matrix(self):
+        m = make_matrix(8, [(0, 1, 4096), (0, 7, 4096)])
+        report = LatencyModel().report(m, Torus3D((2, 2, 2)))
+        assert report.mean_message_latency_s > 0
+        assert report.p50_message_latency_s <= report.p99_message_latency_s
+        assert report.p99_message_latency_s <= report.max_message_latency_s
+
+    def test_report_empty_matrix(self):
+        report = LatencyModel().report(make_matrix(4, []), Torus3D((2, 2, 2)))
+        assert report.mean_message_latency_s == 0.0
+
+    def test_longer_routes_mean_higher_latency(self, lulesh64_trace):
+        matrix = matrix_from_trace(lulesh64_trace)
+        model = LatencyModel()
+        torus = LatencyModel().report(matrix, Torus3D((4, 4, 4)))
+        # scrambled placement lengthens routes, so latency must rise
+        scrambled = matrix.remapped(np.random.default_rng(0).permutation(64))
+        worse = model.report(scrambled, Torus3D((4, 4, 4)))
+        assert worse.mean_message_latency_s > torus.mean_message_latency_s
+
+
+class TestBandwidthSlack:
+    def test_idle_link_has_huge_slack(self):
+        m = make_matrix(8, [(0, 1, 1000)])
+        report = bandwidth_slack(
+            m, Torus3D((2, 2, 2)), execution_time=1.0, bandwidth=1e9
+        )
+        assert report.num_links == 1
+        assert report.min_slack == pytest.approx(1e9 / 1000)
+
+    def test_saturated_link_has_no_slack(self):
+        m = make_matrix(8, [(0, 1, 10_000)])
+        report = bandwidth_slack(
+            m, Torus3D((2, 2, 2)), execution_time=1.0, bandwidth=10_000.0
+        )
+        assert report.min_slack == pytest.approx(1.0)
+        assert report.uniform_power_saving() == 0.0
+
+    def test_uniform_saving_formula(self):
+        m = make_matrix(8, [(0, 1, 1000)])
+        report = bandwidth_slack(
+            m, Torus3D((2, 2, 2)), execution_time=1.0, bandwidth=10_000.0
+        )
+        # slack = 10x -> slow 10x -> power ~ bw^2 -> save 99%
+        assert report.uniform_power_saving(alpha=2.0) == pytest.approx(0.99)
+
+    def test_per_link_saving_at_least_uniform(self):
+        m = make_matrix(8, [(0, 1, 9_000), (2, 3, 10)])
+        report = bandwidth_slack(
+            m, Torus3D((2, 2, 2)), execution_time=1.0, bandwidth=10_000.0
+        )
+        assert report.per_link_power_saving() >= report.uniform_power_saving()
+
+    def test_dragonfly_global_links_have_less_slack(self):
+        df = Dragonfly(4, 2, 2)
+        # heavy cross-group traffic concentrates on the single global link
+        pairs = [(0, 8 + i, 50_000) for i in range(8)]
+        m = make_matrix(df.num_nodes, pairs)
+        report = bandwidth_slack(m, df, execution_time=1.0)
+        gl = report.global_vs_local_slack()
+        assert gl is not None
+        global_slack, local_slack = gl
+        assert global_slack <= local_slack
+
+    def test_empty_matrix(self):
+        report = bandwidth_slack(make_matrix(4, []), Torus3D((2, 2, 2)), 1.0)
+        assert report.num_links == 0
+        assert report.min_slack == float("inf")
+        assert report.per_link_power_saving() == 0.0
+
+    def test_validation(self):
+        m = make_matrix(8, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            bandwidth_slack(m, Torus3D((2, 2, 2)), execution_time=0.0)
+        with pytest.raises(ValueError):
+            bandwidth_slack(m, Torus3D((2, 2, 2)), 1.0, bandwidth=0.0)
+
+    def test_mapping_respected(self):
+        m = make_matrix(8, [(0, 1, 1000)])
+        colocated = Mapping(np.zeros(8, dtype=np.int64), 8)
+        report = bandwidth_slack(m, Torus3D((2, 2, 2)), 1.0, mapping=colocated)
+        assert report.num_links == 0

@@ -1,0 +1,101 @@
+"""Tests for link-load statistics and the energy model."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.base import Mapping
+from repro.model.energy import SERDES_POWER_SHARE, EnergyModel
+from repro.model.engine import analyze_network
+from repro.model.linkload import link_load_stats, link_loads
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.torus import Torus3D
+
+from helpers import make_matrix
+
+
+class TestLinkLoads:
+    def test_loads_conserve_byte_hops(self):
+        m = make_matrix(8, [(0, 1, 100), (0, 7, 300)])
+        topo = Torus3D((2, 2, 2))
+        ids, loads = link_loads(m, topo)
+        # bytes * hops: 100*1 + 300*3
+        assert loads.sum() == pytest.approx(1000.0)
+
+    def test_empty_matrix(self):
+        stats = link_load_stats(make_matrix(8, []), Torus3D((2, 2, 2)))
+        assert stats.num_used_links == 0
+        assert stats.gini == 0.0
+
+    def test_uniform_single_link(self):
+        m = make_matrix(8, [(0, 1, 500)])
+        stats = link_load_stats(m, Torus3D((2, 2, 2)))
+        assert stats.num_used_links == 1
+        assert stats.max_load == 500
+        assert stats.max_over_mean == pytest.approx(1.0)
+        assert stats.gini == pytest.approx(0.0)
+
+    def test_gini_detects_skew(self):
+        even = make_matrix(8, [(0, 1, 100), (2, 3, 100)])
+        skew = make_matrix(8, [(0, 1, 10_000), (2, 3, 1)])
+        topo = Torus3D((2, 2, 2))
+        assert link_load_stats(skew, topo).gini > link_load_stats(even, topo).gini
+
+    def test_dragonfly_global_byte_share(self):
+        df = Dragonfly(4, 2, 2)
+        m = make_matrix(df.num_nodes, [(0, 8, 1000)])  # cross-group
+        stats = link_load_stats(m, df)
+        assert stats.global_link_byte_share is not None
+        assert 0.0 < stats.global_link_byte_share < 1.0
+
+    def test_respects_mapping(self):
+        m = make_matrix(4, [(0, 1, 100)])
+        topo = Torus3D((2, 2, 2))
+        colocated = Mapping(np.zeros(4, dtype=np.int64), 8)
+        ids, loads = link_loads(m, topo, colocated)
+        assert len(ids) == 0
+
+
+class TestEnergyModel:
+    def test_static_energy(self):
+        model = EnergyModel(link_power_w=2.0)
+        assert model.static_energy_j(10, 5.0) == pytest.approx(100.0)
+
+    def test_report_partitions_energy(self):
+        m = make_matrix(8, [(0, 1, 4096)])
+        analysis = analyze_network(
+            m, Torus3D((2, 2, 2)), execution_time=1.0, bandwidth=8192.0
+        )
+        report = EnergyModel(link_power_w=1.0).report(analysis)
+        assert report.total_energy_j == pytest.approx(1.0)
+        assert report.useful_energy_j + report.idle_energy_j == pytest.approx(
+            report.total_energy_j
+        )
+        assert report.useful_fraction == pytest.approx(analysis.utilization)
+
+    def test_gating_savings_bounded_by_serdes_share(self):
+        m = make_matrix(8, [(0, 1, 100)])
+        analysis = analyze_network(m, Torus3D((2, 2, 2)), execution_time=100.0)
+        report = EnergyModel().report(analysis)
+        assert report.gating_savings_j <= SERDES_POWER_SHARE * report.total_energy_j
+        assert report.gating_savings_j == pytest.approx(
+            report.idle_energy_j * SERDES_POWER_SHARE
+        )
+
+    def test_low_utilization_means_big_savings(self):
+        """The paper's point: at <1% utilization almost all energy is waste."""
+        m = make_matrix(8, [(0, 1, 100)])
+        analysis = analyze_network(m, Torus3D((2, 2, 2)), execution_time=1000.0)
+        assert analysis.utilization < 0.01
+        report = EnergyModel().report(analysis)
+        assert report.useful_fraction < 0.01
+        assert report.frequency_scaling_savings_j > 0.9 * report.total_energy_j
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyModel(link_power_w=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel(serdes_share=1.5)
+        with pytest.raises(ValueError):
+            EnergyModel(frequency_exponent=0.5)
+        with pytest.raises(ValueError):
+            EnergyModel().static_energy_j(10, -1.0)

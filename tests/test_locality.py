@@ -1,0 +1,92 @@
+"""Tests for rank distance / rank locality (paper Eq. 1-2, §4.1.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.locality import (
+    distance_histogram,
+    pair_distances,
+    rank_distance,
+    rank_locality,
+)
+
+from helpers import make_matrix
+
+
+class TestPairDistances:
+    def test_self_pairs_excluded(self):
+        m = make_matrix(4, [(0, 0, 100), (0, 1, 50)])
+        dist, w = pair_distances(m)
+        assert dist.tolist() == [1]
+        assert w.tolist() == [50]
+
+    def test_distance_is_absolute(self):
+        m = make_matrix(5, [(4, 1, 10), (1, 4, 10)])
+        dist, _ = pair_distances(m)
+        assert dist.tolist() == [3, 3]
+
+
+class TestRankDistance:
+    def test_neighbour_traffic_distance_one(self):
+        m = make_matrix(8, [(r, r + 1, 100) for r in range(7)])
+        assert rank_distance(m) <= 1.0
+        assert rank_locality(m) == 1.0
+
+    def test_weighted_by_volume(self):
+        # 95% of bytes at distance 1, 5% at distance 7: the 90% quantile
+        # stays near 1.
+        m = make_matrix(8, [(0, 1, 9500), (0, 7, 500)])
+        assert rank_distance(m) < 2.0
+
+    def test_far_heavy_traffic_pushes_quantile(self):
+        m = make_matrix(8, [(0, 1, 100), (0, 7, 9900)])
+        assert rank_distance(m) > 5.0
+        assert rank_locality(m) < 0.2
+
+    def test_empty_matrix_is_nan(self):
+        m = make_matrix(4, [])
+        assert math.isnan(rank_distance(m))
+        assert math.isnan(rank_locality(m))
+
+    def test_self_only_traffic_is_nan(self):
+        m = make_matrix(4, [(1, 1, 100)])
+        assert math.isnan(rank_distance(m))
+
+    def test_share_parameter(self):
+        m = make_matrix(10, [(0, 1, 50), (0, 9, 50)])
+        assert rank_distance(m, share=0.4) < rank_distance(m, share=0.95)
+
+    def test_locality_capped_at_one(self):
+        m = make_matrix(4, [(0, 1, 100), (1, 2, 100)])
+        assert rank_locality(m) <= 1.0
+
+
+class TestHistogram:
+    def test_volume_per_distance(self):
+        m = make_matrix(6, [(0, 1, 10), (1, 2, 20), (0, 3, 5)])
+        dists, vols = distance_histogram(m)
+        assert dists.tolist() == [1, 3]
+        assert vols.tolist() == [30, 5]
+
+    def test_empty(self):
+        dists, vols = distance_histogram(make_matrix(3, []))
+        assert len(dists) == 0 and len(vols) == 0
+
+    def test_histogram_total_matches_offdiagonal_bytes(self, lulesh64_p2p):
+        _, vols = distance_histogram(lulesh64_p2p)
+        off = lulesh64_p2p.without_self_traffic()
+        assert vols.sum() == off.total_bytes
+
+
+class TestOnRealTrace:
+    def test_lulesh_locality_band(self, lulesh64_p2p):
+        # paper: LULESH@64 rank distance 15.7 (x-face offset 16)
+        d = rank_distance(lulesh64_p2p)
+        assert 12.0 <= d <= 20.0
+
+    def test_quantile_is_fractional(self, lulesh64_p2p):
+        d = rank_distance(lulesh64_p2p)
+        assert d == pytest.approx(d)  # finite
+        assert not math.isnan(d)

@@ -1,0 +1,69 @@
+"""Unit and property tests for packetization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packets import (
+    MAX_PAYLOAD_BYTES,
+    packets_for_bytes,
+    packets_for_bytes_array,
+)
+
+
+class TestScalar:
+    def test_exact_multiples(self):
+        assert packets_for_bytes(4096) == 1
+        assert packets_for_bytes(8192) == 2
+
+    def test_partial_packet_rounds_up(self):
+        assert packets_for_bytes(1) == 1
+        assert packets_for_bytes(4097) == 2
+
+    def test_zero_bytes_is_one_packet(self):
+        assert packets_for_bytes(0) == 1
+
+    def test_custom_payload(self):
+        assert packets_for_bytes(10, payload=4) == 3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            packets_for_bytes(-1)
+        with pytest.raises(ValueError):
+            packets_for_bytes(10, payload=0)
+
+    def test_default_payload_is_paper_value(self):
+        assert MAX_PAYLOAD_BYTES == 4096
+
+
+class TestVectorized:
+    def test_matches_scalar(self):
+        sizes = np.array([0, 1, 4095, 4096, 4097, 100000])
+        expected = [packets_for_bytes(int(s)) for s in sizes]
+        assert packets_for_bytes_array(sizes).tolist() == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            packets_for_bytes_array(np.array([1, -2]))
+
+    def test_rejects_bad_payload(self):
+        with pytest.raises(ValueError):
+            packets_for_bytes_array(np.array([1]), payload=-1)
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_packet_count_covers_bytes(nbytes):
+    pkts = packets_for_bytes(nbytes)
+    assert pkts * MAX_PAYLOAD_BYTES >= nbytes
+    assert (pkts - 1) * MAX_PAYLOAD_BYTES < max(nbytes, 1)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=10**6),
+)
+def test_vectorized_agrees_with_scalar(sizes, payload):
+    arr = np.array(sizes, dtype=np.int64)
+    vec = packets_for_bytes_array(arr, payload)
+    for s, p in zip(sizes, vec):
+        assert p == packets_for_bytes(s, payload)

@@ -1,0 +1,169 @@
+"""Reproduction-band tests: our metrics vs the paper's Tables 3 and 4.
+
+These tests assert that every reproduced metric lands within a tolerance
+band of the paper's published value — the *shape* contract of the
+reproduction.  Bands are deliberately generous for quantities that depend on
+unknowable trace internals (per-message packet mixes), and tight for
+quantities the synthetic patterns pin exactly.
+
+Only configurations <= 300 ranks run here (speed); the benchmark suite
+covers the full grid.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis.tables import build_table3_row
+from repro.apps.registry import generate_trace
+from repro.comm.matrix import matrix_from_trace
+from repro.metrics.dimensionality import locality_by_dimension
+from repro.metrics.locality import rank_distance
+from repro.metrics.peers import peers
+from repro.metrics.selectivity import selectivity
+
+# (app, ranks): paper's peers, rank distance (90%), selectivity (90%)
+PAPER_MPI_LEVEL = {
+    ("AMG", 8): (7, 3.7, 2.8),
+    ("AMG", 27): (26, 8.7, 4.2),
+    ("AMG", 216): (127, 35.8, 5.2),
+    ("AMR_Miniapp", 64): (39, 27.1, 8.3),
+    ("Boxlib_CNS", 64): (63, 35.1, 5.7),
+    ("Boxlib_CNS", 256): (255, 109.2, 5.4),
+    ("Boxlib_MultiGrid_C", 64): (26, 27.1, 4.4),
+    ("Boxlib_MultiGrid_C", 256): (26, 54.3, 4.4),
+    ("MOCFE", 64): (12, 51.3, 8.9),
+    ("MOCFE", 256): (20, 195.3, 14.0),
+    ("Nekbone", 64): (27, 15.8, 4.8),
+    ("Nekbone", 256): (15, 28.4, 5.4),
+    ("CrystalRouter", 10): (4, 6.4, 3.0),
+    ("CrystalRouter", 100): (8, 44.3, 5.8),
+    ("LULESH", 64): (26, 15.7, 4.5),
+    ("FillBoundary", 125): (26, 42.3, 4.8),
+    ("MiniFE", 18): (8, 7.4, 3.4),
+    ("MiniFE", 144): (22, 31.5, 4.6),
+    ("MultiGrid_C", 125): (22, 59.7, 5.5),
+    ("PARTISN", 168): (167, 13.8, 3.4),
+    ("SNAP", 168): (48, 139.1, 9.8),
+}
+
+
+def p2p_matrix(app, ranks):
+    return matrix_from_trace(generate_trace(app, ranks), include_collectives=False)
+
+
+class TestMPILevelBands:
+    @pytest.mark.parametrize("app,ranks", sorted(PAPER_MPI_LEVEL), ids=str)
+    def test_peers_band(self, app, ranks):
+        expected = PAPER_MPI_LEVEL[(app, ranks)][0]
+        got = peers(p2p_matrix(app, ranks))
+        # within a factor of 2.2 (exact for the structurally pinned patterns)
+        assert expected / 2.2 <= got <= expected * 2.2, (got, expected)
+
+    @pytest.mark.parametrize("app,ranks", sorted(PAPER_MPI_LEVEL), ids=str)
+    def test_rank_distance_band(self, app, ranks):
+        expected = PAPER_MPI_LEVEL[(app, ranks)][1]
+        got = rank_distance(p2p_matrix(app, ranks))
+        assert expected / 2.0 <= got <= expected * 2.0, (got, expected)
+
+    @pytest.mark.parametrize("app,ranks", sorted(PAPER_MPI_LEVEL), ids=str)
+    def test_selectivity_band(self, app, ranks):
+        expected = PAPER_MPI_LEVEL[(app, ranks)][2]
+        got = selectivity(p2p_matrix(app, ranks))
+        assert expected / 2.0 <= got <= expected * 2.0, (got, expected)
+
+    @pytest.mark.parametrize(
+        "app,ranks",
+        [("AMG", 8), ("AMG", 216), ("LULESH", 64), ("PARTISN", 168)],
+        ids=str,
+    )
+    def test_pinned_distances_are_close(self, app, ranks):
+        """The structurally pinned configs land within 15% of the paper."""
+        expected = PAPER_MPI_LEVEL[(app, ranks)][1]
+        got = rank_distance(p2p_matrix(app, ranks))
+        assert got == pytest.approx(expected, rel=0.15)
+
+    def test_all_collective_apps_report_na(self):
+        for app, ranks in (("BigFFT", 9), ("CMC_2D", 64)):
+            m = p2p_matrix(app, ranks)
+            assert peers(m) == 0
+            assert math.isnan(rank_distance(m))
+            assert math.isnan(selectivity(m))
+
+
+class TestTable4Bands:
+    def test_amg_is_3d(self):
+        loc = locality_by_dimension(p2p_matrix("AMG", 216))
+        assert loc[3] == 1.0  # paper: 100%
+        assert loc[1] < 0.10  # paper: 3%
+
+    def test_lulesh_is_3d(self):
+        loc = locality_by_dimension(p2p_matrix("LULESH", 64))
+        assert loc[3] == 1.0
+        assert 0.02 <= loc[1] <= 0.15  # paper: 6%
+
+    def test_partisn_is_2d(self):
+        loc = locality_by_dimension(p2p_matrix("PARTISN", 168))
+        assert loc[2] == 1.0  # paper: 100%
+        assert loc[3] < 1.0  # paper: 22%
+        assert loc[1] < 0.15  # paper: 7%
+
+    def test_cns_has_no_dimensional_structure(self):
+        loc = locality_by_dimension(p2p_matrix("Boxlib_CNS", 64))
+        assert all(v < 0.5 for v in loc.values())  # paper: 3/13/21%
+        assert loc[1] <= loc[2] <= loc[3]  # improves only via diameter
+
+
+# (app, ranks): paper avg hops for torus / fat tree / dragonfly.
+# Bands are wide for stencil apps (packet-mix sensitivity, see
+# EXPERIMENTS.md) and tight for collective/scattered apps.
+PAPER_AVG_HOPS = {
+    ("AMG", 8): (1.57, 2.00, 2.83, 0.15),
+    ("AMG", 27): (1.74, 2.00, 4.01, 0.10),
+    ("BigFFT", 9): (1.56, 1.78, 2.91, 0.03),
+    ("BigFFT", 100): (3.40, 3.52, 4.36, 0.03),
+    ("CMC_2D", 64): (3.00, 3.28, 4.25, 0.03),
+    ("MOCFE", 64): (2.96, 3.28, 4.24, 0.05),
+    ("Boxlib_CNS", 64): (2.99, 3.23, 4.23, 0.10),
+    ("AMR_Miniapp", 64): (2.93, 3.20, 4.19, 0.10),
+    ("PARTISN", 168): (2.70, 3.04, 3.88, 0.25),
+    ("SNAP", 168): (3.85, 3.74, 4.41, 0.25),
+}
+
+
+class TestTopologyBands:
+    @pytest.mark.parametrize("app,ranks", sorted(PAPER_AVG_HOPS), ids=str)
+    def test_avg_hops(self, app, ranks):
+        torus_e, ft_e, df_e, tol = PAPER_AVG_HOPS[(app, ranks)]
+        row = build_table3_row(generate_trace(app, ranks))
+        got = {
+            "torus3d": row.network["torus3d"].avg_hops,
+            "fattree": row.network["fattree"].avg_hops,
+            "dragonfly": row.network["dragonfly"].avg_hops,
+        }
+        assert got["torus3d"] == pytest.approx(torus_e, rel=tol)
+        assert got["fattree"] == pytest.approx(ft_e, rel=tol)
+        assert got["dragonfly"] == pytest.approx(df_e, rel=tol)
+
+    def test_dragonfly_never_best_for_small_stencils(self):
+        """Paper: the dragonfly has the highest hop average almost always."""
+        for app, ranks in (("AMG", 27), ("LULESH", 64), ("MiniFE", 144)):
+            row = build_table3_row(generate_trace(app, ranks))
+            hops = {k: n.avg_hops for k, n in row.network.items()}
+            assert max(hops, key=hops.get) == "dragonfly", (app, ranks)
+
+    def test_torus_best_for_small_3d_apps(self):
+        for app, ranks in (("AMG", 8), ("AMG", 27), ("LULESH", 64)):
+            row = build_table3_row(generate_trace(app, ranks))
+            hops = {k: n.avg_hops for k, n in row.network.items()}
+            assert min(hops, key=hops.get) == "torus3d", (app, ranks)
+
+    def test_utilization_below_one_percent_for_non_fft(self):
+        for app, ranks in (("AMG", 27), ("LULESH", 64), ("CMC_2D", 64)):
+            row = build_table3_row(generate_trace(app, ranks))
+            for net in row.network.values():
+                assert net.utilization < 0.01, (app, ranks)
+
+    def test_bigfft_exceeds_one_percent(self):
+        row = build_table3_row(generate_trace("BigFFT", 100))
+        assert all(net.utilization > 0.01 for net in row.network.values())

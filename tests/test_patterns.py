@@ -1,0 +1,241 @@
+"""Tests for the communication-pattern builders."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.patterns import (
+    background_channels,
+    biased_scattered_channels,
+    coarsened_halo_channels,
+    fanout_channels,
+    halo_channels,
+    hypercube_channels,
+    morton_permutation,
+    permute_channels,
+    ring_channels,
+    scaled_channels,
+    scattered_channels,
+    strided_face_channels,
+    sweep2d_channels,
+)
+
+RNG = np.random.default_rng
+
+
+def partners_of(ch, rank):
+    return set(ch.dst[ch.src == rank].tolist())
+
+
+class TestHalo:
+    def test_interior_rank_full_stencil(self):
+        ch = halo_channels((4, 4, 4), 1.0, 1.0, 1.0)
+        center = (1 * 4 + 1) * 4 + 1
+        assert len(partners_of(ch, center)) == 26
+
+    def test_faces_only(self):
+        ch = halo_channels((4, 4, 4), 1.0)
+        center = (1 * 4 + 1) * 4 + 1
+        assert len(partners_of(ch, center)) == 6
+
+    def test_corner_rank_open_boundary(self):
+        ch = halo_channels((4, 4, 4), 1.0, 1.0, 1.0)
+        assert len(partners_of(ch, 0)) == 7  # 3 faces + 3 edges + 1 corner
+
+    def test_periodic_wraps(self):
+        ch = halo_channels((4, 4, 4), 1.0, periodic=True)
+        assert len(partners_of(ch, 0)) == 6
+
+    def test_weight_classes(self):
+        ch = halo_channels((3, 3, 3), face_weight=9.0, edge_weight=3.0, corner_weight=1.0)
+        weights = set(np.unique(ch.weight).tolist())
+        assert weights == {9.0, 3.0, 1.0}
+
+    def test_keep_fraction_requires_rng(self):
+        with pytest.raises(ValueError):
+            halo_channels((3, 3, 3), 1.0, 1.0, 1.0, corner_keep=0.5)
+
+    def test_keep_fraction_drops_some(self):
+        full = halo_channels((4, 4, 4), 9.0, 3.0, 1.0)
+        thinned = halo_channels(
+            (4, 4, 4), 9.0, 3.0, 1.0, corner_keep=0.3, edge_keep=0.5, rng=RNG(0)
+        )
+        assert len(thinned) < len(full)
+        # faces untouched; only edges/corners thinned
+        assert (thinned.weight == 9.0).sum() == (full.weight == 9.0).sum()
+        assert (thinned.weight == 3.0).sum() < (full.weight == 3.0).sum()
+
+    def test_2d_halo(self):
+        ch = halo_channels((3, 3), 1.0, 1.0)
+        assert len(partners_of(ch, 4)) == 8  # center of 3x3
+
+
+class TestStridedAndCoarsened:
+    def test_strided_face_offsets(self):
+        ch = strided_face_channels((8, 8, 8), stride=2, weight=1.0)
+        center = (4 * 8 + 4) * 8 + 4
+        expected = {
+            (4 + 2) * 64 + 4 * 8 + 4, (4 - 2) * 64 + 4 * 8 + 4,
+            4 * 64 + (4 + 2) * 8 + 4, 4 * 64 + (4 - 2) * 8 + 4,
+            4 * 64 + 4 * 8 + 6, 4 * 64 + 4 * 8 + 2,
+        }
+        assert partners_of(ch, center) == expected
+
+    def test_strided_axes_subset(self):
+        ch = strided_face_channels((4, 4, 4), 2, 1.0, axes=(0,))
+        assert partners_of(ch, 0) == {2 * 16}
+
+    def test_strided_axis_validation(self):
+        with pytest.raises(ValueError):
+            strided_face_channels((4, 4), 2, 1.0, axes=(5,))
+        with pytest.raises(ValueError):
+            strided_face_channels((4, 4), 0, 1.0)
+
+    def test_coarsened_only_active_ranks(self):
+        ch = coarsened_halo_channels((4, 4, 4), 2, 1.0)
+        srcs = set(ch.src.tolist())
+        coords_ok = all(
+            all(c % 2 == 0 for c in np.unravel_index(s, (4, 4, 4))) for s in srcs
+        )
+        assert coords_ok
+
+    def test_coarsened_degenerate_is_empty(self):
+        assert len(coarsened_halo_channels((2, 2, 2), 4, 1.0)) == 0
+
+
+class TestSweepAndRing:
+    def test_sweep2d_neighbours(self):
+        ch = sweep2d_channels(12, shape=(4, 3))
+        assert partners_of(ch, 0) == {1, 3}
+        assert partners_of(ch, 4) == {1, 3, 5, 7}
+
+    def test_ring(self):
+        ch = ring_channels(5)
+        assert partners_of(ch, 0) == {1}
+        assert partners_of(ch, 2) == {1, 3}
+
+    def test_ring_validation(self):
+        with pytest.raises(ValueError):
+            ring_channels(1)
+
+
+class TestHypercube:
+    def test_power_of_two_partners(self):
+        ch = hypercube_channels(16)
+        assert partners_of(ch, 0) == {1, 2, 4, 8}
+
+    def test_non_power_of_two_skips_out_of_range(self):
+        ch = hypercube_channels(10)
+        # partners of rank 9: 9^1=8, 9^2=11 (skip), 9^4=13 (skip), 9^8=1
+        assert partners_of(ch, 9) == {8, 1}
+
+    def test_decay_weights(self):
+        ch = hypercube_channels(8, dim_weight_decay=0.5)
+        w0 = ch.weight[(ch.src == 0) & (ch.dst == 1)][0]
+        w2 = ch.weight[(ch.src == 0) & (ch.dst == 4)][0]
+        assert w2 == pytest.approx(w0 * 0.25)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hypercube_channels(1)
+
+
+class TestScattered:
+    def test_partner_count(self):
+        ch = scattered_channels(32, 5, RNG(0))
+        for r in range(32):
+            assert len(partners_of(ch, r)) == 5
+
+    def test_zipf_weights_decay(self):
+        ch = scattered_channels(16, 4, RNG(0), weight_decay="zipf")
+        w = ch.weight[ch.src == 0]
+        assert w[0] > w[-1]
+
+    def test_total_weight(self):
+        ch = scattered_channels(16, 4, RNG(0), total_weight=5.0)
+        assert ch.weight.sum() == pytest.approx(5.0)
+
+    def test_biased_distance_profiles_order(self):
+        n = 400
+        dists = {}
+        for profile in ("loguniform", "quadratic", "uniform"):
+            ch = biased_scattered_channels(n, 6, RNG(1), distance=profile)
+            dists[profile] = float(np.abs(ch.src - ch.dst).mean())
+        assert dists["loguniform"] < dists["quadratic"] < dists["uniform"]
+
+    def test_biased_partner_counts(self):
+        ch = biased_scattered_channels(50, 5, RNG(2))
+        counts = [len(partners_of(ch, r)) for r in range(50)]
+        assert min(counts) >= 3  # rejection sampling may fall slightly short
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scattered_channels(8, 0, RNG(0))
+        with pytest.raises(ValueError):
+            biased_scattered_channels(8, 2, RNG(0), distance="bogus")
+        with pytest.raises(ValueError):
+            biased_scattered_channels(8, 2, RNG(0), weight_decay="bogus")
+
+
+class TestFanoutBackground:
+    def test_fanout_hub_degree(self):
+        ch = fanout_channels(20, num_hubs=2, total_weight=1.0)
+        hubs = {r for r in range(20) if len(partners_of(ch, r)) == 19}
+        assert len(hubs) == 2
+
+    def test_everyone_reaches_hub(self):
+        ch = fanout_channels(10, num_hubs=1, total_weight=1.0)
+        hub = 0
+        for r in range(1, 10):
+            assert hub in partners_of(ch, r)
+
+    def test_background_full_mesh(self):
+        ch = background_channels(6, 1.0)
+        assert len(ch) == 30
+        assert ch.weight.sum() == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fanout_channels(4, num_hubs=0, total_weight=1.0)
+        with pytest.raises(ValueError):
+            background_channels(1, 1.0)
+
+
+class TestMortonAndScaling:
+    def test_morton_is_permutation(self):
+        for shape in ((4, 4, 4), (5, 5, 5), (3, 2)):
+            perm = morton_permutation(shape)
+            assert sorted(perm.tolist()) == list(range(int(np.prod(shape))))
+
+    def test_morton_preserves_some_locality(self):
+        """Z-order keeps small blocks together: the first 8 cells of a
+        (4,4,4) grid in Morton order form the 2x2x2 corner block."""
+        perm = morton_permutation((4, 4, 4))
+        corner_block = [(x * 4 + y) * 4 + z for x in (0, 1) for y in (0, 1) for z in (0, 1)]
+        positions = sorted(perm[corner_block].tolist())
+        assert positions == list(range(8))
+
+    def test_permute_channels(self):
+        ch = ring_channels(4)
+        perm = np.array([3, 2, 1, 0])
+        p = permute_channels(ch, perm)
+        assert partners_of(p, 3) == {2}  # old rank 0 -> new rank 3
+
+    def test_scaled_channels(self):
+        ch = ring_channels(4)
+        s = scaled_channels(ch, 0.25)
+        assert s.weight.sum() == pytest.approx(0.25)
+
+    def test_scaled_preserves_calls_factor(self):
+        ch = ring_channels(4).with_calls_factor(0.1)
+        s = scaled_channels(ch, 2.0)
+        assert np.all(s.factors() == 0.1)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6))
+def test_halo_channel_count_property(x, y, z):
+    """Every directed face adjacency appears exactly once."""
+    ch = halo_channels((x, y, z), 1.0)
+    expected = 2 * ((x - 1) * y * z + x * (y - 1) * z + x * y * (z - 1))
+    assert len(ch) == expected

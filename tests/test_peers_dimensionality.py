@@ -1,0 +1,140 @@
+"""Tests for the peers metric and the dimensionality (Table 4) analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics.dimensionality import (
+    chebyshev_distances,
+    grid_distances,
+    grid_shape,
+    locality_by_dimension,
+    manhattan_distances,
+    rank_coordinates,
+    rank_distance_nd,
+    rank_locality_nd,
+)
+from repro.metrics.peers import peers, peers_per_rank
+
+from helpers import make_matrix
+
+
+class TestPeers:
+    def test_peak_destination_count(self):
+        m = make_matrix(5, [(0, 1, 1), (0, 2, 1), (0, 3, 1), (1, 0, 1)])
+        assert peers(m) == 3
+
+    def test_self_excluded(self):
+        m = make_matrix(3, [(0, 0, 1), (0, 1, 1)])
+        assert peers(m) == 1
+
+    def test_no_traffic(self):
+        assert peers(make_matrix(4, [])) == 0
+
+    def test_per_rank(self):
+        m = make_matrix(4, [(0, 1, 1), (0, 2, 1), (3, 0, 1)])
+        assert peers_per_rank(m).tolist() == [2, 0, 0, 1]
+
+
+class TestGridShape:
+    def test_exact_cubes(self):
+        assert grid_shape(64, 3) == (4, 4, 4)
+        assert grid_shape(216, 3) == (6, 6, 6)
+        assert grid_shape(1728, 3) == (12, 12, 12)
+
+    def test_mixed_factors(self):
+        assert grid_shape(18, 3) == (3, 3, 2)
+        assert grid_shape(168, 2) == (14, 12)
+        assert grid_shape(512, 3) == (8, 8, 8)
+
+    def test_one_dimension_is_identity(self):
+        assert grid_shape(17, 1) == (17,)
+
+    def test_prime_count(self):
+        assert grid_shape(13, 3) == (13, 1, 1)
+
+    def test_product_invariant(self):
+        for n in (6, 30, 100, 125, 1000, 1152):
+            for d in (1, 2, 3, 4):
+                assert math.prod(grid_shape(n, d)) == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grid_shape(0, 3)
+        with pytest.raises(ValueError):
+            grid_shape(8, 0)
+
+
+class TestCoordinates:
+    def test_row_major(self):
+        coords = rank_coordinates(np.array([0, 5, 11]), (3, 4))
+        assert coords.tolist() == [[0, 0], [1, 1], [2, 3]]
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            rank_coordinates(np.array([12]), (3, 4))
+
+    def test_roundtrip(self):
+        shape = (3, 4, 5)
+        ranks = np.arange(60)
+        coords = rank_coordinates(ranks, shape)
+        rebuilt = (coords[:, 0] * 4 + coords[:, 1]) * 5 + coords[:, 2]
+        assert np.array_equal(rebuilt, ranks)
+
+
+class TestGridDistances:
+    def test_manhattan_vs_chebyshev(self):
+        src = np.array([0])
+        dst = np.array([5])  # (1,1) on a (4,4) grid
+        assert manhattan_distances(src, dst, (4, 4))[0] == 2
+        assert chebyshev_distances(src, dst, (4, 4))[0] == 1
+
+    def test_1d_reduces_to_linear(self):
+        src = np.array([2, 7])
+        dst = np.array([5, 0])
+        assert grid_distances(src, dst, (10,)).tolist() == [3, 7]
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            grid_distances(np.array([0]), np.array([1]), (4,), metric="euclid")
+
+
+class TestRankDistanceND:
+    def test_3d_faces_are_distance_one(self):
+        # x-face neighbour on (4,4,4): linear offset 16, Manhattan 1
+        m = make_matrix(64, [(0, 16, 100), (0, 1, 100), (0, 4, 100)])
+        assert rank_distance_nd(m, (4, 4, 4)) <= 1.0
+        assert rank_locality_nd(m, (4, 4, 4)) == 1.0
+
+    def test_shape_must_match_ranks(self):
+        m = make_matrix(8, [(0, 1, 1)])
+        with pytest.raises(ValueError):
+            rank_distance_nd(m, (3, 3))
+
+    def test_no_traffic_nan(self):
+        assert math.isnan(rank_distance_nd(make_matrix(8, []), (2, 2, 2)))
+
+    def test_diagonal_under_both_metrics(self):
+        # full 3D diagonal on (2,2,2): rank 0 -> 7
+        m = make_matrix(8, [(0, 7, 100)])
+        assert rank_distance_nd(m, (2, 2, 2), metric="manhattan") == 3.0
+        assert rank_distance_nd(m, (2, 2, 2), metric="chebyshev") == 1.0
+
+
+class TestLocalityByDimension:
+    def test_lulesh_profile(self, lulesh64_p2p):
+        loc = locality_by_dimension(lulesh64_p2p)
+        # paper Table 4: 6% / 24% / 100%
+        assert loc[1] < 0.15
+        assert loc[1] < loc[2] < loc[3]
+        assert loc[3] == 1.0
+
+    def test_1d_neighbour_chain(self):
+        m = make_matrix(12, [(r, r + 1, 100) for r in range(11)])
+        loc = locality_by_dimension(m)
+        assert loc[1] == 1.0  # already one-dimensional
+
+    def test_returns_requested_dims(self):
+        m = make_matrix(8, [(0, 1, 1)])
+        assert set(locality_by_dimension(m, ndims=(1, 2))) == {1, 2}

@@ -1,0 +1,89 @@
+"""Tests for trace statistics (Table 1) and the MPI-level summary rows."""
+
+import math
+
+import pytest
+
+from repro.comm.matrix import matrix_from_trace
+from repro.comm.stats import MB, TraceStats, trace_stats
+from repro.core.events import CollectiveEvent, CollectiveOp, P2PEvent
+from repro.metrics.summary import mpi_level_metrics
+
+from helpers import make_trace
+
+
+class TestTraceStats:
+    def test_pure_p2p(self, ring_trace):
+        stats = trace_stats(ring_trace)
+        assert stats.p2p_bytes == 4000
+        assert stats.collective_logical_bytes == 0
+        assert stats.p2p_share == 1.0
+        assert stats.collective_share == 0.0
+
+    def test_logical_vs_wire_collective_volume(self):
+        n = 8
+        trace = make_trace(n)
+        for r in range(n):
+            trace.add(CollectiveEvent(caller=r, op=CollectiveOp.ALLTOALL, count=10))
+        stats = trace_stats(trace)
+        # logical: every caller records count=10 -> 80 bytes
+        assert stats.collective_logical_bytes == n * 10
+        # wire: each caller fans out to all n members -> n*n*10
+        assert stats.collective_wire_bytes == n * n * 10
+        assert stats.wire_total_bytes > stats.total_bytes
+
+    def test_shares_on_mixed_trace(self, mixed_trace):
+        stats = trace_stats(mixed_trace)
+        assert stats.p2p_share + stats.collective_share == pytest.approx(1.0)
+        assert 0 < stats.p2p_share < 1
+
+    def test_throughput(self):
+        trace = make_trace(2, time_s=2.0)
+        trace.add(P2PEvent(caller=0, peer=1, count=4 * MB, dtype="MPI_BYTE"))
+        assert trace_stats(trace).throughput_mb_per_s == pytest.approx(2.0)
+
+    def test_empty_trace(self):
+        stats = trace_stats(make_trace(4))
+        assert stats.total_bytes == 0
+        assert stats.p2p_share == 0.0
+        assert stats.throughput_mb_per_s == 0.0
+
+    def test_label_and_format(self):
+        stats = TraceStats("X", "b", 8, 1.0, 100, 50, 70)
+        assert stats.label == "X@8/b"
+        assert "X@8/b" in stats.format_row()
+
+    def test_repeat_expansion_counts(self):
+        trace = make_trace(2)
+        trace.add(P2PEvent(caller=0, peer=1, count=10, dtype="MPI_BYTE", repeat=7))
+        assert trace_stats(trace).p2p_bytes == 70
+
+
+class TestMPILevelMetrics:
+    def test_p2p_trace(self, ring_trace):
+        m = mpi_level_metrics(ring_trace)
+        assert m.has_p2p
+        assert m.peers == 1
+        assert m.rank_distance_90 <= 3.0
+        assert m.selectivity_90 == 1.0
+
+    def test_all_collective_trace_reports_na(self):
+        trace = make_trace(4)
+        for r in range(4):
+            trace.add(CollectiveEvent(caller=r, op=CollectiveOp.ALLREDUCE, count=8))
+        m = mpi_level_metrics(trace)
+        assert not m.has_p2p
+        assert m.peers == 0
+        assert math.isnan(m.rank_distance_90)
+        assert math.isnan(m.selectivity_90)
+        assert "N/A" in m.format_row()
+
+    def test_reuses_prebuilt_matrix(self, mixed_trace):
+        matrix = matrix_from_trace(mixed_trace, include_collectives=False)
+        a = mpi_level_metrics(mixed_trace, matrix)
+        b = mpi_level_metrics(mixed_trace)
+        assert a == b
+
+    def test_format_row_numeric(self, mixed_trace):
+        row = mpi_level_metrics(mixed_trace).format_row()
+        assert "test@4" in row

@@ -1,0 +1,166 @@
+"""Tests for the dragonfly model (palm-tree globals, minimal routing)."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dragonfly import Dragonfly
+
+
+class TestStructure:
+    @pytest.mark.parametrize(
+        "ahp,nodes",
+        [((4, 2, 2), 72), ((6, 3, 3), 342), ((8, 4, 4), 1056), ((10, 5, 5), 2550)],
+    )
+    def test_table2_node_counts(self, ahp, nodes):
+        df = Dragonfly(*ahp)
+        assert df.num_nodes == nodes
+        assert df.is_balanced
+
+    def test_group_count(self):
+        assert Dragonfly(4, 2, 2).num_groups == 9
+
+    def test_nominal_links_per_node_band(self):
+        # paper: 3.5 to 3.8 links/node for the standard configurations
+        for ahp, expected in [
+            ((4, 2, 2), 3.5),
+            ((6, 3, 3), 11 / 3),
+            ((8, 4, 4), 3.75),
+            ((10, 5, 5), 3.8),
+        ]:
+            df = Dragonfly(*ahp)
+            ratio = df.nominal_links(df.num_nodes) / df.num_nodes
+            assert ratio == pytest.approx(expected)
+            assert 3.5 <= ratio <= 3.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dragonfly(0, 1, 1)
+
+
+class TestPalmTree:
+    def test_gateway_roundtrip(self):
+        """Both ends agree on the single global link between two groups."""
+        df = Dragonfly(4, 2, 2)
+        g = df.num_groups
+        for g1 in range(g):
+            for g2 in range(g):
+                if g1 == g2:
+                    continue
+                r12_src, r12_dst = df.gateway_routers(np.array([g1]), np.array([g2]))
+                r21_src, r21_dst = df.gateway_routers(np.array([g2]), np.array([g1]))
+                # the link g1->g2 lands on the router that g2 uses to reach g1
+                assert r12_dst[0] == r21_src[0]
+                assert r12_src[0] == r21_dst[0]
+
+    def test_every_router_owns_h_global_ports(self):
+        df = Dragonfly(4, 2, 2)
+        g = df.num_groups
+        for g1 in range(g):
+            counts = np.zeros(df.a, dtype=int)
+            for g2 in range(g):
+                if g1 == g2:
+                    continue
+                r, _ = df.gateway_routers(np.array([g1]), np.array([g2]))
+                counts[r[0]] += 1
+            assert np.all(counts == df.h)
+
+    def test_one_global_link_per_group_pair(self):
+        df = Dragonfly(4, 2, 2)
+        ids = set()
+        g = df.num_groups
+        for g1 in range(g):
+            for g2 in range(g1 + 1, g):
+                lid = df._global_link_id(np.array([g1]), np.array([g2]))[0]
+                assert lid not in ids
+                ids.add(int(lid))
+        assert len(ids) == g * (g - 1) // 2
+
+
+class TestHops:
+    def test_bounds_two_to_five(self):
+        df = Dragonfly(4, 2, 2)
+        n = df.num_nodes
+        src, dst = np.meshgrid(np.arange(n), np.arange(n))
+        hops = df.hops_array(src.ravel(), dst.ravel())
+        off = src.ravel() != dst.ravel()
+        assert hops[off].min() == 2
+        assert hops[off].max() == 5
+        assert df.diameter == 5
+
+    def test_same_router(self):
+        df = Dragonfly(4, 2, 2)  # p=2: nodes 0,1 on router 0
+        assert df.hops(0, 1) == 2
+
+    def test_same_group_different_router(self):
+        df = Dragonfly(4, 2, 2)
+        assert df.hops(0, 2) == 3
+
+    def test_cross_group_range(self):
+        df = Dragonfly(4, 2, 2)
+        # group 0 node 0 (router 0) to group 1: router 0 owns ports 0,1 ->
+        # groups 1 and 2 reachable without a source-side detour
+        h = df.hops(0, 8)  # first node of group 1
+        assert 3 <= h <= 5
+
+    def test_symmetry(self):
+        df = Dragonfly(6, 3, 3)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, df.num_nodes, 400)
+        b = rng.integers(0, df.num_nodes, 400)
+        assert np.array_equal(df.hops_array(a, b), df.hops_array(b, a))
+
+    def test_crosses_groups(self):
+        df = Dragonfly(4, 2, 2)
+        assert not df.crosses_groups(np.array([0]), np.array([7]))[0]
+        assert df.crosses_groups(np.array([0]), np.array([8]))[0]
+
+    def test_paper_amg8_band(self):
+        """8 consecutive nodes fill one (4,2,2) group: mean ~2.86 (paper 2.83)."""
+        df = Dragonfly(4, 2, 2)
+        src, dst = np.meshgrid(np.arange(8), np.arange(8))
+        hops = df.hops_array(src.ravel(), dst.ravel())
+        off = src.ravel() != dst.ravel()
+        assert hops[off].mean() == pytest.approx(20 / 7, abs=0.01)
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("ahp", [(4, 2, 2), (6, 3, 3)])
+    def test_route_length_equals_hops(self, ahp):
+        df = Dragonfly(*ahp)
+        rng = np.random.default_rng(1)
+        src = rng.integers(0, df.num_nodes, 400)
+        dst = rng.integers(0, df.num_nodes, 400)
+        inc = df.route_incidence(src, dst)
+        counted = np.bincount(inc.pair_index, minlength=400)
+        assert np.array_equal(counted, df.hops_array(src, dst))
+
+    def test_cross_group_route_contains_exactly_one_global_link(self):
+        df = Dragonfly(4, 2, 2)
+        rng = np.random.default_rng(2)
+        src = rng.integers(0, 8, 100)  # group 0
+        dst = rng.integers(8, df.num_nodes, 100)  # other groups
+        inc = df.route_incidence(src, dst)
+        global_mask = df.is_global_link(inc.link_id)
+        per_pair = np.bincount(inc.pair_index[global_mask], minlength=100)
+        assert np.all(per_pair == 1)
+
+    def test_intra_group_route_has_no_global_link(self):
+        df = Dragonfly(4, 2, 2)
+        inc = df.route_incidence(np.array([0, 0]), np.array([3, 7]))
+        assert not df.is_global_link(inc.link_id).any()
+
+    def test_local_link_ids_within_namespace(self):
+        df = Dragonfly(4, 2, 2)
+        inc = df.route_incidence(np.array([0]), np.array([6]))
+        local = [
+            lid
+            for lid in inc.link_id
+            if df._local_base <= lid < df._global_base
+        ]
+        assert len(local) == 1
+
+    def test_describe_link(self):
+        df = Dragonfly(4, 2, 2)
+        assert "node link" in df.describe_link(0)
+        assert "local link" in df.describe_link(df._local_base)
+        assert "global link" in df.describe_link(df._global_base)

@@ -1,0 +1,129 @@
+"""Tests for the fat-tree model."""
+
+import numpy as np
+import pytest
+
+from repro.topology.fattree import FatTree
+
+
+class TestStructure:
+    def test_node_counts_match_table2(self):
+        assert FatTree(48, 1).num_nodes == 48
+        assert FatTree(48, 2).num_nodes == 576
+        assert FatTree(48, 3).num_nodes == 13824
+
+    def test_diameter(self):
+        assert FatTree(48, 1).diameter == 2
+        assert FatTree(48, 3).diameter == 6
+
+    def test_nominal_links_paper_formula(self):
+        # nodes * stages, half for the last stage
+        assert FatTree(48, 1).nominal_links(48) == pytest.approx(24.0)
+        assert FatTree(48, 2).nominal_links(576) == pytest.approx(864.0)
+        assert FatTree(48, 3).nominal_links(1000) == pytest.approx(2500.0)
+        # links per node stays below three (paper §7)
+        assert FatTree(48, 3).nominal_links(100) / 100 < 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FatTree(47, 1)  # odd radix
+        with pytest.raises(ValueError):
+            FatTree(48, 4)
+
+    def test_leaf_and_pod_indexing(self):
+        ft = FatTree(48, 3)
+        assert ft.leaf_of(np.array([0, 23, 24])).tolist() == [0, 0, 1]
+        assert ft.pod_of(np.array([575, 576])).tolist() == [0, 1]
+
+
+class TestHops:
+    def test_single_switch_all_pairs_two_hops(self):
+        ft = FatTree(48, 1)
+        src, dst = np.meshgrid(np.arange(48), np.arange(48))
+        hops = ft.hops_array(src.ravel(), dst.ravel())
+        off = src.ravel() != dst.ravel()
+        assert np.all(hops[off] == 2)
+        assert np.all(hops[~off] == 0)
+
+    def test_two_stage_levels(self):
+        ft = FatTree(48, 2)
+        assert ft.hops(0, 1) == 2  # same leaf (nodes 0..23)
+        assert ft.hops(0, 23) == 2
+        assert ft.hops(0, 24) == 4  # next leaf
+
+    def test_three_stage_levels(self):
+        ft = FatTree(48, 3)
+        assert ft.hops(0, 5) == 2  # same leaf
+        assert ft.hops(0, 24) == 4  # same pod, different leaf
+        assert ft.hops(0, 576) == 6  # different pod
+
+    def test_symmetry(self):
+        ft = FatTree(48, 3)
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, ft.num_nodes, 500)
+        b = rng.integers(0, ft.num_nodes, 500)
+        assert np.array_equal(ft.hops_array(a, b), ft.hops_array(b, a))
+
+    def test_paper_bigfft9_average(self):
+        """BigFFT@9 on (48,1): alltoall with self gives exactly 2*(N-1)/N."""
+        ft = FatTree(48, 1)
+        n = 9
+        src, dst = np.meshgrid(np.arange(n), np.arange(n))
+        hops = ft.hops_array(src.ravel(), dst.ravel())
+        assert hops.mean() == pytest.approx(2 * (n - 1) / n)  # = 1.78
+
+    def test_consecutive_100_ranks_average(self):
+        """Validated against the paper's BigFFT@100 fat-tree value (3.52)."""
+        ft = FatTree(48, 2)
+        n = 100
+        src, dst = np.meshgrid(np.arange(n), np.arange(n))
+        mean = ft.hops_array(src.ravel(), dst.ravel()).mean()
+        assert mean == pytest.approx(3.52, abs=0.02)
+
+
+class TestRoutes:
+    @pytest.mark.parametrize("stages", [1, 2, 3])
+    def test_route_length_equals_hops(self, stages):
+        ft = FatTree(48, stages)
+        rng = np.random.default_rng(stages)
+        src = rng.integers(0, ft.num_nodes, 300)
+        dst = rng.integers(0, ft.num_nodes, 300)
+        inc = ft.route_incidence(src, dst)
+        counted = np.bincount(inc.pair_index, minlength=300)
+        assert np.array_equal(counted, ft.hops_array(src, dst))
+
+    def test_same_leaf_uses_only_node_links(self):
+        ft = FatTree(48, 2)
+        links = ft.route_links(0, 1)
+        assert sorted(links) == [0, 1]  # level-0 ids equal node ids
+
+    def test_up_down_lanes_match(self):
+        """The d-mod-k lane is shared by the up and down legs."""
+        ft = FatTree(48, 2)
+        links = ft.route_links(0, 30)
+        l1 = [lid for lid in links if lid >= ft.num_nodes]
+        lanes = [(lid - ft.num_nodes) % ft.k for lid in l1]
+        assert len(set(lanes)) == 1
+
+    def test_deterministic_routing_same_destination_same_lane(self):
+        """All traffic to one destination converges on one down path."""
+        ft = FatTree(48, 2)
+        dst = 100
+        lanes = set()
+        for src in (0, 30, 60, 200):
+            if ft.leaf_of(np.array([src]))[0] == ft.leaf_of(np.array([dst]))[0]:
+                continue
+            l1 = [lid for lid in ft.route_links(src, dst) if lid >= ft.num_nodes]
+            lanes.update((lid - ft.num_nodes) % ft.k for lid in l1)
+        assert len(lanes) == 1
+
+    def test_used_link_ids_unique_namespaces(self):
+        ft = FatTree(48, 3)
+        inc = ft.route_incidence(np.array([0]), np.array([600]))
+        assert len(set(inc.link_id.tolist())) == 6  # all distinct links
+
+    def test_describe_link(self):
+        ft = FatTree(48, 3)
+        assert "node link" in ft.describe_link(0)
+        assert "L1" in ft.describe_link(ft.num_nodes)
+        assert "L2" in ft.describe_link(ft.num_nodes + ft.num_leaves * ft.k)

@@ -1,0 +1,91 @@
+"""Tests for the generator self-validation framework."""
+
+import pytest
+
+from repro.apps.registry import get_app
+from repro.apps.validation import (
+    ValidationIssue,
+    ValidationResult,
+    validate_all,
+    validate_app,
+)
+from repro.cli import main
+
+
+class TestValidateApp:
+    def test_clean_configuration(self):
+        result = validate_app(get_app("LULESH"), 64)
+        assert result.ok
+        assert result.checked == 1
+
+    def test_all_collective_app(self):
+        result = validate_app(get_app("BigFFT"), 9)
+        assert result.ok
+
+    def test_derived_type_app(self):
+        result = validate_app(get_app("SNAP"), 168)
+        assert result.ok
+
+    def test_unknown_configuration_raises(self):
+        with pytest.raises(KeyError):
+            validate_app(get_app("AMG"), 999)
+
+    def test_detects_broken_calibration(self):
+        """A generator whose pattern ignores its byte targets is flagged."""
+        import numpy as np
+
+        from repro.apps.base import AppPattern, CalibrationPoint, Channels, SyntheticApp
+
+        class Broken(SyntheticApp):
+            name = "LULESH"  # reuse a known peers expectation
+            calibration = (CalibrationPoint(64, 1.0, 100.0, 0.5),)
+
+            def pattern(self, ranks, rng):
+                # all-p2p pattern although the calibration claims a 50%
+                # collective share -> p2p-share check must fire
+                return AppPattern(
+                    channels=Channels(
+                        np.array([0]), np.array([1]), np.array([1.0])
+                    )
+                )
+
+        result = validate_app(Broken(), 64)
+        assert not result.ok
+        kinds = {i.kind for i in result.issues}
+        assert "calibration" in kinds
+        # single heavy pair also violates the LULESH peers band
+        assert "structure" in kinds
+
+    def test_issue_rendering(self):
+        issue = ValidationIssue("X@8", "structure", "boom")
+        assert str(issue) == "[structure] X@8: boom"
+
+
+class TestValidateAll:
+    def test_small_grid_clean(self):
+        result = validate_all(max_ranks=70)
+        assert result.ok, result.summary()
+        assert result.checked >= 10
+
+    def test_merge(self):
+        a = ValidationResult(checked=1)
+        b = ValidationResult(checked=2, issues=[ValidationIssue("x", "k", "m")])
+        a.merge(b)
+        assert a.checked == 3
+        assert not a.ok
+        assert "1 issue" in a.summary()
+
+
+class TestCLI:
+    def test_validate_command(self, capsys):
+        code = main(["validate", "--max-ranks", "30"])
+        assert code == 0
+        assert "no issues" in capsys.readouterr().out
+
+    def test_simulate_command(self, capsys):
+        code = main(
+            ["simulate", "--app", "MiniFE", "--ranks", "18", "--volume-scale", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "static utilization" in out and "congested packets" in out

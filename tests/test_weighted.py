@@ -1,0 +1,93 @@
+"""Tests for the weighted-quantile helper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.weighted import weighted_quantile
+
+
+class TestBasics:
+    def test_single_value(self):
+        assert weighted_quantile(np.array([5.0]), np.array([1.0]), 0.9) == 5.0
+
+    def test_equal_weights_coverage_convention(self):
+        vals = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        wts = np.ones(5)
+        # right-edge coverage: value 2 covers 40%, value 3 covers 60%
+        assert weighted_quantile(vals, wts, 0.5) == pytest.approx(2.5)
+        assert weighted_quantile(vals, wts, 0.6) == pytest.approx(3.0)
+
+    def test_heavy_weight_dominates_near_full_coverage(self):
+        vals = np.array([1.0, 100.0])
+        wts = np.array([1.0, 1e9])
+        assert weighted_quantile(vals, wts, 0.999) == pytest.approx(100.0, rel=1e-2)
+
+    def test_monotone_in_q(self):
+        rng = np.random.default_rng(0)
+        vals = rng.random(50)
+        wts = rng.random(50) + 0.01
+        qs = [weighted_quantile(vals, wts, q) for q in np.linspace(0, 1, 11)]
+        assert all(b >= a - 1e-12 for a, b in zip(qs, qs[1:]))
+
+    def test_unsorted_input(self):
+        vals = np.array([3.0, 1.0, 2.0])
+        wts = np.array([1.0, 1.0, 1.0])
+        assert weighted_quantile(vals, wts, 2 / 3) == pytest.approx(2.0)
+
+    def test_dominant_first_value_clamps(self):
+        # 95% of weight at distance 1: the 90% coverage distance is 1
+        v = weighted_quantile(np.array([1.0, 7.0]), np.array([95.0, 5.0]), 0.9)
+        assert v == pytest.approx(1.0)
+
+    def test_duplicates_merged(self):
+        v = weighted_quantile(
+            np.array([1.0, 1.0, 5.0]), np.array([45.0, 45.0, 10.0]), 0.9
+        )
+        assert v == pytest.approx(1.0)
+
+    def test_interpolation_is_fractional(self):
+        # 90% quantile of {1 (80%), 10 (20%)} sits between the two values
+        v = weighted_quantile(np.array([1.0, 10.0]), np.array([8.0, 2.0]), 0.9)
+        assert 1.0 < v < 10.0
+
+
+class TestValidation:
+    def test_bad_quantile(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), np.array([1.0]), 1.5)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([]), np.array([]), 0.5)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0, 2.0]), np.array([1.0, -1.0]), 0.5)
+
+    def test_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0]), np.array([0.0]), 0.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_quantile(np.array([1.0, 2.0]), np.array([1.0]), 0.5)
+
+
+@given(
+    st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=60),
+    st.floats(0, 1),
+)
+def test_quantile_within_range(vals, q):
+    values = np.array(vals)
+    weights = np.ones(len(vals))
+    result = weighted_quantile(values, weights, q)
+    assert values.min() - 1e-9 <= result <= values.max() + 1e-9
+
+
+@given(st.lists(st.integers(1, 100), min_size=2, max_size=40))
+def test_extremes(vals):
+    values = np.array(vals, dtype=float)
+    weights = np.ones(len(vals))
+    assert weighted_quantile(values, weights, 0.0) == values.min()
+    assert weighted_quantile(values, weights, 1.0) == values.max()
