@@ -1,0 +1,153 @@
+"""Performance benchmarks of the batched simulator and the cached pipeline.
+
+Run with ``pytest -m perf benchmarks/test_perf_sim.py``.  Two calibrated
+measurements, each asserting a *ratio* (robust to machine speed):
+
+1. the batched NumPy kernel vs the per-event reference loop on a 500k-packet
+   dragonfly simulation (target: >= 10x packet-hop throughput);
+2. a full Table-3 reproduction cold vs warm through the content-keyed cache
+   (target: >= 3x; the incidence region is sized so the 41-config x
+   3-topology grid fits).
+
+Measured numbers are recorded in ``BENCH_sim.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import cache
+from repro.analysis.tables import build_table3
+from repro.comm.matrix import CommMatrixBuilder
+from repro.sim.common import prepare_simulation
+from repro.sim.engine import run_batched
+from repro.sim.reference import run_reference
+from repro.topology.dragonfly import Dragonfly
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim.json"
+
+#: Benchmark workload: ~500k packets through a 1056-node Dragonfly(8,4,4)
+#: at ~30% dynamic utilization — dense enough that the per-event loop is at
+#: its worst, congested enough (about half the packets queue) to be a
+#: meaningful dynamic regime rather than a free-flowing one.
+NUM_PAIRS = 2_000
+PACKETS_PER_PAIR = 250
+EXECUTION_TIME = 1.1e-3
+SEED = 7
+
+SIM_SPEEDUP_TARGET = 10.0
+TABLE3_SPEEDUP_TARGET = 3.0
+
+
+def _record(section: str, payload: dict) -> None:
+    data = {}
+    if BENCH_PATH.is_file():
+        try:
+            data = json.loads(BENCH_PATH.read_text())
+        except json.JSONDecodeError:
+            data = {}
+    data[section] = payload
+    BENCH_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _dragonfly_workload():
+    topo = Dragonfly(8, 4, 4)
+    rng = np.random.default_rng(0)
+    builder = CommMatrixBuilder(topo.num_nodes)
+    src = rng.integers(0, topo.num_nodes, NUM_PAIRS)
+    dst = (src + rng.integers(1, topo.num_nodes, NUM_PAIRS)) % topo.num_nodes
+    packets = np.full(NUM_PAIRS, PACKETS_PER_PAIR, dtype=np.int64)
+    builder.add_arrays(src, dst, packets * 4096, packets, packets)
+    return builder.finalize(), topo
+
+
+class TestSimulatorSpeedup:
+    def test_batched_10x_on_500k_packets(self):
+        matrix, topo = _dragonfly_workload()
+        setup = prepare_simulation(
+            matrix,
+            topo,
+            execution_time=EXECUTION_TIME,
+            seed=SEED,
+            max_packets=2_000_000,
+        )
+        assert setup.total_packets >= 500_000
+
+        t0 = time.perf_counter()
+        batched = run_batched(setup)
+        batched_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        reference = run_reference(setup)
+        reference_s = time.perf_counter() - t0
+
+        assert batched == reference, "engines diverged on the benchmark workload"
+        speedup = reference_s / batched_s
+
+        _record(
+            "simulator",
+            {
+                "topology": "Dragonfly(8,4,4)",
+                "packets": setup.total_packets,
+                "packet_hops": setup.total_hops,
+                "execution_time_s": EXECUTION_TIME,
+                "dynamic_utilization": round(batched.dynamic_utilization, 4),
+                "congested_packet_share": round(batched.congested_packet_share, 4),
+                "reference_s": round(reference_s, 3),
+                "batched_s": round(batched_s, 3),
+                "reference_hops_per_s": round(setup.total_hops / reference_s),
+                "batched_hops_per_s": round(setup.total_hops / batched_s),
+                "speedup": round(speedup, 2),
+                "target": SIM_SPEEDUP_TARGET,
+            },
+        )
+        assert speedup >= SIM_SPEEDUP_TARGET, (
+            f"batched kernel {speedup:.1f}x vs reference; "
+            f"target {SIM_SPEEDUP_TARGET:.0f}x "
+            f"({batched_s:.2f}s vs {reference_s:.2f}s)"
+        )
+
+
+class TestPipelineCacheSpeedup:
+    def test_table3_warm_cache_3x(self):
+        # Size the incidence region for the full grid (41 configs x 3
+        # topologies); traces and matrices already fit their defaults.
+        cache.configure(disable_disk=True, memory_items={"incidence": 160})
+        cache.clear(memory=True)
+
+        t0 = time.perf_counter()
+        cold_rows = build_table3()
+        cold_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        warm_rows = build_table3()
+        warm_s = time.perf_counter() - t0
+
+        cache.configure(memory_items={"incidence": 32})
+        cache.clear(memory=True)
+
+        assert len(warm_rows) == len(cold_rows)
+        assert [r.label for r in warm_rows] == [r.label for r in cold_rows]
+        speedup = cold_s / warm_s
+
+        _record(
+            "table3_cache",
+            {
+                "rows": len(cold_rows),
+                "cold_s": round(cold_s, 3),
+                "warm_s": round(warm_s, 3),
+                "speedup": round(speedup, 2),
+                "target": TABLE3_SPEEDUP_TARGET,
+            },
+        )
+        assert speedup >= TABLE3_SPEEDUP_TARGET, (
+            f"warm Table-3 pass {speedup:.1f}x vs cold; "
+            f"target {TABLE3_SPEEDUP_TARGET:.0f}x ({warm_s:.2f}s vs {cold_s:.2f}s)"
+        )

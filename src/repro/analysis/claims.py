@@ -24,7 +24,7 @@ import numpy as np
 from .figures import MulticoreSeries
 from .tables import Table3Row
 
-__all__ = ["ClaimReport", "evaluate_claims", "render_claims"]
+__all__ = ["ClaimReport", "build_claim_report", "evaluate_claims", "render_claims"]
 
 
 @dataclass(frozen=True)
@@ -152,6 +152,23 @@ def evaluate_claims(
         utilization_below_1pct_share=util_small / len(rows),
         multicore_saturation_ok_share=saturation,
     )
+
+
+def build_claim_report(
+    max_ranks: int | None = None, seed: int = 0, with_figure5: bool = True
+) -> ClaimReport:
+    """Build Table-3 rows (and Figure-5 series) and evaluate the claims.
+
+    Convenience wrapper used by the CLI; all intermediates (traces,
+    matrices, route incidences) flow through :mod:`repro.cache`, so the
+    Table-3 and Figure-5 passes share work.
+    """
+    from .figures import build_figure5
+    from .tables import build_table3
+
+    rows = build_table3(max_ranks=max_ranks, seed=seed)
+    figure5 = build_figure5(max_ranks=max_ranks, seed=seed) if with_figure5 else None
+    return evaluate_claims(rows, figure5 or None)
 
 
 def render_claims(report: ClaimReport) -> str:

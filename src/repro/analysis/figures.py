@@ -11,8 +11,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..apps.registry import generate_trace, iter_configurations
-from ..comm.matrix import matrix_from_trace
+from ..apps.registry import iter_configurations
+from ..cache import cached_matrix, cached_trace
 from ..mapping.multicore import DEFAULT_CORES, MulticorePoint, multicore_sweep
 from ..metrics.selectivity import mean_selectivity_curve, partner_volumes
 
@@ -51,8 +51,8 @@ def build_figure1(
     app: str = "LULESH", ranks: int = 64, rank: int = 0, seed: int = 0
 ) -> Figure1Series:
     """The paper's illustration: LULESH rank 0 partner volumes."""
-    trace = generate_trace(app, ranks, seed=seed)
-    matrix = matrix_from_trace(trace, include_collectives=False)
+    trace = cached_trace(app, ranks, seed=seed)
+    matrix = cached_matrix(trace, include_collectives=False)
     return Figure1Series(app, ranks, rank, partner_volumes(matrix, rank))
 
 
@@ -87,8 +87,8 @@ def build_figure3(
     for app, point in iter_configurations(max_ranks=max_ranks):
         if point.p2p_share == 0.0:
             continue  # all-collective apps have no selectivity curve
-        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
-        matrix = matrix_from_trace(trace, include_collectives=False)
+        trace = cached_trace(app.name, point.ranks, variant=point.variant, seed=seed)
+        matrix = cached_matrix(trace, include_collectives=False)
         curve = mean_selectivity_curve(matrix, max_partners=max_partners)
         curves.append(SelectivityCurve(app.name, point.ranks, point.variant, curve))
     return curves
@@ -103,8 +103,8 @@ def build_figure4(
     application = get_app(app)
     curves = []
     for ranks in application.scales():
-        trace = application.generate(ranks, seed=seed)
-        matrix = matrix_from_trace(trace, include_collectives=False)
+        trace = cached_trace(app, ranks, seed=seed)
+        matrix = cached_matrix(trace, include_collectives=False)
         curve = mean_selectivity_curve(matrix, max_partners=max_partners)
         curves.append(SelectivityCurve(app, ranks, "", curve))
     return curves
@@ -152,8 +152,8 @@ def build_figure5(
         if point.ranks < min_ranks or (app.name, point.ranks) in seen:
             continue
         seen.add((app.name, point.ranks))
-        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
-        matrix = matrix_from_trace(trace)  # both traffic classes
+        trace = cached_trace(app.name, point.ranks, variant=point.variant, seed=seed)
+        matrix = cached_matrix(trace)  # both traffic classes
         series.append(
             MulticoreSeries(
                 app.name, point.ranks, point.variant, multicore_sweep(matrix, cores)

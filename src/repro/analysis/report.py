@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps.registry import iter_configurations
-from ..comm.matrix import matrix_from_trace
+from ..cache import cached_matrix, cached_trace
 from ..comm.stats import trace_stats
 from ..metrics.heatmap import heatmap_summary
 from ..metrics.summary import mpi_level_metrics
@@ -50,13 +50,13 @@ def build_report(
     for app, point in iter_configurations(max_ranks=max_ranks):
         if point.variant:
             continue  # variants duplicate the pattern; keep the report terse
-        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        trace = cached_trace(app.name, point.ranks, variant=point.variant, seed=seed)
         stats = trace_stats(trace)
-        p2p = matrix_from_trace(trace, include_collectives=False)
+        p2p = cached_matrix(trace, include_collectives=False)
         metrics = mpi_level_metrics(trace, p2p)
         heat = heatmap_summary(p2p)
 
-        full = matrix_from_trace(trace)
+        full = cached_matrix(trace)
         cfg = config_for(point.ranks)
         analyses = {
             "torus3d": analyze_network(

@@ -13,16 +13,25 @@ are a few lines:
         topologies=("torus3d", "fattree"),
         mappings=("consecutive", "bisection"),
         payloads=(1024, 4096),
-    ))
+    ), workers=4)
+
+Traces, matrices, and route incidences are memoized through
+:mod:`repro.cache`, so repeated sweeps (and the many points sharing one
+app/payload) rebuild nothing.  ``workers=N`` evaluates grid points in
+``N`` processes; records are returned in the same deterministic order —
+and with identical values — as the sequential run, because every point is
+a pure function of the spec.  Points are dispatched in contiguous chunks
+so each worker's process-local cache still gets within-app hits.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any
 
-from ..apps.registry import generate_trace
-from ..comm.matrix import matrix_from_trace
+from ..cache import cached_matrix, cached_trace
 from ..mapping.base import Mapping
 from ..mapping.optimized import optimize_mapping
 from ..model.engine import BANDWIDTH_BYTES_PER_S, analyze_network
@@ -80,6 +89,16 @@ class SweepSpec:
             * len(self.bandwidths)
         )
 
+    def points(self) -> list[tuple[str, int, int, str, str]]:
+        """The grid in canonical evaluation order (bandwidths loop inside)."""
+        return [
+            (app, ranks, payload, topo_kind, mapping_method)
+            for app, ranks in self.apps
+            for payload in self.payloads
+            for topo_kind in self.topologies
+            for mapping_method in self.mappings
+        ]
+
 
 def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
     if method == "random":
@@ -87,62 +106,71 @@ def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
     return optimize_mapping(matrix, topology, method=method, seed=seed)
 
 
-def run_sweep(spec: SweepSpec) -> list[dict[str, Any]]:
-    """Evaluate every sweep point; one flat record per point.
+def _eval_point(
+    spec: SweepSpec, point: tuple[str, int, int, str, str]
+) -> list[dict[str, Any]]:
+    """Evaluate one grid point — a pure function of (spec, point).
 
-    Traces and per-payload matrices are cached across the grid so each
-    (app, payload) combination is built once.
+    Runs in the parent process for ``workers=1`` and in pool workers
+    otherwise; all heavy intermediates go through the process-local
+    :mod:`repro.cache`, so points sharing an app/payload rebuild nothing.
     """
-    records: list[dict[str, Any]] = []
-    trace_cache: dict[tuple[str, int], Any] = {}
-    matrix_cache: dict[tuple[str, int, int], Any] = {}
-
-    for app, ranks in spec.apps:
-        key = (app, ranks)
-        if key not in trace_cache:
-            trace_cache[key] = generate_trace(app, ranks, seed=spec.seed)
-        trace = trace_cache[key]
-        cfg = config_for(ranks)
-
-        for payload in spec.payloads:
-            mkey = (app, ranks, payload)
-            if mkey not in matrix_cache:
-                matrix_cache[mkey] = matrix_from_trace(
-                    trace,
-                    include_collectives=spec.include_collectives,
-                    payload=payload,
-                )
-            matrix = matrix_cache[mkey]
-
-            for topo_kind in spec.topologies:
-                topology = _TOPOLOGY_BUILDERS[topo_kind](cfg)
-                for mapping_method in spec.mappings:
-                    mapping = _build_mapping(
-                        mapping_method, matrix, topology, spec.seed
-                    )
-                    for bandwidth in spec.bandwidths:
-                        result = analyze_network(
-                            matrix,
-                            topology,
-                            mapping=mapping,
-                            execution_time=trace.meta.execution_time,
-                            bandwidth=bandwidth,
-                            payload=payload,
-                        )
-                        records.append(
-                            {
-                                "app": app,
-                                "ranks": ranks,
-                                "topology": topo_kind,
-                                "mapping": mapping_method,
-                                "payload": payload,
-                                "bandwidth": bandwidth,
-                                "packet_hops": result.packet_hops,
-                                "avg_hops": round(result.avg_hops, 4),
-                                "utilization_percent": round(
-                                    result.utilization_percent, 6
-                                ),
-                                "used_links": result.used_links,
-                            }
-                        )
+    app, ranks, payload, topo_kind, mapping_method = point
+    trace = cached_trace(app, ranks, seed=spec.seed)
+    matrix = cached_matrix(
+        trace,
+        include_collectives=spec.include_collectives,
+        payload=payload,
+    )
+    cfg = config_for(ranks)
+    topology = _TOPOLOGY_BUILDERS[topo_kind](cfg)
+    mapping = _build_mapping(mapping_method, matrix, topology, spec.seed)
+    records = []
+    for bandwidth in spec.bandwidths:
+        result = analyze_network(
+            matrix,
+            topology,
+            mapping=mapping,
+            execution_time=trace.meta.execution_time,
+            bandwidth=bandwidth,
+            payload=payload,
+        )
+        records.append(
+            {
+                "app": app,
+                "ranks": ranks,
+                "topology": topo_kind,
+                "mapping": mapping_method,
+                "payload": payload,
+                "bandwidth": bandwidth,
+                "packet_hops": result.packet_hops,
+                "avg_hops": round(result.avg_hops, 4),
+                "utilization_percent": round(result.utilization_percent, 6),
+                "used_links": result.used_links,
+            }
+        )
     return records
+
+
+def run_sweep(spec: SweepSpec, workers: int = 1) -> list[dict[str, Any]]:
+    """Evaluate every sweep point; one flat record per (point, bandwidth).
+
+    ``workers`` > 1 distributes grid points over that many processes.
+    Results are deterministic: the record order and every value are
+    identical for any worker count (each point is a pure function of the
+    spec, and records are reassembled in grid order).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    points = spec.points()
+    if workers == 1 or len(points) <= 1:
+        per_point = [_eval_point(spec, point) for point in points]
+    else:
+        # Contiguous chunks keep same-app points on the same worker, so the
+        # process-local trace/matrix caches hit within a chunk.
+        chunksize = max(1, -(-len(points) // workers))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            per_point = list(
+                pool.map(partial(_eval_point, spec), points, chunksize=chunksize)
+            )
+    return [record for records in per_point for record in records]

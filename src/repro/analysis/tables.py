@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps.registry import iter_configurations
-from ..comm.matrix import CommMatrix, matrix_from_trace
+from ..cache import cached_matrix, cached_trace
+from ..comm.matrix import CommMatrix
 from ..comm.stats import TraceStats, trace_stats
 from ..core.trace import Trace
 from ..metrics.dimensionality import locality_by_dimension
@@ -56,7 +57,7 @@ def build_table1(max_ranks: int | None = None, seed: int = 0) -> list[Table1Row]
     """Per-configuration traffic statistics over the full workload set."""
     rows = []
     for app, point in iter_configurations(max_ranks=max_ranks):
-        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        trace = cached_trace(app.name, point.ranks, variant=point.variant, seed=seed)
         rows.append(Table1Row(trace_stats(trace)))
     return rows
 
@@ -116,9 +117,9 @@ class Table3Row:
 def build_table3_row(trace: Trace, p2p_matrix: CommMatrix | None = None) -> Table3Row:
     """Compute one Table-3 row from a trace."""
     if p2p_matrix is None:
-        p2p_matrix = matrix_from_trace(trace, include_collectives=False)
+        p2p_matrix = cached_matrix(trace, include_collectives=False)
     metrics = mpi_level_metrics(trace, p2p_matrix)
-    full_matrix = matrix_from_trace(trace)
+    full_matrix = cached_matrix(trace)
     cfg = config_for(trace.meta.num_ranks)
     topologies = {
         "torus3d": cfg.build_torus(),
@@ -138,7 +139,7 @@ def build_table3(max_ranks: int | None = None, seed: int = 0) -> list[Table3Row]
     """The full Table 3 over all configurations (optionally size-capped)."""
     rows = []
     for app, point in iter_configurations(max_ranks=max_ranks):
-        trace = app.generate(point.ranks, variant=point.variant, seed=seed)
+        trace = cached_trace(app.name, point.ranks, variant=point.variant, seed=seed)
         rows.append(build_table3_row(trace))
     return rows
 
@@ -208,14 +209,12 @@ def build_table4(
     max_ranks: int | None = None,
     seed: int = 0,
 ) -> list[Table4Row]:
-    from ..apps.registry import generate_trace
-
     rows = []
     for app, ranks in workloads:
         if max_ranks is not None and ranks > max_ranks:
             continue
-        trace = generate_trace(app, ranks, seed=seed)
-        matrix = matrix_from_trace(trace, include_collectives=False)
+        trace = cached_trace(app, ranks, seed=seed)
+        matrix = cached_matrix(trace, include_collectives=False)
         rows.append(Table4Row(app, ranks, locality_by_dimension(matrix)))
     return rows
 

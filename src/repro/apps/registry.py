@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from .. import timings
 from ..core.trace import Trace
 from .amg import AMG
 from .amr import AMRMiniapp
@@ -73,9 +74,10 @@ def generate_trace(
     emit_receives: bool = False,
 ) -> Trace:
     """Generate one calibrated synthetic trace."""
-    return get_app(name).generate(
-        ranks, variant=variant, seed=seed, emit_receives=emit_receives
-    )
+    with timings.stage("trace"):
+        return get_app(name).generate(
+            ranks, variant=variant, seed=seed, emit_receives=emit_receives
+        )
 
 
 def iter_configurations(

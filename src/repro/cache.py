@@ -1,0 +1,354 @@
+"""Content-keyed memoization for the expensive pipeline stages.
+
+The study grid re-derives the same intermediate artifacts many times: the
+41-configuration Table-3 reproduction regenerates traces that Figure 3/5 and
+the claims report need again; a sweep evaluates one traffic matrix against
+several bandwidths, recomputing identical route incidences per point.  This
+module gives the three hot producers a shared cache:
+
+- :func:`cached_trace` — synthetic traces, keyed on
+  ``(app, ranks, variant, seed, emit_receives)`` (the full determinism
+  domain of :func:`repro.apps.registry.generate_trace`);
+- :func:`cached_matrix` — traffic matrices, keyed on the trace's content
+  key plus ``(include_p2p, include_collectives, payload)``;
+- :func:`cached_route_incidence` — route incidences, keyed on the topology
+  fingerprint (:meth:`repro.topology.base.Topology.fingerprint`) plus a
+  BLAKE2 digest of the queried ``(src, dst)`` pair arrays.
+
+Two tiers: a per-process in-memory LRU (always on) and an optional on-disk
+cache (pickle for traces/matrices, ``.npz`` for incidences) enabled with
+:func:`configure` or the ``REPRO_CACHE_DIR`` environment variable /
+``repro --cache-dir``.  Keys are pure content keys, so the disk cache never
+needs invalidation for same-version runs; bump :data:`CACHE_VERSION` when a
+generator or routing algorithm changes semantics.
+
+Cached objects are shared — treat them as immutable.  ``Trace`` is the one
+mutable type handled here; never ``add()`` events to a cached trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from . import timings
+
+__all__ = [
+    "CACHE_VERSION",
+    "CacheStats",
+    "configure",
+    "clear",
+    "stats",
+    "cached_trace",
+    "cached_matrix",
+    "cached_route_incidence",
+    "trace_content_key",
+    "array_digest",
+]
+
+#: Bump when trace generators, matrix construction, or routing change
+#: semantics — on-disk entries from other versions are never read.
+CACHE_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache region."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "disk_hits": self.disk_hits}
+
+
+class _LRU:
+    """A small OrderedDict-based LRU with per-region statistics."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self.stats = CacheStats()
+
+    def get(self, key: Any) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.stats.misses += 1
+            return _MISS
+        self._data.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.stats = CacheStats()
+
+
+_MISS = object()
+
+#: In-memory regions.  Incidences can be large (one row per packet-route
+#: link), so that region is kept smaller than the trace/matrix ones.
+_DEFAULT_SIZES = {"trace": 64, "matrix": 128, "incidence": 32}
+_regions: dict[str, _LRU] = {
+    name: _LRU(size) for name, size in _DEFAULT_SIZES.items()
+}
+
+_disk_dir: Path | None = (
+    Path(os.environ["REPRO_CACHE_DIR"]) if os.environ.get("REPRO_CACHE_DIR") else None
+)
+
+
+def configure(
+    disk_dir: str | os.PathLike | None = None,
+    *,
+    memory_items: dict[str, int] | None = None,
+    disable_disk: bool = False,
+) -> None:
+    """Reconfigure cache tiers.
+
+    ``disk_dir`` enables (or moves) the on-disk tier; ``disable_disk`` turns
+    it off regardless of the environment.  ``memory_items`` resizes the
+    in-memory regions (``{"trace": 64, "matrix": 128, "incidence": 32}``).
+    """
+    global _disk_dir
+    if disable_disk:
+        _disk_dir = None
+    elif disk_dir is not None:
+        _disk_dir = Path(disk_dir)
+        _disk_dir.mkdir(parents=True, exist_ok=True)
+    if memory_items:
+        for name, size in memory_items.items():
+            if name not in _regions:
+                raise ValueError(f"unknown cache region {name!r}")
+            if size <= 0:
+                raise ValueError("cache region sizes must be positive")
+            _regions[name].maxsize = size
+
+
+def clear(memory: bool = True, disk: bool = False) -> None:
+    """Drop cached entries (memory always per-region; disk only if asked)."""
+    if memory:
+        for region in _regions.values():
+            region.clear()
+    if disk and _disk_dir is not None and _disk_dir.is_dir():
+        for path in _disk_dir.glob(f"v{CACHE_VERSION}-*"):
+            path.unlink(missing_ok=True)
+
+
+def stats() -> dict[str, dict[str, int]]:
+    """Hit/miss counters per region."""
+    return {name: region.stats.as_dict() for name, region in _regions.items()}
+
+
+# ------------------------------------------------------------------ keys
+
+
+def array_digest(*arrays: np.ndarray) -> str:
+    """BLAKE2 content digest of one or more arrays (dtype/shape included)."""
+    h = hashlib.blake2b(digest_size=16)
+    for arr in arrays:
+        arr = np.ascontiguousarray(arr)
+        h.update(str(arr.dtype).encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def trace_content_key(trace: Any) -> tuple:
+    """A stable content key for a trace.
+
+    Traces produced by :func:`cached_trace` carry their generation key as
+    provenance (``_repro_cache_key``), making this free.  Foreign traces
+    (e.g. converted dumpi recordings) fall back to a digest of the pickled
+    event stream — exact but O(events).
+    """
+    key = getattr(trace, "_repro_cache_key", None)
+    if key is not None:
+        return key
+    meta = trace.meta
+    digest = hashlib.blake2b(
+        pickle.dumps(trace.events, protocol=pickle.HIGHEST_PROTOCOL),
+        digest_size=16,
+    ).hexdigest()
+    return ("trace-content", meta.app, meta.num_ranks, meta.variant, digest)
+
+
+def _key_digest(key: tuple) -> str:
+    raw = repr((CACHE_VERSION, key)).encode()
+    return hashlib.blake2b(raw, digest_size=16).hexdigest()
+
+
+# ------------------------------------------------------------------ disk tier
+
+
+def _disk_path(region: str, key: tuple, suffix: str) -> Path | None:
+    if _disk_dir is None:
+        return None
+    return _disk_dir / f"v{CACHE_VERSION}-{region}-{_key_digest(key)}{suffix}"
+
+
+def _atomic_write(path: Path, write_fn) -> None:
+    """Write via a temp file + rename so readers never see partial files."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            write_fn(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _disk_load_pickle(path: Path | None) -> Any:
+    if path is None or not path.is_file():
+        return _MISS
+    try:
+        with path.open("rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        # Any unreadable entry (truncated, foreign bytes, stale class layout)
+        # is a miss: pickle surfaces arbitrary exception types on bad input.
+        return _MISS
+
+
+def _disk_store_pickle(path: Path | None, value: Any) -> None:
+    if path is None:
+        return
+    _atomic_write(path, lambda fh: pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL))
+
+
+# ------------------------------------------------------------------ producers
+
+
+def cached_trace(
+    name: str,
+    ranks: int,
+    variant: str = "",
+    seed: int = 0,
+    emit_receives: bool = False,
+):
+    """Memoized :func:`repro.apps.registry.generate_trace`."""
+    from .apps.registry import generate_trace
+
+    key = ("trace", name, ranks, variant, seed, emit_receives)
+    region = _regions["trace"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    path = _disk_path("trace", key, ".pkl")
+    value = _disk_load_pickle(path)
+    if value is not _MISS:
+        region.stats.disk_hits += 1
+    else:
+        value = generate_trace(
+            name, ranks, variant=variant, seed=seed, emit_receives=emit_receives
+        )
+        value._repro_cache_key = key  # provenance: makes trace_content_key free
+        _disk_store_pickle(path, value)
+    if getattr(value, "_repro_cache_key", None) is None:
+        value._repro_cache_key = key
+    region.put(key, value)
+    return value
+
+
+def cached_matrix(
+    trace,
+    include_p2p: bool = True,
+    include_collectives: bool = True,
+    payload: int | None = None,
+):
+    """Memoized :func:`repro.comm.matrix.matrix_from_trace`."""
+    from .comm.matrix import matrix_from_trace
+    from .core.packets import MAX_PAYLOAD_BYTES
+
+    if payload is None:
+        payload = MAX_PAYLOAD_BYTES
+    key = (
+        "matrix",
+        trace_content_key(trace),
+        include_p2p,
+        include_collectives,
+        payload,
+    )
+    region = _regions["matrix"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    path = _disk_path("matrix", key, ".pkl")
+    value = _disk_load_pickle(path)
+    if value is not _MISS:
+        region.stats.disk_hits += 1
+    else:
+        value = matrix_from_trace(
+            trace,
+            include_p2p=include_p2p,
+            include_collectives=include_collectives,
+            payload=payload,
+        )
+        _disk_store_pickle(path, value)
+    region.put(key, value)
+    return value
+
+
+def cached_route_incidence(topology, src: np.ndarray, dst: np.ndarray):
+    """Memoized :meth:`Topology.route_incidence`.
+
+    Topologies without a structural fingerprint (custom subclasses that do
+    not override :meth:`fingerprint`) bypass the cache.
+    """
+    from .topology.base import RouteIncidence
+
+    fingerprint = topology.fingerprint()
+    if fingerprint is None:
+        with timings.stage("routing"):
+            return topology.route_incidence(src, dst)
+
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    key = ("incidence", fingerprint, array_digest(src, dst))
+    region = _regions["incidence"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    path = _disk_path("incidence", key, ".npz")
+    if path is not None and path.is_file():
+        try:
+            with np.load(path) as data:
+                value = RouteIncidence(data["pair_index"], data["link_id"])
+            region.stats.disk_hits += 1
+        except Exception:
+            # np.load raises zipfile/pickle/value errors on corrupt archives;
+            # treat any of them as a miss and recompute.
+            value = _MISS
+    if value is _MISS:
+        with timings.stage("routing"):
+            value = topology.route_incidence(src, dst)
+        if path is not None:
+            _atomic_write(
+                path,
+                lambda fh: np.savez(
+                    fh, pair_index=value.pair_index, link_id=value.link_id
+                ),
+            )
+    region.put(key, value)
+    return value

@@ -21,6 +21,12 @@ Usage::
     python -m repro validate [--max-ranks N]
     python -m repro apps
 
+Global options (before the subcommand): ``--timings`` prints a per-stage
+wall-time breakdown (trace generation / matrix build / routing / analysis /
+simulation) to stderr after the command; ``--cache-dir PATH`` persists the
+content-keyed trace/matrix/route caches to disk so repeated invocations
+skip regeneration entirely.
+
 The installed console script ``repro-locality`` is equivalent.
 """
 
@@ -39,6 +45,18 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'On Network Locality in MPI-Based HPC "
             "Applications' (ICPP 2020)"
         ),
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print a per-stage wall-time breakdown to stderr when done",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="persist trace/matrix/route caches under PATH "
+        "(also honoured via REPRO_CACHE_DIR)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -116,6 +134,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--volume-scale", type=float, default=1.0,
         help="simulate 1/k of the volume at 1/k bandwidth (for big traces)",
     )
+    sm.add_argument(
+        "--engine", default="auto", choices=("auto", "batched", "reference"),
+        help="simulation kernel (all bit-identical; default picks by load)",
+    )
 
     cv = sub.add_parser(
         "convert", help="convert real dumpi2ascii output to repro-dumpi"
@@ -147,8 +169,23 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     # Imports deferred so --help stays fast.
-    from . import analysis
+    from . import analysis, timings
     from .apps.registry import APPS, generate_trace
+
+    if args.cache_dir:
+        from . import cache
+
+        cache.configure(disk_dir=args.cache_dir)
+    if args.timings:
+        timings.enable()
+        try:
+            return _run_command(args, analysis, APPS, generate_trace)
+        finally:
+            print(timings.summary(), file=sys.stderr)
+    return _run_command(args, analysis, APPS, generate_trace)
+
+
+def _run_command(args, analysis, APPS, generate_trace) -> int:
 
     def emit(records, text):
         if getattr(args, "format", "text") == "csv":
@@ -191,9 +228,8 @@ def main(argv: list[str] | None = None) -> int:
             )
             print(f"{s.label:<28} {points}")
     elif args.command == "claims":
-        rows = analysis.build_table3(max_ranks=args.max_ranks)
-        fig5 = analysis.build_figure5(max_ranks=args.max_ranks)
-        print(analysis.render_claims(analysis.evaluate_claims(rows, fig5)))
+        report = analysis.build_claim_report(max_ranks=args.max_ranks)
+        print(analysis.render_claims(report))
     elif args.command == "report":
         rows = analysis.build_report(max_ranks=args.max_ranks)
         text = analysis.render_report(rows)
@@ -265,7 +301,11 @@ def main(argv: list[str] | None = None) -> int:
         t = trace.meta.execution_time
         static = analyze_network(matrix, topo, execution_time=t)
         dyn = simulate_network(
-            matrix, topo, execution_time=t, volume_scale=args.volume_scale
+            matrix,
+            topo,
+            execution_time=t,
+            volume_scale=args.volume_scale,
+            engine=args.engine,
         )
         print(f"{trace.meta.label} on {topo!r}")
         print(f"static utilization (Eq. 5):  {static.utilization_percent:.4f}%")

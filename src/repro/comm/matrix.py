@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import timings
 from ..collectives.patterns import SendGroup
 from ..collectives.translate import iter_send_groups
 from ..core.packets import MAX_PAYLOAD_BYTES, packets_for_bytes_array
@@ -262,34 +263,35 @@ def matrix_from_trace(
     on global communicators as a uniform bias.  Topology analyses (§6) use
     both, with collectives flattened per §4.4.
     """
-    builder = CommMatrixBuilder(trace.meta.num_ranks, payload=payload)
+    with timings.stage("matrix"):
+        builder = CommMatrixBuilder(trace.meta.num_ranks, payload=payload)
 
-    # Fast path: point-to-point sends are by far the most numerous records
-    # (hundreds of thousands at the largest scales); gather them into
-    # columnar arrays in one pass instead of one SendGroup per event.
-    if include_p2p:
-        src: list[int] = []
-        dst: list[int] = []
-        per_msg: list[int] = []
-        calls: list[int] = []
-        size_of = trace.datatypes.size_of
-        for ev in trace.iter_p2p_sends():
-            src.append(ev.caller)
-            dst.append(ev.peer)
-            per_msg.append(ev.count * size_of(ev.dtype))
-            calls.append(ev.repeat)
-        if src:
-            per_msg_arr = np.array(per_msg, dtype=np.int64)
-            calls_arr = np.array(calls, dtype=np.int64)
-            builder.add_arrays(
-                np.array(src, dtype=np.int64),
-                np.array(dst, dtype=np.int64),
-                per_msg_arr * calls_arr,
-                calls_arr,
-                packets_for_bytes_array(per_msg_arr, payload) * calls_arr,
-            )
+        # Fast path: point-to-point sends are by far the most numerous records
+        # (hundreds of thousands at the largest scales); gather them into
+        # columnar arrays in one pass instead of one SendGroup per event.
+        if include_p2p:
+            src: list[int] = []
+            dst: list[int] = []
+            per_msg: list[int] = []
+            calls: list[int] = []
+            size_of = trace.datatypes.size_of
+            for ev in trace.iter_p2p_sends():
+                src.append(ev.caller)
+                dst.append(ev.peer)
+                per_msg.append(ev.count * size_of(ev.dtype))
+                calls.append(ev.repeat)
+            if src:
+                per_msg_arr = np.array(per_msg, dtype=np.int64)
+                calls_arr = np.array(calls, dtype=np.int64)
+                builder.add_arrays(
+                    np.array(src, dtype=np.int64),
+                    np.array(dst, dtype=np.int64),
+                    per_msg_arr * calls_arr,
+                    calls_arr,
+                    packets_for_bytes_array(per_msg_arr, payload) * calls_arr,
+                )
 
-    if include_collectives:
-        for classified in iter_send_groups(trace, include_p2p=False):
-            builder.add_group(classified.group)
-    return builder.finalize()
+        if include_collectives:
+            for classified in iter_send_groups(trace, include_p2p=False):
+                builder.add_group(classified.group)
+        return builder.finalize()

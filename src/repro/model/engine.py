@@ -30,6 +30,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import timings
+from ..cache import cached_route_incidence
 from ..comm.matrix import CommMatrix
 from ..core.packets import MAX_PAYLOAD_BYTES
 from ..mapping.base import Mapping
@@ -91,11 +93,22 @@ def _node_pair_aggregate(
     src_nodes = mapping.node_of(matrix.src)
     dst_nodes = mapping.node_of(matrix.dst)
     key = src_nodes * np.int64(mapping.num_nodes) + dst_nodes
-    unique_keys, inverse = np.unique(key, return_inverse=True)
-    nbytes = np.zeros(len(unique_keys), dtype=np.int64)
-    packets = np.zeros(len(unique_keys), dtype=np.int64)
-    np.add.at(nbytes, inverse, matrix.nbytes)
-    np.add.at(packets, inverse, matrix.packets)
+    if not len(key):
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy(), empty.copy()
+    # Grouped sums over sorted runs (bincount-style aggregation) instead of
+    # np.unique + np.add.at: scatter-add is ~10x slower at these shapes, and
+    # reduceat keeps the accumulation in exact int64 (bincount's float64
+    # weights would silently round sums past 2**53).
+    order = np.argsort(key, kind="stable")
+    sorted_key = key[order]
+    run_start = np.empty(len(sorted_key), dtype=bool)
+    run_start[0] = True
+    np.not_equal(sorted_key[1:], sorted_key[:-1], out=run_start[1:])
+    starts = np.flatnonzero(run_start)
+    unique_keys = sorted_key[starts]
+    nbytes = np.add.reduceat(matrix.nbytes[order], starts)
+    packets = np.add.reduceat(matrix.packets[order], starts)
     return (
         unique_keys // mapping.num_nodes,
         unique_keys % mapping.num_nodes,
@@ -140,28 +153,31 @@ def analyze_network(
             f"{topology.num_nodes}"
         )
 
-    src_n, dst_n, nbytes, packets = _node_pair_aggregate(matrix, mapping)
-    hops = topology.hops_array(src_n, dst_n)
+    with timings.stage("analysis"):
+        src_n, dst_n, nbytes, packets = _node_pair_aggregate(matrix, mapping)
+        hops = topology.hops_array(src_n, dst_n)
 
-    packet_hops = int((packets * hops).sum())
-    total_packets = int(packets.sum())
+        packet_hops = int((packets * hops).sum())
+        total_packets = int(packets.sum())
 
-    crossing = src_n != dst_n
-    network_bytes = int(nbytes[crossing].sum())
-    if volume_mode == "padded":
-        wire_bytes = int(packets[crossing].sum()) * payload
-    else:
-        wire_bytes = network_bytes
+        crossing = src_n != dst_n
+        network_bytes = int(nbytes[crossing].sum())
+        if volume_mode == "padded":
+            wire_bytes = int(packets[crossing].sum()) * payload
+        else:
+            wire_bytes = network_bytes
 
-    incidence = topology.route_incidence(src_n[crossing], dst_n[crossing])
-    used_links = len(incidence.used_links())
-
-    global_share: float | None = None
-    if isinstance(topology, Dragonfly):
-        crosses = topology.crosses_groups(src_n, dst_n)
-        global_share = (
-            float(packets[crosses].sum()) / total_packets if total_packets else 0.0
+        incidence = cached_route_incidence(
+            topology, src_n[crossing], dst_n[crossing]
         )
+        used_links = len(incidence.used_links())
+
+        global_share: float | None = None
+        if isinstance(topology, Dragonfly):
+            crosses = topology.crosses_groups(src_n, dst_n)
+            global_share = (
+                float(packets[crosses].sum()) / total_packets if total_packets else 0.0
+            )
 
     return NetworkAnalysis(
         topology_kind=topology.kind,

@@ -1,5 +1,20 @@
-"""Dynamic packet-level network simulation (the paper's stated future work)."""
+"""Dynamic packet-level network simulation (the paper's stated future work).
 
-from .engine import SimulationResult, simulate_network
+Two bit-identical engines: the batched NumPy kernel behind
+:func:`simulate_network` (auto-dispatching) and the per-event heap loop
+:func:`simulate_network_reference` kept as semantic ground truth.
+"""
 
-__all__ = ["SimulationResult", "simulate_network"]
+from .common import SimSetup, prepare_simulation
+from .engine import SimulationResult, run_batched, simulate_network
+from .reference import run_reference, simulate_network_reference
+
+__all__ = [
+    "SimulationResult",
+    "SimSetup",
+    "prepare_simulation",
+    "run_batched",
+    "run_reference",
+    "simulate_network",
+    "simulate_network_reference",
+]

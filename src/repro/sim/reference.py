@@ -1,0 +1,116 @@
+"""Reference implementation: the per-event heap loop.
+
+This is the original dynamic simulator — one ``heapq`` event per packet-hop,
+processed strictly in ``(time, sequence)`` order.  It is kept as the
+semantic ground truth for the batched kernel in :mod:`repro.sim.engine`:
+``tests/test_sim_equivalence.py`` asserts seed-for-seed *bit-identical*
+results between the two across topologies and load regimes.
+
+The loop defines the simulation semantics precisely:
+
+- every link is an output-queued FIFO server with constant service time
+  ``payload / bandwidth``;
+- a packet arriving at time ``t`` starts service at ``max(t, link_free)``,
+  holds the link for one service time, and arrives at its next hop one
+  ``hop_latency`` later;
+- queueing delay is the accumulated ``begin - t`` over a packet's hops.
+
+Use :func:`simulate_network_reference` directly only for validation and
+benchmarking — it is orders of magnitude slower than the batched engine on
+dense workloads.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..comm.matrix import CommMatrix
+from ..core.packets import MAX_PAYLOAD_BYTES
+from ..mapping.base import Mapping
+from ..model.engine import BANDWIDTH_BYTES_PER_S
+from ..topology.base import Topology
+from .common import (
+    SimSetup,
+    SimulationResult,
+    assemble_result,
+    empty_result,
+    prepare_simulation,
+)
+
+__all__ = ["simulate_network_reference", "run_reference"]
+
+
+def run_reference(setup: SimSetup) -> SimulationResult:
+    """Run the per-event loop over prepared simulation state."""
+    total_packets = setup.total_packets
+    inject_pair = setup.inject_pair
+    route_starts = setup.route_starts
+    route_lens = setup.route_lens
+    route_links = setup.route_links
+    service = setup.service
+    hop_latency = setup.hop_latency
+
+    # Event loop: (time, seq, packet_index, hop_index).
+    events: list[tuple[float, int, int, int]] = [
+        (float(t), i, i, 0) for i, t in enumerate(setup.inject_time)
+    ]
+    heapq.heapify(events)
+    seq = total_packets
+
+    link_free: dict[int, float] = {}
+    serve_count: dict[int, int] = {}
+    wait = np.zeros(total_packets, dtype=np.float64)  # cumulative queueing
+    delivered_at = np.zeros(total_packets, dtype=np.float64)
+
+    while events:
+        t, _, pkt, hop = heapq.heappop(events)
+        pair = inject_pair[pkt]
+        if hop >= route_lens[pair]:
+            delivered_at[pkt] = t
+            continue
+        link = int(route_links[route_starts[pair] + hop])
+        free = link_free.get(link, 0.0)
+        begin = max(t, free)
+        done = begin + service
+        link_free[link] = done
+        serve_count[link] = serve_count.get(link, 0) + 1
+        wait[pkt] += begin - t
+        seq += 1
+        heapq.heappush(events, (done + hop_latency, seq, pkt, hop + 1))
+
+    counts = np.zeros(setup.num_links, dtype=np.int64)
+    for link, count in serve_count.items():
+        counts[link] = count
+    return assemble_result(setup, wait, delivered_at, counts)
+
+
+def simulate_network_reference(
+    matrix: CommMatrix,
+    topology: Topology,
+    mapping: Mapping | None = None,
+    execution_time: float = 1.0,
+    bandwidth: float = BANDWIDTH_BYTES_PER_S,
+    payload: int = MAX_PAYLOAD_BYTES,
+    hop_latency: float = 100e-9,
+    volume_scale: float = 1.0,
+    max_packets: int = 2_000_000,
+    seed: int = 0,
+) -> SimulationResult:
+    """Event-by-event simulation (see :func:`repro.sim.simulate_network`)."""
+    setup = prepare_simulation(
+        matrix,
+        topology,
+        mapping=mapping,
+        execution_time=execution_time,
+        bandwidth=bandwidth,
+        payload=payload,
+        hop_latency=hop_latency,
+        volume_scale=volume_scale,
+        max_packets=max_packets,
+        seed=seed,
+    )
+    if setup is None:
+        return empty_result()
+    return run_reference(setup)

@@ -1,0 +1,98 @@
+"""Per-stage wall-clock accounting for study commands.
+
+The CLI's ``--timings`` flag answers "where did the time go?" for any study
+command: trace generation, matrix construction, routing, static analysis,
+and dynamic simulation are each wrapped in a :func:`stage` block at the
+library level, and :func:`summary` renders the per-stage totals at exit.
+
+Stages **nest**: ``analysis`` covers :func:`repro.model.engine.analyze_network`
+end to end, which internally spends time in ``routing`` (route-incidence
+construction) — nested stage time is charged to both, so the column does not
+sum to wall time.  The accounting is disabled by default and adds a single
+boolean check per instrumented call when off.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["enable", "disable", "enabled", "reset", "stage", "as_dict", "summary"]
+
+_enabled = False
+_totals: dict[str, float] = {}
+_counts: dict[str, int] = {}
+
+#: Canonical stage order for the summary (unknown stages append after).
+_STAGE_ORDER = ("trace", "matrix", "routing", "analysis", "sim")
+
+
+def enable(reset_counters: bool = True) -> None:
+    """Turn stage accounting on (optionally clearing previous totals)."""
+    global _enabled
+    if reset_counters:
+        reset()
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def reset() -> None:
+    _totals.clear()
+    _counts.clear()
+
+
+@contextmanager
+def stage(name: str) -> Iterator[None]:
+    """Charge the wrapped block's wall time to ``name`` (no-op when disabled)."""
+    if not _enabled:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        _totals[name] = _totals.get(name, 0.0) + dt
+        _counts[name] = _counts.get(name, 0) + 1
+
+
+def as_dict() -> dict[str, dict[str, float]]:
+    """Per-stage totals: ``{stage: {"seconds": ..., "calls": ...}}``."""
+    return {
+        name: {"seconds": _totals[name], "calls": float(_counts[name])}
+        for name in _ordered_stages()
+    }
+
+
+def _ordered_stages() -> list[str]:
+    known = [s for s in _STAGE_ORDER if s in _totals]
+    extra = sorted(s for s in _totals if s not in _STAGE_ORDER)
+    return known + extra
+
+
+def summary() -> str:
+    """Human-readable per-stage breakdown (empty string if nothing timed)."""
+    stages = _ordered_stages()
+    if not stages:
+        return "timings: no instrumented stages ran"
+    lines = [
+        "per-stage timings (stages nest; columns do not sum to wall time)",
+        f"{'stage':<12} {'calls':>7} {'seconds':>10} {'ms/call':>10}",
+        "-" * 42,
+    ]
+    for name in stages:
+        secs = _totals[name]
+        calls = _counts[name]
+        lines.append(
+            f"{name:<12} {calls:>7d} {secs:>10.3f} {1e3 * secs / calls:>10.3f}"
+        )
+    return "\n".join(lines)

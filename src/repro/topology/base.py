@@ -60,8 +60,11 @@ class RouteIncidence:
         Returns ``(link_ids, loads)`` with link_ids sorted unique.
         """
         ids, inverse = np.unique(self.link_id, return_inverse=True)
-        loads = np.zeros(len(ids), dtype=np.float64)
-        np.add.at(loads, inverse, np.asarray(pair_weights)[self.pair_index])
+        # bincount beats np.add.at by ~10x at these shapes (see
+        # benchmarks/test_perf_sim.py) and accumulates in the same input
+        # order, so the float sums are bit-identical.
+        weights = np.asarray(pair_weights, dtype=np.float64)[self.pair_index]
+        loads = np.bincount(inverse, weights=weights, minlength=len(ids))
         return ids, loads
 
 
@@ -104,6 +107,15 @@ class Topology(abc.ABC):
         """Human-readable description of a link ID (for debugging/reports)."""
 
     # -- conveniences (shared implementations) --------------------------------
+
+    def fingerprint(self) -> tuple | None:
+        """Structural identity for content-keyed caching.
+
+        Two instances with equal fingerprints must produce identical routes
+        for identical queries.  Returns ``None`` (bypass caching, see
+        :func:`repro.cache.cached_route_incidence`) unless overridden.
+        """
+        return None
 
     def hops(self, src: int, dst: int) -> int:
         """Scalar hop count."""

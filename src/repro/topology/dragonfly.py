@@ -61,6 +61,9 @@ class Dragonfly(Topology):
         # node + local + global + local + node; degenerate with a == 1.
         return 5 if self.a > 1 else 3
 
+    def fingerprint(self) -> tuple:
+        return ("dragonfly", self.a, self.h, self.p)
+
     @property
     def is_balanced(self) -> bool:
         """True for the recommended a = 2h = 2p configuration."""

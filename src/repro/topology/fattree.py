@@ -66,6 +66,9 @@ class FatTree(Topology):
     def diameter(self) -> int:
         return 2 * self.stages
 
+    def fingerprint(self) -> tuple:
+        return ("fattree", self.radix, self.stages)
+
     # -- structure helpers ------------------------------------------------------
 
     def leaf_of(self, nodes: np.ndarray) -> np.ndarray:

@@ -45,6 +45,9 @@ class Torus3D(Topology):
     def diameter(self) -> int:
         return sum(d // 2 for d in self.dims)
 
+    def fingerprint(self) -> tuple:
+        return ("torus3d", self.dims)
+
     # -- coordinates --------------------------------------------------------
 
     def coordinates(self, nodes: np.ndarray) -> np.ndarray:

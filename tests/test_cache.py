@@ -1,0 +1,221 @@
+"""The content-keyed cache: memory tier, disk tier, keys, and invalidation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import cache
+from repro.cache import (
+    array_digest,
+    cached_matrix,
+    cached_route_incidence,
+    cached_trace,
+    trace_content_key,
+)
+from repro.comm.matrix import matrix_from_trace
+from repro.topology.dragonfly import Dragonfly
+from repro.topology.fattree import FatTree
+from repro.topology.torus import Torus3D
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache():
+    """Every test starts with empty in-memory regions and no disk tier."""
+    cache.configure(disable_disk=True)
+    cache.clear(memory=True)
+    yield
+    cache.configure(disable_disk=True)
+    cache.clear(memory=True)
+
+
+class TestMemoryTier:
+    def test_trace_hit_returns_same_object(self):
+        a = cached_trace("LULESH", 64)
+        b = cached_trace("LULESH", 64)
+        assert a is b
+        assert cache.stats()["trace"] == {"hits": 1, "misses": 1, "disk_hits": 0}
+
+    def test_trace_key_includes_all_determinism_axes(self):
+        base = cached_trace("LULESH", 64)
+        assert cached_trace("LULESH", 64, seed=1) is not base
+        assert cached_trace("LULESH", 512) is not base
+        assert cached_trace("LULESH", 64, variant="b") is not base
+        assert cached_trace("AMG", 27) is not base
+
+    def test_matrix_hit_and_axis_separation(self):
+        trace = cached_trace("LULESH", 64)
+        full = cached_matrix(trace)
+        assert cached_matrix(trace) is full
+        p2p = cached_matrix(trace, include_collectives=False)
+        assert p2p is not full
+        small = cached_matrix(trace, payload=1024)
+        assert small is not full
+        assert small.total_packets > full.total_packets
+
+    def test_cached_matrix_matches_direct_construction(self):
+        trace = cached_trace("LULESH", 64)
+        direct = matrix_from_trace(trace, include_collectives=False)
+        via_cache = cached_matrix(trace, include_collectives=False)
+        assert np.array_equal(direct.src, via_cache.src)
+        assert np.array_equal(direct.nbytes, via_cache.nbytes)
+        assert np.array_equal(direct.packets, via_cache.packets)
+
+    def test_incidence_hit_per_topology_fingerprint(self):
+        src = np.array([0, 1, 2], dtype=np.int64)
+        dst = np.array([3, 4, 5], dtype=np.int64)
+        a = cached_route_incidence(Torus3D((2, 2, 2)), src, dst)
+        b = cached_route_incidence(Torus3D((2, 2, 2)), src, dst)  # new object, same shape
+        assert b is a
+        c = cached_route_incidence(Torus3D((2, 2, 4)), src, dst)
+        assert c is not a
+
+    def test_incidence_key_includes_pair_content(self):
+        topo = FatTree(4, 2)
+        a = cached_route_incidence(topo, np.array([0, 1]), np.array([2, 3]))
+        b = cached_route_incidence(topo, np.array([0, 1]), np.array([3, 2]))
+        assert b is not a
+
+    def test_lru_eviction(self):
+        cache.configure(memory_items={"trace": 1})
+        cached_trace("LULESH", 64)
+        cached_trace("AMG", 27)  # evicts LULESH
+        cached_trace("LULESH", 64)
+        s = cache.stats()["trace"]
+        assert s["misses"] == 3 and s["hits"] == 0
+        cache.configure(memory_items={"trace": 64})
+
+    def test_clear_resets_entries_and_stats(self):
+        cached_trace("LULESH", 64)
+        cache.clear(memory=True)
+        assert cache.stats()["trace"] == {"hits": 0, "misses": 0, "disk_hits": 0}
+        cached_trace("LULESH", 64)
+        assert cache.stats()["trace"]["misses"] == 1
+
+
+class TestDiskTier:
+    def test_trace_round_trip(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        cold = cached_trace("LULESH", 64)
+        cache.clear(memory=True)
+        warm = cached_trace("LULESH", 64)
+        assert warm is not cold  # reloaded from disk, not memory
+        assert len(warm.events) == len(cold.events)
+        assert warm.meta.execution_time == cold.meta.execution_time
+        assert cache.stats()["trace"]["disk_hits"] == 1
+
+    def test_matrix_round_trip(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        trace = cached_trace("LULESH", 64)
+        cold = cached_matrix(trace)
+        cache.clear(memory=True)
+        warm = cached_matrix(cached_trace("LULESH", 64))
+        assert np.array_equal(warm.packets, cold.packets)
+        assert cache.stats()["matrix"]["disk_hits"] == 1
+
+    def test_incidence_round_trip_npz(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        topo = Dragonfly(4, 2, 2)
+        src = np.arange(10, dtype=np.int64)
+        dst = (src + 13) % topo.num_nodes
+        cold = cached_route_incidence(topo, src, dst)
+        cache.clear(memory=True)
+        warm = cached_route_incidence(topo, src, dst)
+        assert np.array_equal(warm.pair_index, cold.pair_index)
+        assert np.array_equal(warm.link_id, cold.link_id)
+        assert cache.stats()["incidence"]["disk_hits"] == 1
+
+    def test_version_prefix_in_filenames(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        files = list(tmp_path.iterdir())
+        assert files and all(
+            f.name.startswith(f"v{cache.CACHE_VERSION}-") for f in files
+        )
+
+    def test_clear_disk_removes_entries(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        assert list(tmp_path.iterdir())
+        cache.clear(memory=True, disk=True)
+        assert not list(tmp_path.iterdir())
+        cached_trace("LULESH", 64)
+        assert cache.stats()["trace"]["disk_hits"] == 0
+
+    # pickle.load surfaces different exception types depending on the bytes:
+    # b"not a pickle" -> UnpicklingError, b"garbage\n" -> ValueError (the
+    # 'g' opcode tries int("arbage")).  Both must read as a cache miss.
+    @pytest.mark.parametrize("junk", [b"not a pickle", b"garbage\n", b""])
+    def test_corrupt_disk_entry_recomputed(self, tmp_path, junk):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        for f in tmp_path.iterdir():
+            f.write_bytes(junk)
+        cache.clear(memory=True)
+        trace = cached_trace("LULESH", 64)  # falls back to regeneration
+        assert trace.meta.num_ranks == 64
+        assert cache.stats()["trace"]["disk_hits"] == 0
+
+    def test_corrupt_npz_entry_recomputed(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        topo = Torus3D((2, 2, 2))
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([5, 6], dtype=np.int64)
+        cold = cached_route_incidence(topo, src, dst)
+        for f in tmp_path.iterdir():
+            f.write_bytes(b"garbage\n")
+        cache.clear(memory=True)
+        warm = cached_route_incidence(topo, src, dst)
+        assert np.array_equal(warm.link_id, cold.link_id)
+        assert cache.stats()["incidence"]["disk_hits"] == 0
+
+
+class TestKeys:
+    def test_array_digest_content_sensitivity(self):
+        a = np.array([1, 2, 3], dtype=np.int64)
+        assert array_digest(a) == array_digest(a.copy())
+        assert array_digest(a) != array_digest(a[::-1])
+        assert array_digest(a) != array_digest(a.astype(np.int32))
+        assert array_digest(a, a) != array_digest(a)
+
+    def test_cached_trace_carries_provenance_key(self):
+        trace = cached_trace("LULESH", 64)
+        key = trace_content_key(trace)
+        assert key == ("trace", "LULESH", 64, "", 0, False)
+
+    def test_foreign_trace_content_key_is_stable(self, ring_trace):
+        k1 = trace_content_key(ring_trace)
+        k2 = trace_content_key(ring_trace)
+        assert k1 == k2
+        assert k1[0] == "trace-content"
+
+    def test_unfingerprinted_topology_bypasses_cache(self):
+        class Opaque(Torus3D):
+            """A subclass without its own fingerprint is treated as opaque
+            only if it overrides fingerprint to return None."""
+
+            def fingerprint(self):
+                return None
+
+        src = np.array([0], dtype=np.int64)
+        dst = np.array([5], dtype=np.int64)
+        topo = Opaque((2, 2, 2))
+        assert topo.fingerprint() is None
+        a = cached_route_incidence(topo, src, dst)
+        b = cached_route_incidence(topo, src, dst)
+        assert a is not b  # recomputed, never cached
+        assert cache.stats()["incidence"] == {
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+        }
+
+    def test_builtin_topology_fingerprints_distinct(self):
+        prints = {
+            Torus3D((3, 3, 3)).fingerprint(),
+            Torus3D((3, 3, 4)).fingerprint(),
+            FatTree(8, 3).fingerprint(),
+            Dragonfly(4, 2, 2).fingerprint(),
+        }
+        assert len(prints) == 4
+        assert None not in prints

@@ -1,0 +1,67 @@
+"""run_sweep(workers=N): deterministic records regardless of worker count."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import SweepSpec, run_sweep
+
+
+@pytest.fixture(scope="module")
+def spec() -> SweepSpec:
+    return SweepSpec(
+        apps=(("LULESH", 64), ("AMG", 27)),
+        topologies=("torus3d", "fattree", "dragonfly"),
+        mappings=("consecutive", "random"),
+        payloads=(4096, 1024),
+        bandwidths=(12e9, 1e9),
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(spec) -> list[dict]:
+    return run_sweep(spec, workers=1)
+
+
+class TestParallelIdentity:
+    def test_worker_counts_produce_identical_records(self, spec, sequential):
+        # identical = same order AND same values, not merely same set
+        assert run_sweep(spec, workers=2) == sequential
+        assert run_sweep(spec, workers=4) == sequential
+
+    def test_record_count_and_order(self, spec, sequential):
+        assert len(sequential) == spec.num_points  # includes the bandwidth axis
+        # canonical order: apps > payloads > topologies > mappings > bandwidths
+        first = sequential[0]
+        assert (first["app"], first["payload"]) == ("LULESH", 4096)
+        assert (first["topology"], first["mapping"]) == ("torus3d", "consecutive")
+        assert first["bandwidth"] == 12e9
+        second = sequential[1]
+        assert second["bandwidth"] == 1e9
+        assert {k: second[k] for k in ("app", "topology", "mapping", "payload")} == {
+            k: first[k] for k in ("app", "topology", "mapping", "payload")
+        }
+
+    def test_workers_must_be_positive(self, spec):
+        with pytest.raises(ValueError, match="workers"):
+            run_sweep(spec, workers=0)
+
+    def test_single_point_grid(self):
+        tiny = SweepSpec(apps=(("LULESH", 64),), topologies=("torus3d",))
+        assert run_sweep(tiny, workers=4) == run_sweep(tiny, workers=1)
+
+    def test_bandwidth_only_affects_utilization(self, sequential):
+        by_key: dict[tuple, list[dict]] = {}
+        for r in sequential:
+            by_key.setdefault(
+                (r["app"], r["topology"], r["mapping"], r["payload"]), []
+            ).append(r)
+        for group in by_key.values():
+            assert len(group) == 2
+            a, b = group
+            assert a["packet_hops"] == b["packet_hops"]
+            assert a["avg_hops"] == b["avg_hops"]
+            assert a["used_links"] == b["used_links"]
+            if a["packet_hops"]:
+                # a ran at 12 GB/s, b at 1 GB/s: same traffic, more headroom
+                assert a["utilization_percent"] < b["utilization_percent"]
