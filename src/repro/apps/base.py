@@ -30,6 +30,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.blocks import (
+    KIND_COLLECTIVE,
+    KIND_P2P_RECV,
+    KIND_P2P_SEND,
+    OP_CODE,
+    EventBlock,
+)
 from ..core.events import CollectiveEvent, CollectiveOp, Direction, P2PEvent
 from ..core.trace import Trace, TraceMetadata
 
@@ -227,6 +234,7 @@ class SyntheticApp(abc.ABC):
         variant: str = "",
         seed: int = 0,
         emit_receives: bool = False,
+        columnar: bool = True,
     ) -> Trace:
         """Generate a calibrated synthetic trace for one configuration.
 
@@ -235,6 +243,13 @@ class SyntheticApp(abc.ABC):
         inject traffic, so every analysis is invariant; the option exists
         for serialization-fidelity tests and for consumers that expect
         two-sided records.
+
+        ``columnar`` (the default) emits the trace as native
+        :class:`~repro.core.blocks.EventBlock` columns without allocating a
+        Python object per record.  ``columnar=False`` runs the original
+        per-event path; both produce bit-identical traces (the equivalence
+        suite pins this), so the flag exists only for comparison and
+        benchmarking.
         """
         point = self.calibration_for(ranks, variant)
         # Stable across processes (unlike hash()): apps get distinct streams.
@@ -249,38 +264,186 @@ class SyntheticApp(abc.ABC):
             variant=variant,
             uses_derived_types=self.uses_derived_types,
         )
-        trace = Trace(meta)
-        dtype = self.dtype_name
-        # Element size is 1 byte both for MPI_BYTE and for the opaque
-        # derived-type convention, so counts below are byte counts.
-        iters = point.iterations
-        time_cursor = _TimeCursor(point.time_s)
+        p2p_plan = self._plan_p2p(pat, point)
+        phases = self._plan_collectives(pat, point, ranks)
+        if columnar:
+            return self._emit_blocks(meta, p2p_plan, phases, emit_receives)
+        return self._emit_events(meta, p2p_plan, phases, emit_receives)
 
-        # Point-to-point channels, scaled to the p2p byte target.
+    # -- calibration planning (shared by both emitters) ---------------------
+
+    def _plan_p2p(self, pat: AppPattern, point: CalibrationPoint):
+        """Scale channels to the p2p byte target.
+
+        Returns ``(src, dst, bytes_per_msg, calls)`` in emission order
+        (lexsorted by ``(src, dst)``), or ``None`` when the configuration
+        has no point-to-point traffic.
+        """
         ch = pat.channels
-        if len(ch) and point.p2p_bytes > 0:
-            total_w = ch.weight.sum()
-            if total_w <= 0:
-                raise ValueError(f"{self.name}: channel weights sum to zero")
-            per_channel = ch.weight / total_w * point.p2p_bytes
-            calls = np.maximum(np.rint(iters * ch.factors()), 1).astype(np.int64)
-            # A channel never sends more messages than it has bytes —
-            # otherwise the 1-byte message floor would inflate low-volume
-            # channels (visible at very high iteration counts).
-            calls = np.minimum(calls, np.maximum(per_channel.astype(np.int64), 1))
-            bytes_per_msg = np.maximum(np.rint(per_channel / calls), 1).astype(np.int64)
-            # Re-fit the call count to the rounded message size so each
-            # channel's total volume stays within half a message of its
-            # target (the naive rounding drifts by up to ~20% per channel
-            # when messages are only a few bytes).
-            calls = np.maximum(np.rint(per_channel / bytes_per_msg), 1).astype(np.int64)
-            order = np.lexsort((ch.dst, ch.src))
-            for idx in order:
+        if not (len(ch) and point.p2p_bytes > 0):
+            return None
+        total_w = ch.weight.sum()
+        if total_w <= 0:
+            raise ValueError(f"{self.name}: channel weights sum to zero")
+        per_channel = ch.weight / total_w * point.p2p_bytes
+        calls = np.maximum(np.rint(point.iterations * ch.factors()), 1).astype(np.int64)
+        # A channel never sends more messages than it has bytes —
+        # otherwise the 1-byte message floor would inflate low-volume
+        # channels (visible at very high iteration counts).
+        calls = np.minimum(calls, np.maximum(per_channel.astype(np.int64), 1))
+        bytes_per_msg = np.maximum(np.rint(per_channel / calls), 1).astype(np.int64)
+        # Re-fit the call count to the rounded message size so each
+        # channel's total volume stays within half a message of its
+        # target (the naive rounding drifts by up to ~20% per channel
+        # when messages are only a few bytes).
+        calls = np.maximum(np.rint(per_channel / bytes_per_msg), 1).astype(np.int64)
+        order = np.lexsort((ch.dst, ch.src))
+        return ch.src[order], ch.dst[order], bytes_per_msg[order], calls[order]
+
+    def _plan_collectives(
+        self, pat: AppPattern, point: CalibrationPoint, ranks: int
+    ) -> list[tuple[CollectiveOp, int, int, int]]:
+        """Scale collective phases to the logical byte target.
+
+        Logical volume of one call is N * count (every caller logs
+        ``count``), so count = weight_share * target / (N * iters).
+        Returns ``(op, root, count, phase_calls)`` per phase.
+        """
+        target = point.collective_logical_bytes
+        if not (pat.collectives and target > 0):
+            return []
+        total_w = sum(c.weight for c in pat.collectives)
+        if total_w <= 0:
+            raise ValueError(f"{self.name}: collective weights sum to zero")
+        phases: list[tuple[CollectiveOp, int, int, int]] = []
+        for phase in pat.collectives:
+            share = phase.weight / total_w * target
+            count = max(int(round(share / (ranks * point.iterations))), 1)
+            # Re-fit the call count to the rounded element count so the
+            # phase's logical volume stays on target (matters when the
+            # per-call count is a handful of bytes).
+            phase_calls = max(int(round(share / (ranks * count))), 1)
+            phases.append((phase.op, phase.root, count, phase_calls))
+        return phases
+
+    # -- emitters ------------------------------------------------------------
+
+    def _emit_blocks(
+        self, meta: TraceMetadata, p2p_plan, phases, emit_receives: bool
+    ) -> Trace:
+        """Columnar emission: one block for p2p channels, one for collectives.
+
+        Timestamps reproduce :class:`_TimeCursor` slot-for-slot (one slot
+        per p2p channel, one per collective record), so the materialized
+        event view is bit-identical to the legacy emitter's output.
+        """
+        ranks = meta.num_ranks
+        dtype = self.dtype_name
+        step = meta.execution_time / _TIME_SLOTS
+        blocks: list[EventBlock] = []
+        slot = 0
+
+        if p2p_plan is not None:
+            src, dst, bytes_per_msg, calls = p2p_plan
+            k = len(src)
+            t0 = np.arange(k, dtype=np.float64) * step
+            t1 = t0 + 0.5 * step
+            if emit_receives:
+                caller = np.empty(2 * k, dtype=np.int64)
+                peer = np.empty(2 * k, dtype=np.int64)
+                caller[0::2], caller[1::2] = src, dst
+                peer[0::2], peer[1::2] = dst, src
+                kind = np.empty(2 * k, dtype=np.uint8)
+                kind[0::2], kind[1::2] = KIND_P2P_SEND, KIND_P2P_RECV
+                func_id = np.empty(2 * k, dtype=np.int16)
+                func_id[0::2], func_id[1::2] = 0, 1
+                count = np.repeat(bytes_per_msg, 2)
+                repeat = np.repeat(calls, 2)
+                t0, t1 = np.repeat(t0, 2), np.repeat(t1, 2)
+                func_names = ("MPI_Isend", "MPI_Irecv")
+            else:
+                caller, peer, count, repeat = src, dst, bytes_per_msg, calls
+                kind = np.full(k, KIND_P2P_SEND, dtype=np.uint8)
+                func_id = np.zeros(k, dtype=np.int16)
+                func_names = ("MPI_Isend",)
+            rows = len(caller)
+            blocks.append(
+                EventBlock(
+                    kind=kind,
+                    caller=caller,
+                    peer=peer,
+                    count=count,
+                    dtype_id=np.zeros(rows, dtype=np.int32),
+                    op=np.full(rows, -1, dtype=np.int16),
+                    root=np.zeros(rows, dtype=np.int64),
+                    comm_id=np.zeros(rows, dtype=np.int32),
+                    tag=np.zeros(rows, dtype=np.int64),
+                    func_id=func_id,
+                    repeat=repeat,
+                    t_enter=t0,
+                    t_leave=t1,
+                    dtype_names=(dtype,),
+                    func_names=func_names,
+                )
+            )
+            slot = k
+
+        if phases:
+            m = len(phases)
+            rows = m * ranks
+            caller = np.tile(np.arange(ranks, dtype=np.int64), m)
+            op = np.repeat(
+                np.array([OP_CODE[op] for op, _, _, _ in phases], dtype=np.int16),
+                ranks,
+            )
+            root = np.repeat(
+                np.array([root for _, root, _, _ in phases], dtype=np.int64), ranks
+            )
+            count = np.repeat(
+                np.array([count for _, _, count, _ in phases], dtype=np.int64), ranks
+            )
+            repeat = np.repeat(
+                np.array([pc for _, _, _, pc in phases], dtype=np.int64), ranks
+            )
+            t0 = (slot + np.arange(rows, dtype=np.int64)) * step
+            blocks.append(
+                EventBlock(
+                    kind=np.full(rows, KIND_COLLECTIVE, dtype=np.uint8),
+                    caller=caller,
+                    peer=np.full(rows, -1, dtype=np.int64),
+                    count=count,
+                    dtype_id=np.zeros(rows, dtype=np.int32),
+                    op=op,
+                    root=root,
+                    comm_id=np.zeros(rows, dtype=np.int32),
+                    tag=np.zeros(rows, dtype=np.int64),
+                    func_id=np.full(rows, -1, dtype=np.int16),
+                    repeat=repeat,
+                    t_enter=t0,
+                    t_leave=t0 + 0.5 * step,
+                    dtype_names=(dtype,),
+                )
+            )
+
+        return Trace.from_blocks(meta, blocks)
+
+    def _emit_events(
+        self, meta: TraceMetadata, p2p_plan, phases, emit_receives: bool
+    ) -> Trace:
+        """Legacy per-event emission (kept as the executable reference)."""
+        ranks = meta.num_ranks
+        dtype = self.dtype_name
+        trace = Trace(meta)
+        time_cursor = _TimeCursor(meta.execution_time)
+
+        if p2p_plan is not None:
+            src, dst, bytes_per_msg, calls = p2p_plan
+            for idx in range(len(src)):
                 t0, t1 = time_cursor.next()
                 trace.add(
                     P2PEvent(
-                        caller=int(ch.src[idx]),
-                        peer=int(ch.dst[idx]),
+                        caller=int(src[idx]),
+                        peer=int(dst[idx]),
                         count=int(bytes_per_msg[idx]),
                         dtype=dtype,
                         func="MPI_Isend",
@@ -292,8 +455,8 @@ class SyntheticApp(abc.ABC):
                 if emit_receives:
                     trace.add(
                         P2PEvent(
-                            caller=int(ch.dst[idx]),
-                            peer=int(ch.src[idx]),
+                            caller=int(dst[idx]),
+                            peer=int(src[idx]),
                             count=int(bytes_per_msg[idx]),
                             dtype=dtype,
                             direction=Direction.RECV,
@@ -304,36 +467,28 @@ class SyntheticApp(abc.ABC):
                         )
                     )
 
-        # Collective phases, scaled to the logical byte target.  Logical
-        # volume of one call is N * count (every caller logs `count`), so
-        # count = weight_share * target / (N * iters).
-        target = point.collective_logical_bytes
-        if pat.collectives and target > 0:
-            total_w = sum(c.weight for c in pat.collectives)
-            if total_w <= 0:
-                raise ValueError(f"{self.name}: collective weights sum to zero")
-            for phase in pat.collectives:
-                share = phase.weight / total_w * target
-                count = max(int(round(share / (ranks * iters))), 1)
-                # Re-fit the call count to the rounded element count so the
-                # phase's logical volume stays on target (matters when the
-                # per-call count is a handful of bytes).
-                phase_calls = max(int(round(share / (ranks * count))), 1)
-                for caller in range(ranks):
-                    t0, t1 = time_cursor.next()
-                    trace.add(
-                        CollectiveEvent(
-                            caller=caller,
-                            op=phase.op,
-                            count=count,
-                            dtype=dtype,
-                            root=phase.root,
-                            t_enter=t0,
-                            t_leave=t1,
-                            repeat=phase_calls,
-                        )
+        for op, root, count, phase_calls in phases:
+            for caller in range(ranks):
+                t0, t1 = time_cursor.next()
+                trace.add(
+                    CollectiveEvent(
+                        caller=caller,
+                        op=op,
+                        count=count,
+                        dtype=dtype,
+                        root=root,
+                        t_enter=t0,
+                        t_leave=t1,
+                        repeat=phase_calls,
                     )
+                )
         return trace
+
+
+#: Timestamp slots spread across the traced execution time; the columnar
+#: emitter computes ``slot * (duration / _TIME_SLOTS)`` with the same float
+#: arithmetic as :class:`_TimeCursor`, keeping both emitters bit-identical.
+_TIME_SLOTS = 1_000_000
 
 
 class _TimeCursor:
@@ -344,7 +499,7 @@ class _TimeCursor:
     realistic and sortable.
     """
 
-    def __init__(self, duration: float, slots: int = 1_000_000) -> None:
+    def __init__(self, duration: float, slots: int = _TIME_SLOTS) -> None:
         self._step = duration / slots
         self._i = 0
 

@@ -371,9 +371,6 @@ def biased_scattered_channels(
     if partners_per_rank < 1:
         raise ValueError("partners_per_rank must be >= 1")
     partners_per_rank = min(partners_per_rank, num_ranks - 1)
-    srcs: list[int] = []
-    dsts: list[int] = []
-    wts: list[float] = []
     max_off = num_ranks - 1 if max_offset is None else min(max_offset, num_ranks - 1)
     if max_off < 1:
         raise ValueError("max_offset must allow at least distance 1")
@@ -383,7 +380,130 @@ def biased_scattered_channels(
         partner_w = (np.arange(partners_per_rank) + 1.0) ** -zipf_exponent
     else:
         raise ValueError(f"unknown weight_decay {weight_decay!r}")
+    if distance not in ("uniform", "loguniform", "quadratic"):
+        raise ValueError(f"unknown distance profile {distance!r}")
+    if not hasattr(rng.bit_generator, "advance"):
+        # Exotic bit generators without skip-ahead fall back to the
+        # draw-by-draw reference (identical output, just slower).
+        return _biased_scattered_reference(
+            num_ranks, partners_per_rank, rng, distance, partner_w,
+            total_weight, max_off,
+        )
 
+    # Vectorized rejection sampling with an rng stream identical to the
+    # reference loop.  Each reference iteration consumes exactly two
+    # `rng.random()` draws (offset, sign), so we bulk-draw candidate chunks,
+    # locate the iteration where the partner set fills up, and rewind the
+    # bit generator to exactly the draws the reference would have consumed
+    # (one PCG64 step per double).  Chunks grow geometrically toward the
+    # guard budget; duplicates (common under the near-biased profiles) just
+    # trigger another chunk.
+    limit = 40 * partners_per_rank
+    first_chunk = min(partners_per_rank + (partners_per_rank >> 1) + 32, limit)
+    log_max_off = np.log(max_off)
+    srcs_parts: list[np.ndarray] = []
+    dsts_parts: list[np.ndarray] = []
+    wts_parts: list[np.ndarray] = []
+    # A shared `seen` bitmap gives the loop-exit distinct count with one
+    # scatter-assign per chunk (within-chunk duplicates are harmless); the
+    # precise first-appearance bookkeeping runs ONCE on the accumulated
+    # stream after the loop, not per chunk.
+    seen = np.zeros(num_ranks, dtype=bool)
+    # First-appearance positions, computed sort-free: assigning positions in
+    # reverse order makes the earliest write win for duplicate destinations.
+    _never = np.int64(1) << 62
+    first_at = np.full(num_ranks, _never, dtype=np.int64)
+    bg = rng.bit_generator
+    # Ranks behave alike, so each rank's first chunk is sized to what the
+    # previous rank actually needed (rewinding makes overdraw free except
+    # for the generation cost of the unused tail).
+    est_chunk = first_chunk
+    for r in range(num_ranks):
+        start_state = bg.state
+        total_iters = 0
+        chunk = est_chunk
+        vidx_parts: list[np.ndarray] = []
+        vdst_parts: list[np.ndarray] = []
+        while True:
+            draws = rng.random(2 * chunk)
+            u = draws[0::2]
+            if distance == "uniform":
+                d = (u * max_off).astype(np.int64) + 1
+            elif distance == "loguniform":
+                d = np.exp(u * log_max_off).astype(np.int64)
+                d[d == 0] = 1
+            else:  # quadratic
+                d = (u * u * max_off).astype(np.int64) + 1
+            np.minimum(d, max_off, out=d)
+            signed = np.where(draws[1::2] < 0.5, d, -d)
+            dst = r + signed
+            outside = (dst < 0) | (dst >= num_ranks)
+            dst[outside] = r - signed[outside]
+            valid = (dst != r) & (dst >= 0) & (dst < num_ranks)
+            vidx = np.nonzero(valid)[0]
+            vdst = dst[vidx]
+            vidx_parts.append(vidx + total_iters)
+            vdst_parts.append(vdst)
+            seen[vdst] = True
+            total_iters += chunk
+            distinct = int(seen.sum())
+            if distinct >= partners_per_rank or total_iters >= limit:
+                break
+            chunk = min(2 * chunk, limit - total_iters)
+        est_chunk = min(max(first_chunk, total_iters), limit)
+        if distinct >= partners_per_rank:
+            # position (within the valid subsequence) at which the
+            # partners_per_rank-th distinct destination first appears
+            vdst_all = (
+                np.concatenate(vdst_parts) if len(vdst_parts) > 1 else vdst_parts[0]
+            )
+            vidx_all = (
+                np.concatenate(vidx_parts) if len(vidx_parts) > 1 else vidx_parts[0]
+            )
+            m = vdst_all.shape[0]
+            first_at[vdst_all[::-1]] = np.arange(m - 1, -1, -1, dtype=np.int64)
+            pos = first_at[seen]
+            stop_pos = int(
+                np.partition(pos, partners_per_rank - 1)[partners_per_rank - 1]
+            )
+            consumed = 2 * (int(vidx_all[stop_pos]) + 1)
+            chosen = np.flatnonzero(first_at <= stop_pos)
+            first_at[vdst_all] = _never
+        else:
+            # guard budget exhausted: every distinct destination sampled so
+            # far is kept, and the bitmap is exactly that set, ascending
+            consumed = 2 * limit
+            chosen = np.flatnonzero(seen).astype(np.int64)
+        seen[:] = False
+        bg.state = start_state
+        bg.advance(consumed)
+        k = len(chosen)
+        srcs_parts.append(np.full(k, r, dtype=np.int64))
+        dsts_parts.append(chosen)
+        wts_parts.append(partner_w[np.arange(k) % partners_per_rank])
+
+    w = np.concatenate(wts_parts)
+    w *= total_weight / w.sum()
+    return Channels(np.concatenate(srcs_parts), np.concatenate(dsts_parts), w)
+
+
+def _biased_scattered_reference(
+    num_ranks: int,
+    partners_per_rank: int,
+    rng: np.random.Generator,
+    distance: str,
+    partner_w: np.ndarray,
+    total_weight: float,
+    max_off: int,
+) -> Channels:
+    """Draw-by-draw reference implementation of the biased scatter.
+
+    The vectorized path above is pinned against this loop (same channels,
+    same rng stream) by the equivalence suite.
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    wts: list[float] = []
     for r in range(num_ranks):
         chosen: set[int] = set()
         guard = 0
@@ -394,10 +514,8 @@ def biased_scattered_channels(
                 d = int(u * max_off) + 1
             elif distance == "loguniform":
                 d = int(np.exp(u * np.log(max_off))) or 1
-            elif distance == "quadratic":
+            else:  # quadratic
                 d = int(u * u * max_off) + 1
-            else:
-                raise ValueError(f"unknown distance profile {distance!r}")
             d = min(d, max_off)
             sign = 1 if rng.random() < 0.5 else -1
             dst = r + sign * d

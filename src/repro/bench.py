@@ -1,0 +1,188 @@
+"""Front-end pipeline benchmark (``repro bench pipeline``).
+
+Times the cold trace-generation and matrix-construction stages of the
+largest study configurations on both front-end paths — the legacy per-event
+implementation (``columnar=False``) and the columnar EventBlock path — and
+records the results in ``BENCH_pipeline.json``.  Stage attribution reuses
+:mod:`repro.timings`: ``generate_trace`` charges the ``trace`` stage and
+``matrix_from_trace`` the ``matrix`` stage, so the numbers here are exactly
+what ``repro --timings`` reports.
+
+The mapping section times the vectorized :mod:`repro.mapping.optimized`
+kernels against their pinned ``*_reference`` implementations on the largest
+all-collective workload (densest traffic graph).
+
+Machine-dependent wall times are recorded for provenance; the stable,
+asserted quantity (see ``benchmarks/test_perf_pipeline.py``) is the
+*speedup ratio* between the two paths on the same machine.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from . import timings
+
+__all__ = ["run_pipeline_bench", "write_pipeline_bench", "render_pipeline_bench"]
+
+#: The asserted floor on the cold front-end (trace + matrix) speedup.
+FRONT_END_TARGET = 5.0
+
+
+def _stage_seconds() -> dict[str, float]:
+    snap = timings.as_dict()
+    return {name: vals["seconds"] for name, vals in snap.items()}
+
+
+def _timed_front_end(name: str, ranks: int, columnar: bool) -> dict[str, float]:
+    """Cold generate + matrix builds of one configuration on one path.
+
+    Matches what a Table-3 row consumes from the front-end: the trace, the
+    p2p-only matrix (§5 metrics), and the full matrix (topology analyses).
+    """
+    from .apps import get_app
+    from .comm.matrix import matrix_from_trace
+
+    was_enabled = timings.enabled()
+    timings.enable(reset_counters=True)
+    try:
+        with timings.stage("trace"):
+            trace = get_app(name).generate(ranks, columnar=columnar)
+        matrix_from_trace(trace, include_collectives=False)
+        matrix = matrix_from_trace(trace)
+        cold = _stage_seconds()
+
+        t0 = time.perf_counter()
+        matrix_from_trace(trace)
+        warm_matrix = time.perf_counter() - t0
+    finally:
+        if not was_enabled:
+            timings.disable()
+    return {
+        "trace_s": round(cold.get("trace", 0.0), 4),
+        "matrix_s": round(cold.get("matrix", 0.0), 4),
+        "front_end_s": round(cold.get("trace", 0.0) + cold.get("matrix", 0.0), 4),
+        "warm_matrix_s": round(warm_matrix, 4),
+        "pairs": matrix.num_pairs,
+    }
+
+
+def _mapping_bench(name: str, ranks: int) -> dict[str, Any]:
+    from .apps import get_app
+    from .comm.matrix import matrix_from_trace
+    from .mapping.base import Mapping
+    from .mapping.optimized import (
+        _greedy_ordering_reference,
+        _refine_mapping_reference,
+        greedy_ordering,
+        refine_mapping,
+    )
+    from .topology.fattree import FatTree
+
+    matrix = matrix_from_trace(get_app(name).generate(ranks))
+    topology = FatTree(radix=64, stages=2)
+    base = Mapping.consecutive(ranks, topology.num_nodes, 1)
+
+    t0 = time.perf_counter()
+    order_fast = greedy_ordering(matrix)
+    greedy_vec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    order_ref = _greedy_ordering_reference(matrix)
+    greedy_ref = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    refined_fast = refine_mapping(matrix, topology, base)
+    refine_vec = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    refined_ref = _refine_mapping_reference(matrix, topology, base)
+    refine_ref = time.perf_counter() - t0
+
+    assert np.array_equal(order_fast, order_ref)
+    assert np.array_equal(refined_fast.nodes, refined_ref.nodes)
+    return {
+        "config": f"{name}@{ranks}",
+        "greedy_reference_s": round(greedy_ref, 4),
+        "greedy_vectorized_s": round(greedy_vec, 4),
+        "greedy_speedup": round(greedy_ref / greedy_vec, 2),
+        "refine_reference_s": round(refine_ref, 4),
+        "refine_vectorized_s": round(refine_vec, 4),
+        "refine_speedup": round(refine_ref / refine_vec, 2),
+    }
+
+
+def run_pipeline_bench(
+    min_ranks: int = 1000, mapping: bool = True
+) -> dict[str, Any]:
+    """Benchmark every configuration with at least ``min_ranks`` ranks."""
+    from .apps import app_names, get_app
+
+    configs: dict[str, Any] = {}
+    speedups: list[float] = []
+    for name in app_names():
+        for ranks in get_app(name).scales():
+            if ranks < min_ranks:
+                continue
+            legacy = _timed_front_end(name, ranks, columnar=False)
+            columnar = _timed_front_end(name, ranks, columnar=True)
+            speedup = round(legacy["front_end_s"] / columnar["front_end_s"], 2)
+            speedups.append(speedup)
+            configs[f"{name}@{ranks}"] = {
+                "legacy": legacy,
+                "columnar": columnar,
+                "front_end_speedup": speedup,
+            }
+
+    result: dict[str, Any] = {
+        "front_end": configs,
+        "summary": {
+            "min_ranks": min_ranks,
+            "configs": len(configs),
+            "min_front_end_speedup": min(speedups) if speedups else None,
+            "geomean_front_end_speedup": (
+                round(float(np.exp(np.mean(np.log(speedups)))), 2)
+                if speedups
+                else None
+            ),
+            "target": FRONT_END_TARGET,
+        },
+    }
+    if mapping:
+        # Densest traffic graph in the study: the all-collective 3D FFT.
+        result["mapping"] = _mapping_bench("BigFFT", 1024)
+    return result
+
+
+def write_pipeline_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_pipeline_bench(data: dict[str, Any]) -> str:
+    lines = [
+        f"{'config':<24} {'legacy(s)':>10} {'columnar(s)':>12} {'speedup':>8}"
+    ]
+    for label, entry in data["front_end"].items():
+        lines.append(
+            f"{label:<24} {entry['legacy']['front_end_s']:>10.3f} "
+            f"{entry['columnar']['front_end_s']:>12.3f} "
+            f"{entry['front_end_speedup']:>7.1f}x"
+        )
+    summary = data["summary"]
+    lines.append(
+        f"min speedup {summary['min_front_end_speedup']}x "
+        f"(target >= {summary['target']}x), "
+        f"geomean {summary['geomean_front_end_speedup']}x"
+    )
+    if "mapping" in data:
+        m = data["mapping"]
+        lines.append(
+            f"mapping {m['config']}: greedy {m['greedy_speedup']}x, "
+            f"refine {m['refine_speedup']}x vs reference"
+        )
+    return "\n".join(lines)

@@ -16,11 +16,14 @@ module gives the three hot producers a shared cache:
   BLAKE2 digest of the queried ``(src, dst)`` pair arrays.
 
 Two tiers: a per-process in-memory LRU (always on) and an optional on-disk
-cache (pickle for traces/matrices, ``.npz`` for incidences) enabled with
-:func:`configure` or the ``REPRO_CACHE_DIR`` environment variable /
-``repro --cache-dir``.  Keys are pure content keys, so the disk cache never
-needs invalidation for same-version runs; bump :data:`CACHE_VERSION` when a
-generator or routing algorithm changes semantics.
+cache enabled with :func:`configure` or the ``REPRO_CACHE_DIR`` environment
+variable / ``repro --cache-dir``.  Traces persist as ``.npz`` archives of
+their columnar event blocks (loading is array reads, no per-event object
+reconstruction; traces that cannot be expressed that way fall back to
+pickle), matrices as pickle, incidences as ``.npz``.  Keys are pure content
+keys, so the disk cache never needs invalidation for same-version runs; bump
+:data:`CACHE_VERSION` when a generator or routing algorithm changes
+semantics.
 
 Cached objects are shared — treat them as immutable.  ``Trace`` is the one
 mutable type handled here; never ``add()`` events to a cached trace.
@@ -54,9 +57,10 @@ __all__ = [
     "array_digest",
 ]
 
-#: Bump when trace generators, matrix construction, or routing change
-#: semantics — on-disk entries from other versions are never read.
-CACHE_VERSION = 1
+#: Bump when trace generators, matrix construction, routing, or the on-disk
+#: layout change semantics — entries from other versions are never read.
+#: v2: traces store columnar event blocks as ``.npz`` instead of pickle.
+CACHE_VERSION = 2
 
 
 @dataclass
@@ -237,6 +241,112 @@ def _disk_store_pickle(path: Path | None, value: Any) -> None:
     _atomic_write(path, lambda fh: pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL))
 
 
+# ----------------------------------------------------- trace <-> npz archives
+
+
+def _trace_reconstruction_context(trace):
+    """How an npz load would rebuild (datatypes, communicators), or ``None``.
+
+    The archive stores only block columns and name tables; the communicator
+    table is assumed to be the plain world table, and the datatype registry
+    is either left fresh (generators that never touch it — block dtype
+    names resolve lazily downstream, exactly as on the original trace) or
+    eagerly re-resolved from the block dtype names (traces that already
+    resolved them).  A trace is npz-representable iff one of those two
+    recipes reproduces its registry and table exactly — anything else
+    (committed derived layouts, sub-communicators) falls back to pickle.
+    Returns the ``resolve_dtypes`` flag recorded in the archive.
+    """
+    from .core.communicator import CommunicatorTable
+    from .core.datatypes import DatatypeRegistry
+
+    if not trace.has_native_blocks:
+        return None
+    if CommunicatorTable.for_world(trace.meta.num_ranks) != trace.communicators:
+        return None
+    if DatatypeRegistry() == trace.datatypes:
+        return {"resolve_dtypes": False}
+    registry = DatatypeRegistry()
+    for block in trace.blocks():
+        for name in block.dtype_names:
+            registry.resolve(name)
+    if registry == trace.datatypes:
+        return {"resolve_dtypes": True}
+    return None
+
+
+def _disk_store_trace_npz(path: Path | None, trace) -> bool:
+    """Persist a block-native trace as an ``.npz`` archive; False if not
+    representable (caller falls back to pickle)."""
+    if path is None:
+        return False
+    context = _trace_reconstruction_context(trace)
+    if context is None:
+        return False
+    from .core.blocks import EventBlock
+
+    meta = trace.meta
+    payload: dict[str, np.ndarray] = {
+        "meta_app": np.array(meta.app),
+        "meta_variant": np.array(meta.variant),
+        "meta_num_ranks": np.array(meta.num_ranks, dtype=np.int64),
+        "meta_execution_time": np.array(meta.execution_time, dtype=np.float64),
+        "meta_uses_derived_types": np.array(meta.uses_derived_types),
+        "resolve_dtypes": np.array(context["resolve_dtypes"]),
+        "num_blocks": np.array(len(trace.blocks()), dtype=np.int64),
+    }
+    for i, block in enumerate(trace.blocks()):
+        for column in EventBlock._COLUMN_DTYPES:
+            payload[f"b{i}_{column}"] = getattr(block, column)
+        payload[f"b{i}_dtype_names"] = np.array(block.dtype_names, dtype=np.str_)
+        payload[f"b{i}_comm_names"] = np.array(block.comm_names, dtype=np.str_)
+        payload[f"b{i}_func_names"] = np.array(block.func_names, dtype=np.str_)
+    _atomic_write(path, lambda fh: np.savez(fh, **payload))
+    return True
+
+
+def _disk_load_trace_npz(path: Path | None) -> Any:
+    if path is None or not path.is_file():
+        return _MISS
+    from .core.blocks import EventBlock
+    from .core.trace import Trace, TraceMetadata
+
+    try:
+        with np.load(path, allow_pickle=False) as data:
+            meta = TraceMetadata(
+                app=str(data["meta_app"]),
+                num_ranks=int(data["meta_num_ranks"]),
+                execution_time=float(data["meta_execution_time"]),
+                variant=str(data["meta_variant"]),
+                uses_derived_types=bool(data["meta_uses_derived_types"]),
+            )
+            resolve_dtypes = bool(data["resolve_dtypes"])
+            blocks = []
+            for i in range(int(data["num_blocks"])):
+                columns = {
+                    column: data[f"b{i}_{column}"]
+                    for column in EventBlock._COLUMN_DTYPES
+                }
+                blocks.append(
+                    EventBlock(
+                        **columns,
+                        dtype_names=tuple(data[f"b{i}_dtype_names"].tolist()),
+                        comm_names=tuple(data[f"b{i}_comm_names"].tolist()),
+                        func_names=tuple(data[f"b{i}_func_names"].tolist()),
+                    )
+                )
+    except Exception:
+        # Corrupt/foreign archives surface zipfile, key, or value errors;
+        # all of them mean "miss" and the trace is regenerated.
+        return _MISS
+    trace = Trace.from_blocks(meta, blocks, validate=False)
+    if resolve_dtypes:
+        for block in blocks:
+            for name in block.dtype_names:
+                trace.datatypes.resolve(name)
+    return trace
+
+
 # ------------------------------------------------------------------ producers
 
 
@@ -255,8 +365,11 @@ def cached_trace(
     value = region.get(key)
     if value is not _MISS:
         return value
-    path = _disk_path("trace", key, ".pkl")
-    value = _disk_load_pickle(path)
+    npz_path = _disk_path("trace", key, ".npz")
+    pkl_path = _disk_path("trace", key, ".pkl")
+    value = _disk_load_trace_npz(npz_path)
+    if value is _MISS:
+        value = _disk_load_pickle(pkl_path)
     if value is not _MISS:
         region.stats.disk_hits += 1
     else:
@@ -264,7 +377,8 @@ def cached_trace(
             name, ranks, variant=variant, seed=seed, emit_receives=emit_receives
         )
         value._repro_cache_key = key  # provenance: makes trace_content_key free
-        _disk_store_pickle(path, value)
+        if not _disk_store_trace_npz(npz_path, value):
+            _disk_store_pickle(pkl_path, value)
     if getattr(value, "_repro_cache_key", None) is None:
         value._repro_cache_key = key
     region.put(key, value)

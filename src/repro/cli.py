@@ -20,6 +20,7 @@ Usage::
     python -m repro compare [--max-ranks N]
     python -m repro validate [--max-ranks N]
     python -m repro apps
+    python -m repro bench pipeline [--min-ranks N] [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -162,6 +163,30 @@ def build_parser() -> argparse.ArgumentParser:
     va.add_argument("--max-ranks", type=int, default=None)
 
     sub.add_parser("apps", help="list applications and configurations")
+
+    be = sub.add_parser("bench", help="measure pipeline performance")
+    be.add_argument(
+        "target",
+        choices=["pipeline"],
+        help="pipeline: legacy vs columnar front-end on the largest configs",
+    )
+    be.add_argument(
+        "--min-ranks",
+        type=int,
+        default=1000,
+        help="benchmark configurations with at least this many ranks",
+    )
+    be.add_argument(
+        "--no-mapping",
+        action="store_true",
+        help="skip the mapping-kernel (reference vs vectorized) section",
+    )
+    be.add_argument(
+        "--out",
+        default="BENCH_pipeline.json",
+        metavar="PATH",
+        help="where to write the JSON record (default: ./BENCH_pipeline.json)",
+    )
     return parser
 
 
@@ -372,6 +397,19 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             )
             star = " (*)" if app.uses_derived_types else ""
             print(f"{name:<22}{star:<5} ranks: {configs}")
+    elif args.command == "bench":
+        from .bench import (
+            render_pipeline_bench,
+            run_pipeline_bench,
+            write_pipeline_bench,
+        )
+
+        data = run_pipeline_bench(
+            min_ranks=args.min_ranks, mapping=not args.no_mapping
+        )
+        print(render_pipeline_bench(data))
+        path = write_pipeline_bench(args.out, data)
+        print(f"wrote {path}")
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command}")
     return 0

@@ -1,14 +1,31 @@
 """Flat collective-to-point-to-point translation (paper §4.4)."""
 
-from .patterns import SendGroup, even_split, expand_collective
-from .translate import ClassifiedSends, TrafficClass, collective_volume, iter_send_groups
+from .patterns import (
+    SendGroup,
+    even_split,
+    even_split_rows,
+    expand_collective,
+    expand_collective_batch,
+)
+from .translate import (
+    ClassifiedSends,
+    SendBatch,
+    TrafficClass,
+    collective_volume,
+    iter_send_batches,
+    iter_send_groups,
+)
 
 __all__ = [
     "SendGroup",
     "even_split",
+    "even_split_rows",
     "expand_collective",
+    "expand_collective_batch",
     "ClassifiedSends",
+    "SendBatch",
     "TrafficClass",
     "collective_volume",
+    "iter_send_batches",
     "iter_send_groups",
 ]

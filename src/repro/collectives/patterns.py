@@ -42,7 +42,13 @@ import numpy as np
 from ..core.communicator import Communicator
 from ..core.events import CollectiveEvent, CollectiveOp
 
-__all__ = ["SendGroup", "expand_collective", "even_split"]
+__all__ = [
+    "SendGroup",
+    "expand_collective",
+    "expand_collective_batch",
+    "even_split",
+    "even_split_rows",
+]
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,22 @@ def even_split(total: int, parts: int) -> np.ndarray:
     shares = np.full(parts, base, dtype=np.int64)
     shares[:rem] += 1
     return shares
+
+
+def even_split_rows(totals: np.ndarray, parts: int) -> np.ndarray:
+    """Row-wise :func:`even_split`: one split per entry of ``totals``.
+
+    Returns an ``int64[len(totals), parts]`` matrix whose row ``i`` is
+    ``even_split(totals[i], parts)``.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    totals = np.asarray(totals, dtype=np.int64)
+    if len(totals) and totals.min() < 0:
+        raise ValueError("total must be >= 0")
+    base = totals // parts
+    rem = totals % parts
+    return base[:, None] + (np.arange(parts, dtype=np.int64)[None, :] < rem[:, None])
 
 
 def _uniform(src: int, dsts: np.ndarray, nbytes: int, calls: int) -> SendGroup:
@@ -201,5 +223,111 @@ def expand_collective(
             return []
         nxt = comm.to_global(local + 1)
         return [_uniform(event.caller, np.array([nxt]), nbytes, calls)]
+
+    raise NotImplementedError(f"no p2p expansion defined for {op}")
+
+
+def _fanout(
+    callers: np.ndarray,
+    members: np.ndarray,
+    bytes_per_dst: np.ndarray,
+    calls: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Fan every caller out to all members.
+
+    ``bytes_per_dst`` is either 1-D (uniform bytes per caller, replicated to
+    every destination) or 2-D ``[len(callers), len(members)]`` (per-row
+    even splits).
+    """
+    n = len(members)
+    src = np.repeat(callers, n)
+    dst = np.tile(members, len(callers))
+    if bytes_per_dst.ndim == 1:
+        nbytes = np.repeat(bytes_per_dst, n)
+    else:
+        nbytes = bytes_per_dst.reshape(-1)
+    return src, dst, nbytes, np.repeat(calls, n)
+
+
+def expand_collective_batch(
+    op: CollectiveOp,
+    comm: Communicator,
+    callers: np.ndarray,
+    nbytes: np.ndarray,
+    roots: np.ndarray,
+    calls: np.ndarray,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Batched :func:`expand_collective`: many records of one op at once.
+
+    Parameters mirror the per-event form, columnar: ``callers`` are global
+    ranks, ``roots`` are communicator-local root ranks, ``nbytes`` is each
+    record's ``count * element_size``, and ``calls`` its repeat count.  All
+    arrays are parallel.
+
+    Returns a list of ``(src, dst, bytes_per_msg, calls)`` message-array
+    quadruples.  The multiset of messages equals the union of the per-event
+    expansions exactly (the equivalence suite pins this), only the grouping
+    differs.
+    """
+    n = comm.size
+    if n == 1 or op is CollectiveOp.BARRIER or len(callers) == 0:
+        return []
+    members = np.asarray(comm.members, dtype=np.int64)
+    # comm-local rank per caller (vectorized comm.to_local)
+    mmax = int(members.max())
+    lookup = np.full(mmax + 1, -1, dtype=np.int64)
+    lookup[members] = np.arange(n, dtype=np.int64)
+    in_range = (callers >= 0) & (callers <= mmax)
+    local = np.where(in_range, lookup[np.clip(callers, 0, mmax)], -1)
+    if local.min() < 0:
+        bad = int(callers[local < 0][0])
+        raise ValueError(f"rank {bad} is not a member of this communicator")
+
+    if op is CollectiveOp.BCAST:
+        sel = local == roots
+        if not sel.any():
+            return []
+        return [_fanout(callers[sel], members, nbytes[sel], calls[sel])]
+
+    if op in (CollectiveOp.REDUCE, CollectiveOp.GATHER, CollectiveOp.GATHERV):
+        # ALL ranks send to the root, the root included.
+        return [(callers, members[roots], nbytes, calls)]
+
+    if op is CollectiveOp.ALLREDUCE:
+        # Flat reduce-to-root plus broadcast-from-root, rooted at local 0.
+        out = [
+            (
+                callers,
+                np.full(len(callers), members[0], dtype=np.int64),
+                nbytes,
+                calls,
+            )
+        ]
+        sel = local == 0
+        if sel.any():
+            out.append(_fanout(callers[sel], members, nbytes[sel], calls[sel]))
+        return out
+
+    if op in (CollectiveOp.SCATTER, CollectiveOp.SCATTERV):
+        sel = local == roots
+        if not sel.any():
+            return []
+        if op is CollectiveOp.SCATTER:
+            return [_fanout(callers[sel], members, nbytes[sel], calls[sel])]
+        shares = even_split_rows(nbytes[sel], n)
+        return [_fanout(callers[sel], members, shares, calls[sel])]
+
+    if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV, CollectiveOp.ALLTOALL):
+        return [_fanout(callers, members, nbytes, calls)]
+
+    if op in (CollectiveOp.ALLTOALLV, CollectiveOp.REDUCE_SCATTER):
+        shares = even_split_rows(nbytes, n)
+        return [_fanout(callers, members, shares, calls)]
+
+    if op in (CollectiveOp.SCAN, CollectiveOp.EXSCAN):
+        sel = local != n - 1
+        if not sel.any():
+            return []
+        return [(callers[sel], members[local[sel] + 1], nbytes[sel], calls[sel])]
 
     raise NotImplementedError(f"no p2p expansion defined for {op}")

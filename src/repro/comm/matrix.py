@@ -21,7 +21,7 @@ import numpy as np
 
 from .. import timings
 from ..collectives.patterns import SendGroup
-from ..collectives.translate import iter_send_groups
+from ..collectives.translate import SendBatch, iter_send_batches, iter_send_groups
 from ..core.packets import MAX_PAYLOAD_BYTES, packets_for_bytes_array
 from ..core.trace import Trace
 
@@ -206,6 +206,19 @@ class CommMatrixBuilder:
         self._messages.append(np.asarray(messages, dtype=np.int64))
         self._packets.append(np.asarray(packets, dtype=np.int64))
 
+    def add_batch(self, batch: SendBatch) -> None:
+        """Add a columnar message batch (one row = one message shape)."""
+        if len(batch.src) == 0:
+            return
+        pkts_per_msg = packets_for_bytes_array(batch.bytes_per_msg, self.payload)
+        self.add_arrays(
+            batch.src,
+            batch.dst,
+            batch.bytes_per_msg * batch.calls,
+            batch.calls,
+            pkts_per_msg * batch.calls,
+        )
+
     def add_message(self, src: int, dst: int, nbytes: int, calls: int = 1) -> None:
         """Convenience scalar form: ``calls`` messages of ``nbytes`` from src to dst."""
         group = SendGroup(
@@ -231,14 +244,32 @@ class CommMatrixBuilder:
         packets = np.concatenate(self._packets)
 
         key = src * self.num_ranks + dst
-        unique_keys, inverse = np.unique(key, return_inverse=True)
-        k = len(unique_keys)
-        out_bytes = np.zeros(k, dtype=np.int64)
-        out_msgs = np.zeros(k, dtype=np.int64)
-        out_pkts = np.zeros(k, dtype=np.int64)
-        np.add.at(out_bytes, inverse, nbytes)
-        np.add.at(out_msgs, inverse, messages)
-        np.add.at(out_pkts, inverse, packets)
+        nsq = self.num_ranks * self.num_ranks
+        if nsq <= (1 << 22) and nsq <= 32 * len(key):
+            # Dense merge: O(rows) scatter-adds into flat rank-pair tables,
+            # no sort.  Ascending flatnonzero == sorted (src, dst) keys, so
+            # the result is identical to the sparse path below.
+            present = np.zeros(nsq, dtype=bool)
+            present[key] = True
+            dense_bytes = np.zeros(nsq, dtype=np.int64)
+            dense_msgs = np.zeros(nsq, dtype=np.int64)
+            dense_pkts = np.zeros(nsq, dtype=np.int64)
+            np.add.at(dense_bytes, key, nbytes)
+            np.add.at(dense_msgs, key, messages)
+            np.add.at(dense_pkts, key, packets)
+            unique_keys = np.flatnonzero(present)
+            out_bytes = dense_bytes[unique_keys]
+            out_msgs = dense_msgs[unique_keys]
+            out_pkts = dense_pkts[unique_keys]
+        else:
+            unique_keys, inverse = np.unique(key, return_inverse=True)
+            k = len(unique_keys)
+            out_bytes = np.zeros(k, dtype=np.int64)
+            out_msgs = np.zeros(k, dtype=np.int64)
+            out_pkts = np.zeros(k, dtype=np.int64)
+            np.add.at(out_bytes, inverse, nbytes)
+            np.add.at(out_msgs, inverse, messages)
+            np.add.at(out_pkts, inverse, packets)
 
         return CommMatrix(
             self.num_ranks,
@@ -265,6 +296,13 @@ def matrix_from_trace(
     """
     with timings.stage("matrix"):
         builder = CommMatrixBuilder(trace.meta.num_ranks, payload=payload)
+
+        # Columnar fast path: block-native traces expand straight from their
+        # arrays — no event objects, no per-message allocation.
+        if trace.has_native_blocks:
+            for batch in iter_send_batches(trace, include_p2p, include_collectives):
+                builder.add_batch(batch)
+            return builder.finalize()
 
         # Fast path: point-to-point sends are by far the most numerous records
         # (hundreds of thousands at the largest scales); gather them into

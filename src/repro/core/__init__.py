@@ -1,5 +1,13 @@
 """Core MPI trace data model: datatypes, communicators, events, traces, packets."""
 
+from .blocks import (
+    EventBlock,
+    KIND_COLLECTIVE,
+    KIND_P2P_RECV,
+    KIND_P2P_SEND,
+    OPS,
+    OP_CODE,
+)
 from .communicator import CartesianCommunicator, Communicator, CommunicatorTable
 from .datatypes import (
     DERIVED_SIZE_CONVENTION,
@@ -21,6 +29,12 @@ from .packets import MAX_PAYLOAD_BYTES, packets_for_bytes, packets_for_bytes_arr
 from .trace import Trace, TraceMetadata
 
 __all__ = [
+    "EventBlock",
+    "KIND_COLLECTIVE",
+    "KIND_P2P_RECV",
+    "KIND_P2P_SEND",
+    "OPS",
+    "OP_CODE",
     "CartesianCommunicator",
     "Communicator",
     "CommunicatorTable",

@@ -5,7 +5,17 @@ A :class:`Trace` bundles everything one analyzed run contributes:
 - metadata (application name, rank count, traced execution time),
 - the datatype registry used to resolve element sizes,
 - the communicator table,
-- a flat stream of :class:`~repro.core.events.TraceEvent` records.
+- the MPI call records, stored either as a flat list of
+  :class:`~repro.core.events.TraceEvent` objects or as columnar
+  :class:`~repro.core.blocks.EventBlock` arrays.
+
+The two storages are interchangeable: :meth:`Trace.blocks` converts an
+event-object trace to columns on demand, and the :attr:`Trace.events`
+property lazily materializes event objects from native blocks.  Synthetic
+generators and the dumpi loader produce block-native traces; all existing
+per-event call sites keep working through the lazy view, while the hot
+consumers (traffic matrix, collective translation, statistics) read the
+columns directly.
 
 Execution time is taken from trace timestamps, exactly as the paper takes it
 from dumpi wall-clock records; synthetic generators stamp it from their
@@ -15,9 +25,12 @@ formula (Eq. 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
+import numpy as np
+
+from .blocks import KIND_COLLECTIVE, KIND_P2P_SEND, EventBlock
 from .communicator import CommunicatorTable
 from .datatypes import DatatypeRegistry
 from .events import CollectiveEvent, Direction, P2PEvent, TraceEvent
@@ -48,18 +61,77 @@ class TraceMetadata:
         return f"{base}/{self.variant}" if self.variant else base
 
 
-@dataclass
 class Trace:
     """An ordered stream of MPI call records plus run metadata."""
 
-    meta: TraceMetadata
-    datatypes: DatatypeRegistry = field(default_factory=DatatypeRegistry)
-    communicators: CommunicatorTable | None = None
-    events: list[TraceEvent] = field(default_factory=list)
+    def __init__(
+        self,
+        meta: TraceMetadata,
+        datatypes: DatatypeRegistry | None = None,
+        communicators: CommunicatorTable | None = None,
+        events: Iterable[TraceEvent] | None = None,
+    ) -> None:
+        self.meta = meta
+        self.datatypes = DatatypeRegistry() if datatypes is None else datatypes
+        self.communicators = (
+            CommunicatorTable.for_world(meta.num_ranks)
+            if communicators is None
+            else communicators
+        )
+        self._events: list[TraceEvent] | None = (
+            list(events) if events is not None else []
+        )
+        self._blocks: list[EventBlock] | None = None
 
-    def __post_init__(self) -> None:
-        if self.communicators is None:
-            self.communicators = CommunicatorTable.for_world(self.meta.num_ranks)
+    @classmethod
+    def from_blocks(
+        cls,
+        meta: TraceMetadata,
+        blocks: Sequence[EventBlock],
+        datatypes: DatatypeRegistry | None = None,
+        communicators: CommunicatorTable | None = None,
+        validate: bool = True,
+    ) -> "Trace":
+        """Build a block-native trace (no per-event objects allocated)."""
+        trace = cls(meta, datatypes, communicators)
+        trace._events = None
+        trace._blocks = [b for b in blocks if len(b)]
+        if validate:
+            assert trace.communicators is not None
+            for block in trace._blocks:
+                block.check(meta.num_ranks, trace.communicators)
+        return trace
+
+    # -- storage ----------------------------------------------------------
+
+    @property
+    def has_native_blocks(self) -> bool:
+        """True when columnar storage is authoritative (fast paths apply)."""
+        return self._blocks is not None
+
+    def blocks(self) -> list[EventBlock]:
+        """Columnar view of the trace; converts from events on first use."""
+        if self._blocks is None:
+            assert self._events is not None
+            self._blocks = (
+                [EventBlock.from_events(self._events)] if self._events else []
+            )
+        return self._blocks
+
+    @property
+    def events(self) -> list[TraceEvent]:
+        """Legacy flat event list; materialized lazily from native blocks.
+
+        Treat the returned list as read-only — use :meth:`add` /
+        :meth:`extend` to append records so the columnar view stays in sync.
+        """
+        if self._events is None:
+            assert self._blocks is not None
+            evs: list[TraceEvent] = []
+            for block in self._blocks:
+                evs.extend(block.to_events())
+            self._events = evs
+        return self._events
 
     # -- construction -----------------------------------------------------
 
@@ -67,6 +139,7 @@ class Trace:
         """Append one event after validating its ranks and communicator."""
         self._validate(event)
         self.events.append(event)
+        self._blocks = None  # columnar view is stale; rebuild on demand
 
     def extend(self, events: Iterable[TraceEvent]) -> None:
         for ev in events:
@@ -89,10 +162,26 @@ class Trace:
     # -- iteration --------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.events)
+        if self._events is None:
+            assert self._blocks is not None
+            return sum(len(b) for b in self._blocks)
+        return len(self._events)
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Trace):
+            return NotImplemented
+        return (
+            self.meta == other.meta
+            and self.datatypes == other.datatypes
+            and self.communicators == other.communicators
+            and self.events == other.events
+        )
+
+    def __repr__(self) -> str:
+        return f"Trace(meta={self.meta!r}, records={len(self)})"
 
     def iter_p2p_sends(self) -> Iterator[P2PEvent]:
         """All point-to-point records that inject traffic."""
@@ -110,10 +199,32 @@ class Trace:
     @property
     def num_calls(self) -> int:
         """Total MPI calls represented (repeat-expanded count)."""
-        return sum(ev.repeat for ev in self.events)
+        if self._events is None:
+            assert self._blocks is not None
+            return sum(b.num_calls for b in self._blocks)
+        return sum(ev.repeat for ev in self._events)
 
     def p2p_bytes(self) -> int:
         """Total bytes injected by point-to-point sends (repeat-expanded)."""
+        if self._events is None:
+            assert self._blocks is not None
+            total = 0
+            for block in self._blocks:
+                mask = block.kind == KIND_P2P_SEND
+                if not mask.any():
+                    continue
+                sizes = np.array(
+                    [self.datatypes.size_of(n) for n in block.dtype_names],
+                    dtype=np.int64,
+                )
+                total += int(
+                    (
+                        block.count[mask]
+                        * sizes[block.dtype_id[mask]]
+                        * block.repeat[mask]
+                    ).sum()
+                )
+            return total
         total = 0
         for ev in self.iter_p2p_sends():
             total += ev.total_bytes(self.datatypes.size_of(ev.dtype))
@@ -121,8 +232,17 @@ class Trace:
 
     def active_ranks(self) -> set[int]:
         """Ranks that appear as caller or peer of any record."""
-        ranks: set[int] = set()
-        for ev in self.events:
+        if self._events is None:
+            assert self._blocks is not None
+            ranks: set[int] = set()
+            for block in self._blocks:
+                ranks.update(np.unique(block.caller).tolist())
+                p2p = block.kind != KIND_COLLECTIVE
+                if p2p.any():
+                    ranks.update(np.unique(block.peer[p2p]).tolist())
+            return ranks
+        ranks = set()
+        for ev in self._events:
             ranks.add(ev.caller)
             if isinstance(ev, P2PEvent):
                 ranks.add(ev.peer)

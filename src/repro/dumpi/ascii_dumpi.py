@@ -13,12 +13,18 @@ them as one text file per rank, with records of the form::
 
 This module parses that layout into :class:`~repro.core.trace.Trace`
 objects so the full analysis pipeline runs unchanged on real traces when
-they are available.  The parser is deliberately tolerant: unknown MPI
-functions are skipped (dumpi records *every* call, most of which carry no
-traffic), unknown datatypes resolve through the registry's 1-byte
-convention (the paper's treatment of underdocumented derived types), and
-per-call fields are matched by name with sensible fallbacks
-(``sendcount``/``count``, ``dest``/``source``/``root``).
+they are available.  The parser decodes each rank file into columnar
+accumulators and the directory loader assembles them directly into
+:class:`~repro.core.blocks.EventBlock` arrays — no per-record Python event
+objects are created on the loading path (the legacy ``events`` view stays
+available lazily).
+
+The parser is deliberately tolerant: unknown MPI functions are skipped
+(dumpi records *every* call, most of which carry no traffic), unknown
+datatypes resolve through the registry's 1-byte convention (the paper's
+treatment of underdocumented derived types), and per-call fields are
+matched by name with sensible fallbacks (``sendcount``/``count``,
+``dest``/``source``/``root``).
 
 Cartesian/sub-communicator calls cannot be reconstructed from dumpi output
 (the paper excludes such traces, §4.3); records referencing a communicator
@@ -29,11 +35,20 @@ other than ``MPI_COMM_WORLD``/``MPI_COMM_SELF`` raise
 from __future__ import annotations
 
 import re
-from dataclasses import replace
 from pathlib import Path
 from typing import Iterable, TextIO
 
-from ..core.events import CollectiveOp, Direction, P2P_CALLS, P2PEvent, CollectiveEvent
+import numpy as np
+
+from ..core.blocks import (
+    KIND_COLLECTIVE,
+    KIND_P2P_RECV,
+    KIND_P2P_SEND,
+    OP_CODE,
+    EventBlock,
+    _Interner,
+)
+from ..core.events import CollectiveOp, Direction, P2P_CALLS
 from ..core.trace import Trace, TraceMetadata
 
 __all__ = [
@@ -63,6 +78,11 @@ _COLLECTIVE_BY_NAME = {op.value: op for op in CollectiveOp}
 #: sub-communicator we cannot resolve.
 _WORLD_COMMS = {"MPI_COMM_WORLD", "MPI_COMM_SELF"}
 
+_KIND_OF_DIRECTION = {
+    Direction.SEND: KIND_P2P_SEND,
+    Direction.RECV: KIND_P2P_RECV,
+}
+
 
 class UnsupportedCommunicatorError(ValueError):
     """A record references a communicator whose rank mapping is unknown."""
@@ -79,6 +99,99 @@ class _Record:
         self.t_leave = t_enter
         self.ints: dict[str, int] = {}
         self.names: dict[str, str] = {}
+
+
+class _Columns:
+    """Columnar accumulator for one rank's decoded records.
+
+    String fields are interned through shared tables so per-rank columns
+    concatenate into one :class:`EventBlock` without re-mapping.
+    """
+
+    __slots__ = (
+        "kind", "peer", "count", "dtype_id", "op", "root", "tag",
+        "func_id", "t_enter", "t_leave", "_dtypes", "_funcs",
+    )
+
+    def __init__(self, dtypes: _Interner, funcs: _Interner) -> None:
+        self.kind: list[int] = []
+        self.peer: list[int] = []
+        self.count: list[int] = []
+        self.dtype_id: list[int] = []
+        self.op: list[int] = []
+        self.root: list[int] = []
+        self.tag: list[int] = []
+        self.func_id: list[int] = []
+        self.t_enter: list[float] = []
+        self.t_leave: list[float] = []
+        self._dtypes = dtypes
+        self._funcs = funcs
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def add_p2p(
+        self,
+        direction: Direction,
+        peer: int,
+        count: int,
+        dtype: str,
+        func: str,
+        tag: int,
+        t_enter: float,
+        t_leave: float,
+    ) -> None:
+        self.kind.append(_KIND_OF_DIRECTION[direction])
+        self.peer.append(peer)
+        self.count.append(count)
+        self.dtype_id.append(self._dtypes(dtype))
+        self.op.append(-1)
+        self.root.append(0)
+        self.tag.append(tag)
+        self.func_id.append(self._funcs(func))
+        self.t_enter.append(t_enter)
+        self.t_leave.append(t_leave)
+
+    def add_collective(
+        self,
+        op: CollectiveOp,
+        count: int,
+        dtype: str,
+        root: int,
+        t_enter: float,
+        t_leave: float,
+    ) -> None:
+        self.kind.append(KIND_COLLECTIVE)
+        self.peer.append(-1)
+        self.count.append(count)
+        self.dtype_id.append(self._dtypes(dtype))
+        self.op.append(OP_CODE[op])
+        self.root.append(root)
+        self.tag.append(0)
+        self.func_id.append(-1)
+        self.t_enter.append(t_enter)
+        self.t_leave.append(t_leave)
+
+    def to_block(self, rank: int) -> EventBlock:
+        k = len(self)
+        return EventBlock(
+            kind=np.array(self.kind, dtype=np.uint8),
+            caller=np.full(k, rank, dtype=np.int64),
+            peer=np.array(self.peer, dtype=np.int64),
+            count=np.array(self.count, dtype=np.int64),
+            dtype_id=np.array(self.dtype_id, dtype=np.int32),
+            op=np.array(self.op, dtype=np.int16),
+            root=np.array(self.root, dtype=np.int64),
+            comm_id=np.zeros(k, dtype=np.int32),
+            tag=np.array(self.tag, dtype=np.int64),
+            func_id=np.array(self.func_id, dtype=np.int16),
+            repeat=np.ones(k, dtype=np.int64),
+            t_enter=np.array(self.t_enter, dtype=np.float64),
+            t_leave=np.array(self.t_leave, dtype=np.float64),
+            dtype_names=self._dtypes.names() or ("MPI_BYTE",),
+            comm_names=("MPI_COMM_WORLD",),
+            func_names=self._funcs.names(),
+        )
 
 
 def _first(record: _Record, *keys: str, default: int | None = None) -> int | None:
@@ -101,18 +214,15 @@ def _check_comm(record: _Record, strict: bool) -> bool:
     return False
 
 
-def parse_rank_stream(
+def _parse_columns(
     stream: TextIO | Iterable[str],
-    rank: int,
-    strict: bool = True,
-) -> tuple[list, float, float]:
-    """Parse one rank's dumpi2ascii text.
+    columns: _Columns,
+    strict: bool,
+) -> tuple[float, float]:
+    """Decode one rank's dumpi2ascii text into ``columns``.
 
-    Returns ``(events, first_walltime, last_walltime)``.  Events carry the
-    given caller rank; receives are kept (they do not inject traffic but
-    complete the record, as in real traces).
+    Returns ``(first_walltime, last_walltime)``.
     """
-    events: list = []
     t_min = float("inf")
     t_max = float("-inf")
     current: _Record | None = None
@@ -128,9 +238,7 @@ def parse_rank_stream(
         if ret and current is not None and ret.group(1) == current.func:
             current.t_leave = float(ret.group(2))
             t_max = max(t_max, current.t_leave)
-            event = _translate(current, rank, strict)
-            if event is not None:
-                events.append(event)
+            _translate(current, columns, strict)
             current = None
             continue
         if current is not None:
@@ -142,36 +250,52 @@ def parse_rank_stream(
                     current.names[key] = name
     if t_min > t_max:
         t_min = t_max = 0.0
-    return events, t_min, t_max
+    return t_min, t_max
 
 
-def _translate(record: _Record, rank: int, strict: bool):
-    """Turn one assembled record into a trace event (or None to skip)."""
+def parse_rank_stream(
+    stream: TextIO | Iterable[str],
+    rank: int,
+    strict: bool = True,
+) -> tuple[list, float, float]:
+    """Parse one rank's dumpi2ascii text.
+
+    Returns ``(events, first_walltime, last_walltime)``.  Events carry the
+    given caller rank; receives are kept (they do not inject traffic but
+    complete the record, as in real traces).
+    """
+    columns = _Columns(_Interner(), _Interner())
+    t_min, t_max = _parse_columns(stream, columns, strict)
+    return columns.to_block(rank).to_events(), t_min, t_max
+
+
+def _translate(record: _Record, columns: _Columns, strict: bool) -> None:
+    """Decode one assembled record into the columns (or skip it)."""
     func = record.func
     if func in P2P_CALLS:
         if not _check_comm(record, strict):
-            return None
+            return
         direction = P2P_CALLS[func]
         peer_key = "dest" if direction is Direction.SEND else "source"
         peer = _first(record, peer_key, "dest", "source")
         count = _first(record, "count", default=0)
         if peer is None or peer < 0:  # MPI_ANY_SOURCE etc.
-            return None
-        return P2PEvent(
-            caller=rank,
+            return
+        columns.add_p2p(
+            direction=direction,
             peer=int(peer),
             count=int(count or 0),
             dtype=record.names.get("datatype", "MPI_BYTE"),
-            direction=direction,
             func=func,
             tag=int(_first(record, "tag", default=0) or 0),
             t_enter=record.t_enter,
             t_leave=record.t_leave,
         )
+        return
     op = _COLLECTIVE_BY_NAME.get(func)
     if op is not None:
         if not _check_comm(record, strict):
-            return None
+            return
         count = _first(
             record, "sendcount", "count", "recvcount", "sendcounts", default=0
         )
@@ -180,8 +304,7 @@ def _translate(record: _Record, rank: int, strict: bool):
         )
         if op is CollectiveOp.BARRIER:
             count = 0
-        return CollectiveEvent(
-            caller=rank,
+        columns.add_collective(
             op=op,
             count=max(int(count or 0), 0),
             dtype=dtype,
@@ -189,7 +312,8 @@ def _translate(record: _Record, rank: int, strict: bool):
             t_enter=record.t_enter,
             t_leave=record.t_leave,
         )
-    return None  # bookkeeping calls (Comm_rank, Wait, Init, ...) carry no traffic
+    # anything else: bookkeeping calls (Comm_rank, Wait, Init, ...) carry
+    # no traffic
 
 
 def load_rank_file(path: str | Path, rank: int, strict: bool = True):
@@ -207,7 +331,9 @@ def load_dumpi2ascii_dir(
 
     Files are matched by the ``<prefix>-<rank>.txt`` convention; the rank
     count is the number of files, the execution time the span between the
-    earliest and latest walltime across ranks.
+    earliest and latest walltime across ranks.  The result is a block-native
+    trace: per-rank columns are concatenated, stably sorted by enter time,
+    and normalized to start at walltime zero.
     """
     directory = Path(directory)
     rank_files: dict[int, Path] = {}
@@ -224,26 +350,64 @@ def load_dumpi2ascii_dir(
         missing = sorted(set(range(num_ranks)) - set(rank_files))
         raise ValueError(f"missing rank files for ranks {missing[:10]}")
 
-    all_events = []
+    dtypes = _Interner()
+    funcs = _Interner()
+    blocks: list[EventBlock] = []
     t_min = float("inf")
     t_max = float("-inf")
     for rank in range(num_ranks):
-        events, lo, hi = load_rank_file(rank_files[rank], rank, strict)
-        all_events.extend(events)
-        if events:
+        columns = _Columns(dtypes, funcs)
+        with open(
+            rank_files[rank], "r", encoding="utf-8", errors="replace"
+        ) as fh:
+            lo, hi = _parse_columns(fh, columns, strict)
+        if len(columns):
+            blocks.append(columns.to_block(rank))
             t_min = min(t_min, lo)
             t_max = max(t_max, hi)
     duration = max(t_max - t_min, 1e-9) if t_min <= t_max else 1e-9
 
-    trace = Trace(
-        TraceMetadata(app=app, num_ranks=num_ranks, execution_time=duration)
+    meta = TraceMetadata(app=app, num_ranks=num_ranks, execution_time=duration)
+    if not blocks:
+        return Trace(meta)
+
+    # Merge the per-rank columns (they share the interner tables), stable
+    # sort by enter time, normalize walltimes to start at zero.
+    merged = EventBlock(
+        kind=np.concatenate([b.kind for b in blocks]),
+        caller=np.concatenate([b.caller for b in blocks]),
+        peer=np.concatenate([b.peer for b in blocks]),
+        count=np.concatenate([b.count for b in blocks]),
+        dtype_id=np.concatenate([b.dtype_id for b in blocks]),
+        op=np.concatenate([b.op for b in blocks]),
+        root=np.concatenate([b.root for b in blocks]),
+        comm_id=np.concatenate([b.comm_id for b in blocks]),
+        tag=np.concatenate([b.tag for b in blocks]),
+        func_id=np.concatenate([b.func_id for b in blocks]),
+        repeat=np.concatenate([b.repeat for b in blocks]),
+        t_enter=np.concatenate([b.t_enter for b in blocks]),
+        t_leave=np.concatenate([b.t_leave for b in blocks]),
+        dtype_names=dtypes.names() or ("MPI_BYTE",),
+        comm_names=("MPI_COMM_WORLD",),
+        func_names=funcs.names(),
     )
-    if not all_events:
-        return trace
-    # normalize walltimes to start at zero, preserving order
-    all_events.sort(key=lambda ev: ev.t_enter)
-    for ev in all_events:
-        trace.add(
-            replace(ev, t_enter=ev.t_enter - t_min, t_leave=ev.t_leave - t_min)
-        )
-    return trace
+    order = np.argsort(merged.t_enter, kind="stable")
+    sorted_block = EventBlock(
+        kind=merged.kind[order],
+        caller=merged.caller[order],
+        peer=merged.peer[order],
+        count=merged.count[order],
+        dtype_id=merged.dtype_id[order],
+        op=merged.op[order],
+        root=merged.root[order],
+        comm_id=merged.comm_id[order],
+        tag=merged.tag[order],
+        func_id=merged.func_id[order],
+        repeat=merged.repeat[order],
+        t_enter=merged.t_enter[order] - t_min,
+        t_leave=merged.t_leave[order] - t_min,
+        dtype_names=merged.dtype_names,
+        comm_names=merged.comm_names,
+        func_names=merged.func_names,
+    )
+    return Trace.from_blocks(meta, [sorted_block])

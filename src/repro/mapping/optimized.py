@@ -15,6 +15,13 @@ benchmark):
   hop objective.
 - :func:`optimize_mapping` — the composed entry point.
 
+The kernels run on a CSR adjacency of the symmetrized traffic graph built
+with array operations; the original dict-of-lists/heap implementations are
+kept as module-private ``*_reference`` functions because they define the
+semantics — the vectorized kernels are pinned against them output-for-output
+by the equivalence suite (identical orderings, identical swap decisions,
+identical splits).
+
 Orderings are placed on physical nodes via :func:`place_ordering`: on fat
 trees and dragonflies consecutive node numbering is already
 locality-friendly (leaves/groups are contiguous), while on a 3D torus the
@@ -44,8 +51,50 @@ __all__ = [
 ]
 
 
+def _symmetric_coo(matrix: CommMatrix) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Aggregated symmetric COO ``(u, v, bytes)`` of the traffic graph.
+
+    Self-pairs and zero-byte pairs are dropped; both directions of every
+    remaining pair are present, weights summed over duplicates, entries
+    sorted by ``(u, v)``.
+    """
+    n = matrix.num_ranks
+    mask = (matrix.src != matrix.dst) & (matrix.nbytes > 0)
+    s = matrix.src[mask]
+    d = matrix.dst[mask]
+    b = matrix.nbytes[mask]
+    uu = np.concatenate([s, d])
+    vv = np.concatenate([d, s])
+    ww = np.concatenate([b, b])
+    key = uu * n + vv
+    unique_keys, inverse = np.unique(key, return_inverse=True)
+    w = np.zeros(len(unique_keys), dtype=np.int64)
+    np.add.at(w, inverse, ww)
+    return unique_keys // n, unique_keys % n, w
+
+
+def _symmetric_csr(
+    matrix: CommMatrix,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """CSR adjacency ``(indptr, indices, weights)`` of the symmetrized graph.
+
+    Row ``u``'s neighbours are ``indices[indptr[u]:indptr[u+1]]``, ascending,
+    with summed byte weights — the array form of the reference
+    :func:`_symmetric_weights` dict-of-sorted-lists.
+    """
+    n = matrix.num_ranks
+    uu, vv, ww = _symmetric_coo(matrix)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    indptr[1:] = np.cumsum(np.bincount(uu, minlength=n))
+    return indptr, vv, ww
+
+
 def _symmetric_weights(matrix: CommMatrix) -> dict[int, list[tuple[int, int]]]:
-    """Adjacency (neighbour, bytes) lists of the symmetrized traffic graph."""
+    """Adjacency (neighbour, bytes) lists of the symmetrized traffic graph.
+
+    Reference (dict-of-sorted-lists) form of :func:`_symmetric_csr`; used by
+    the ``*_reference`` kernels below.
+    """
     adj: dict[int, dict[int, int]] = {}
     for s, d, b in zip(matrix.src, matrix.dst, matrix.nbytes):
         s, d, b = int(s), int(d), int(b)
@@ -63,9 +112,46 @@ def greedy_ordering(matrix: CommMatrix) -> np.ndarray:
 
     Starts from the rank with the highest total traffic; repeatedly appends
     the unplaced rank with the largest byte volume to the placed set
-    (max-heap frontier).  Disconnected ranks are appended in ID order.
-    Runs in O(E log E) — fine at the paper's largest scale (1728 ranks).
+    (ties broken toward the smallest rank ID).  Disconnected ranks are
+    appended in ID order.  Vectorized frontier selection: attraction only
+    ever grows, so an argmax over the unplaced frontier reproduces the
+    reference max-heap pop exactly.
     """
+    n = matrix.num_ranks
+    indptr, indices, weights = _symmetric_csr(matrix)
+    totals = np.zeros(n, dtype=np.int64)
+    nonempty = np.diff(indptr) > 0
+    if weights.size:
+        totals[nonempty] = np.add.reduceat(weights, indptr[:-1][nonempty])
+
+    placed = np.zeros(n, dtype=bool)
+    # attraction[r]: bytes from r to the placed set (grown incrementally)
+    attraction = np.zeros(n, dtype=np.int64)
+    order = np.empty(n, dtype=np.int64)
+    seeds = np.argsort(-totals, kind="stable")
+    seed_pos = 0
+
+    for pos in range(n):
+        # frontier: unplaced ranks attracted to the placed prefix; argmax
+        # returns the first (= smallest-ID) maximum, matching the heap's
+        # (-attraction, rank) tie-break
+        masked = np.where(placed, np.int64(-1), attraction)
+        cand = int(masked.argmax())
+        if masked[cand] <= 0:
+            while placed[seeds[seed_pos]]:
+                seed_pos += 1
+            cand = int(seeds[seed_pos])
+        placed[cand] = True
+        order[pos] = cand
+        lo, hi = indptr[cand], indptr[cand + 1]
+        # growing attraction of already-placed neighbours is harmless: they
+        # are masked out of every future argmax
+        np.add.at(attraction, indices[lo:hi], weights[lo:hi])
+    return order
+
+
+def _greedy_ordering_reference(matrix: CommMatrix) -> np.ndarray:
+    """Reference heap implementation of :func:`greedy_ordering` (O(E log E))."""
     n = matrix.num_ranks
     adj = _symmetric_weights(matrix)
     totals = np.zeros(n, dtype=np.int64)
@@ -74,7 +160,6 @@ def greedy_ordering(matrix: CommMatrix) -> np.ndarray:
 
     placed = np.zeros(n, dtype=bool)
     order: list[int] = []
-    # attraction[r]: bytes from r to the placed set (grown incrementally)
     attraction = np.zeros(n, dtype=np.int64)
     heap: list[tuple[int, int]] = []  # (-attraction snapshot, rank)
 
@@ -163,13 +248,58 @@ def refine_mapping(
     Visits rank pairs in random order and commits a node swap whenever it
     lowers the cost contributed by the two swapped ranks.  Intended as a
     cheap polish after an ordering-based placement; each pass is
-    O(num_ranks * sample * partners).
+    O(num_ranks * sample * partners).  The per-rank cost reads CSR slices
+    directly (same neighbour order, hence the same float sums and the same
+    swap decisions as the reference).
     """
     n = matrix.num_ranks
     nodes = mapping.nodes.copy()
     rng = np.random.default_rng(seed)
 
-    # Per-rank partner lists (both directions, byte-weighted).
+    indptr, indices, weights = _symmetric_csr(matrix)
+    weights_f = weights.astype(np.float64)
+
+    def rank_cost(rank: int, node_of: np.ndarray) -> float:
+        lo, hi = indptr[rank], indptr[rank + 1]
+        if lo == hi:
+            return 0.0
+        others = indices[lo:hi]
+        hops = topology.hops_array(
+            np.full(hi - lo, node_of[rank], dtype=np.int64), node_of[others]
+        )
+        return float((hops * weights_f[lo:hi]).sum())
+
+    for _ in range(max_passes):
+        improved = False
+        candidates = rng.permutation(n)
+        for r1 in candidates:
+            r1 = int(r1)
+            r2 = int(rng.integers(n))
+            if r1 == r2 or nodes[r1] == nodes[r2]:
+                continue
+            before = rank_cost(r1, nodes) + rank_cost(r2, nodes)
+            nodes[r1], nodes[r2] = nodes[r2], nodes[r1]
+            after = rank_cost(r1, nodes) + rank_cost(r2, nodes)
+            if after < before:
+                improved = True
+            else:
+                nodes[r1], nodes[r2] = nodes[r2], nodes[r1]
+        if not improved:
+            break
+    return Mapping(nodes, mapping.num_nodes)
+
+
+def _refine_mapping_reference(
+    matrix: CommMatrix,
+    topology: Topology,
+    mapping: Mapping,
+    max_passes: int = 2,
+    seed: int = 0,
+) -> Mapping:
+    """Reference dict-adjacency implementation of :func:`refine_mapping`."""
+    n = matrix.num_ranks
+    nodes = mapping.nodes.copy()
+    rng = np.random.default_rng(seed)
     adj = _symmetric_weights(matrix)
 
     def rank_cost(rank: int, node_of: np.ndarray) -> float:
@@ -285,7 +415,8 @@ def optimize_mapping(
 
 def _fiedler_split(
     ranks: np.ndarray,
-    adj: dict[int, list[tuple[int, int]]],
+    coo: tuple[np.ndarray, np.ndarray, np.ndarray],
+    num_ranks: int,
     left_size: int,
     rng: np.random.Generator,
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -294,13 +425,13 @@ def _fiedler_split(
     induced subgraph.  Falls back to the given order for tiny or
     disconnected parts."""
     n = len(ranks)
-    index = {int(r): i for i, r in enumerate(ranks)}
+    uu, vv, ww = coo
+    index = np.full(num_ranks, -1, dtype=np.int64)
+    index[ranks] = np.arange(n, dtype=np.int64)
+    sel = (index[uu] >= 0) & (index[vv] >= 0)
     W = np.zeros((n, n), dtype=np.float64)
-    for r in ranks:
-        for nbr, w in adj.get(int(r), ()):  # symmetric adjacency
-            j = index.get(nbr)
-            if j is not None:
-                W[index[int(r)], j] += w
+    # symmetric COO entries are unique per (u, v), so assignment == accumulate
+    W[index[uu[sel]], index[vv[sel]]] = ww[sel]
     total = W.sum()
     if total == 0 or n <= 2:
         return ranks[:left_size], ranks[left_size:]
@@ -331,7 +462,7 @@ def bisection_mapping(
     structure: each communicating cluster lands in a compact machine region.
     """
     n = matrix.num_ranks
-    adj = _symmetric_weights(matrix)
+    coo = _symmetric_coo(matrix)
     rng = np.random.default_rng(seed)
     if isinstance(topology, Torus3D):
         sequence = topology.snake_order()
@@ -355,7 +486,7 @@ def bisection_mapping(
             continue
         left_slots = width // 2
         left_size = min(len(ranks), left_slots * ranks_per_node)
-        left, right = _fiedler_split(ranks, adj, left_size, rng)
+        left, right = _fiedler_split(ranks, coo, n, left_size, rng)
         stack.append((left, slot_lo, slot_lo + left_slots))
         if len(right):
             stack.append((right, slot_lo + left_slots, slot_hi))

@@ -104,6 +104,26 @@ class TestDiskTier:
         assert warm.meta.execution_time == cold.meta.execution_time
         assert cache.stats()["trace"]["disk_hits"] == 1
 
+    def test_trace_persists_as_npz(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        names = [f.name for f in tmp_path.iterdir()]
+        assert names and all(n.endswith(".npz") for n in names)
+
+    @pytest.mark.parametrize("app", ["LULESH", "Boxlib_CNS"])
+    def test_trace_npz_round_trip_bit_identical(self, tmp_path, app):
+        """npz reload is exact — including derived-dtype apps whose block
+        dtype names are absent from the (lazily populated) registry."""
+        cache.configure(disk_dir=tmp_path)
+        cold = cached_trace(app, 64)
+        cache.clear(memory=True)
+        warm = cached_trace(app, 64)
+        assert cache.stats()["trace"]["disk_hits"] == 1
+        assert warm.meta == cold.meta
+        assert warm.datatypes == cold.datatypes
+        assert warm.communicators == cold.communicators
+        assert warm.events == cold.events
+
     def test_matrix_round_trip(self, tmp_path):
         cache.configure(disk_dir=tmp_path)
         trace = cached_trace("LULESH", 64)

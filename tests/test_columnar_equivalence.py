@@ -1,0 +1,216 @@
+"""The columnar front-end is bit-identical to the legacy per-event path.
+
+Every registered application is generated twice — ``columnar=True`` (native
+EventBlock arrays) and ``columnar=False`` (the original per-event loop) — at
+its two smallest calibrated scales, and every downstream artifact is compared
+exactly: event streams, traffic matrices (both collective settings), the §5
+MPI-level metrics, Table-1 statistics, and optimized mappings.  The
+vectorized mapping kernels are additionally pinned against their reference
+implementations on the same matrices.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+import pytest
+
+from repro.apps import app_names, get_app
+from repro.apps.patterns import _biased_scattered_reference, biased_scattered_channels
+from repro.collectives.translate import (
+    TrafficClass,
+    collective_volume,
+    iter_send_batches,
+    iter_send_groups,
+)
+from repro.comm.matrix import matrix_from_trace
+from repro.comm.stats import trace_stats
+from repro.mapping.base import Mapping
+from repro.mapping.optimized import (
+    _greedy_ordering_reference,
+    _refine_mapping_reference,
+    _symmetric_csr,
+    _symmetric_weights,
+    greedy_ordering,
+    optimize_mapping,
+    refine_mapping,
+)
+from repro.metrics.locality import rank_distance, rank_locality
+from repro.metrics.peers import peers_per_rank
+from repro.metrics.selectivity import per_rank_selectivity
+from repro.topology.fattree import FatTree
+from repro.topology.torus import Torus3D
+
+
+def _two_smallest_scales() -> list[tuple[str, int]]:
+    configs = []
+    for name in app_names():
+        for ranks in get_app(name).scales()[:2]:
+            configs.append((name, ranks))
+    return configs
+
+
+CONFIGS = _two_smallest_scales()
+SMALLEST = [(name, get_app(name).scales()[0]) for name in app_names()]
+
+
+@lru_cache(maxsize=None)
+def _pair(name: str, ranks: int, emit_receives: bool = False):
+    app = get_app(name)
+    legacy = app.generate(ranks, emit_receives=emit_receives, columnar=False)
+    columnar = app.generate(ranks, emit_receives=emit_receives, columnar=True)
+    return legacy, columnar
+
+
+def _assert_matrices_identical(a, b):
+    assert a.num_ranks == b.num_ranks
+    for col in ("src", "dst", "nbytes", "messages", "packets"):
+        assert np.array_equal(getattr(a, col), getattr(b, col)), col
+
+
+class TestGeneratorEquivalence:
+    @pytest.mark.parametrize("name,ranks", CONFIGS)
+    def test_event_streams_identical(self, name, ranks):
+        legacy, columnar = _pair(name, ranks)
+        assert columnar.has_native_blocks and not legacy.has_native_blocks
+        assert columnar.meta == legacy.meta
+        assert columnar.events == legacy.events
+
+    @pytest.mark.parametrize("name", [n for n in app_names()][:4])
+    def test_event_streams_identical_with_receives(self, name):
+        ranks = get_app(name).scales()[0]
+        legacy, columnar = _pair(name, ranks, emit_receives=True)
+        assert columnar.events == legacy.events
+
+
+class TestMatrixEquivalence:
+    @pytest.mark.parametrize("name,ranks", CONFIGS)
+    @pytest.mark.parametrize("include_collectives", [True, False])
+    def test_matrices_bit_identical(self, name, ranks, include_collectives):
+        legacy, columnar = _pair(name, ranks)
+        a = matrix_from_trace(legacy, include_collectives=include_collectives)
+        b = matrix_from_trace(columnar, include_collectives=include_collectives)
+        _assert_matrices_identical(a, b)
+
+    @pytest.mark.parametrize("name,ranks", SMALLEST)
+    def test_batches_aggregate_like_groups(self, name, ranks):
+        """iter_send_batches carries the same messages as iter_send_groups."""
+        legacy, columnar = _pair(name, ranks)
+        for traffic_class in TrafficClass:
+            group_bytes = sum(
+                c.group.total_bytes
+                for c in iter_send_groups(legacy)
+                if c.traffic_class is traffic_class
+            )
+            group_msgs = sum(
+                c.group.num_messages
+                for c in iter_send_groups(legacy)
+                if c.traffic_class is traffic_class
+            )
+            batch_bytes = sum(
+                b.total_bytes
+                for b in iter_send_batches(columnar)
+                if b.traffic_class is traffic_class
+            )
+            batch_msgs = sum(
+                b.num_messages
+                for b in iter_send_batches(columnar)
+                if b.traffic_class is traffic_class
+            )
+            assert batch_bytes == group_bytes
+            assert batch_msgs == group_msgs
+
+
+class TestMetricEquivalence:
+    @pytest.mark.parametrize("name,ranks", SMALLEST)
+    def test_locality_selectivity_peers_identical(self, name, ranks):
+        legacy, columnar = _pair(name, ranks)
+        a = matrix_from_trace(legacy, include_collectives=False)
+        b = matrix_from_trace(columnar, include_collectives=False)
+        # equal_nan: all-collective apps (BigFFT) have empty p2p matrices,
+        # whose locality metrics are NaN on both paths
+        assert np.isclose(
+            rank_locality(a), rank_locality(b), rtol=0, atol=0, equal_nan=True
+        )
+        assert np.isclose(
+            rank_distance(a), rank_distance(b), rtol=0, atol=0, equal_nan=True
+        )
+        assert np.array_equal(peers_per_rank(a), peers_per_rank(b))
+        assert per_rank_selectivity(a) == per_rank_selectivity(b)
+
+    @pytest.mark.parametrize("name,ranks", SMALLEST)
+    def test_trace_stats_identical(self, name, ranks):
+        legacy, columnar = _pair(name, ranks)
+        assert trace_stats(legacy) == trace_stats(columnar)
+        assert collective_volume(legacy) == collective_volume(columnar)
+
+
+class TestMappingEquivalence:
+    @pytest.mark.parametrize("name,ranks", SMALLEST)
+    def test_optimized_mapping_identical_across_storage(self, name, ranks):
+        legacy, columnar = _pair(name, ranks)
+        a = matrix_from_trace(legacy)
+        b = matrix_from_trace(columnar)
+        topo = Torus3D((16, 8, 8))
+        for method in ("greedy", "bisection"):
+            ma = optimize_mapping(a, topo, method=method, ranks_per_node=2, refine=True)
+            mb = optimize_mapping(b, topo, method=method, ranks_per_node=2, refine=True)
+            assert np.array_equal(ma.nodes, mb.nodes), method
+
+    @pytest.mark.parametrize("name,ranks", SMALLEST)
+    def test_vectorized_kernels_match_reference(self, name, ranks):
+        _, columnar = _pair(name, ranks)
+        m = matrix_from_trace(columnar)
+
+        indptr, indices, weights = _symmetric_csr(m)
+        adj = _symmetric_weights(m)
+        for u in range(m.num_ranks):
+            lo, hi = indptr[u], indptr[u + 1]
+            assert (
+                list(zip(indices[lo:hi].tolist(), weights[lo:hi].tolist()))
+                == adj.get(u, [])
+            )
+
+        assert np.array_equal(greedy_ordering(m), _greedy_ordering_reference(m))
+
+        topo = FatTree(radix=48, stages=2)
+        base = Mapping.consecutive(m.num_ranks, topo.num_nodes, 1)
+        fast = refine_mapping(m, topo, base, seed=0)
+        slow = _refine_mapping_reference(m, topo, base, seed=0)
+        assert np.array_equal(fast.nodes, slow.nodes)
+
+
+class TestScatterPatternEquivalence:
+    @pytest.mark.parametrize(
+        "num_ranks,ppr,distance,max_offset",
+        [
+            (64, 6, "uniform", None),
+            (64, 6, "loguniform", None),
+            (216, 12, "quadratic", None),
+            (216, 12, "loguniform", 8),
+            (100, 3, "uniform", 2),  # tight window: duplicates dominate
+        ],
+    )
+    def test_vectorized_sampler_matches_reference(
+        self, num_ranks, ppr, distance, max_offset
+    ):
+        """Same channels AND the same post-call rng state as the reference."""
+        max_off = (
+            num_ranks - 1 if max_offset is None else min(max_offset, num_ranks - 1)
+        )
+        partner_w = np.full(min(ppr, num_ranks - 1), 1.0)
+
+        rng_fast = np.random.default_rng(12345)
+        fast = biased_scattered_channels(
+            num_ranks, ppr, rng_fast, distance=distance, max_offset=max_offset
+        )
+        rng_ref = np.random.default_rng(12345)
+        ref = _biased_scattered_reference(
+            num_ranks, min(ppr, num_ranks - 1), rng_ref, distance, partner_w,
+            1.0, max_off,
+        )
+        assert np.array_equal(fast.src, ref.src)
+        assert np.array_equal(fast.dst, ref.dst)
+        assert np.array_equal(fast.weight, ref.weight)
+        assert rng_fast.bit_generator.state == rng_ref.bit_generator.state
