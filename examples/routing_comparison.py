@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Routing policy comparison: minimal vs ECMP vs Valiant vs UGAL.
+
+The paper's §7 notes that adaptive routing changes the locality picture on
+indirect topologies.  This example makes that concrete on a dragonfly
+under the classic adversarial workload — every node of one group talking
+to the next group — where minimal routing funnels all traffic through the
+single inter-group global link:
+
+1. static link-load distribution per policy (the quantity Eq. 5 digests);
+2. hop-count cost of the congestion-proof detours;
+3. the dynamic consequence: simulated queueing under each policy.
+
+Run:  python examples/routing_comparison.py
+"""
+
+import numpy as np
+
+from repro.comm import CommMatrixBuilder
+from repro.routing import ROUTINGS, get_policy
+from repro.sim import simulate_network
+from repro.topology.dragonfly import Dragonfly
+
+
+def adversarial_matrix(topology: Dragonfly):
+    """Every node of group 0 sends one message to its peer in group 1."""
+    per_group = topology.num_nodes // topology.num_groups
+    builder = CommMatrixBuilder(topology.num_nodes)
+    for i in range(per_group):
+        for j in range(per_group):
+            builder.add_message(i, per_group + j, 64 * 4096)
+    return builder.finalize()
+
+
+def main() -> None:
+    topology = Dragonfly(8, 4, 4)
+    matrix = adversarial_matrix(topology)
+    src, dst = matrix.src, matrix.dst
+    weights = matrix.nbytes.astype(np.float64)
+
+    print(f"adversarial group-0 -> group-1 traffic on {topology!r}")
+    print(f"{len(src)} pairs, {weights.sum() / 1e6:.1f} MB total\n")
+
+    print(
+        f"{'policy':<10} {'mean hops':>10} {'max load MB':>12} "
+        f"{'p99 load MB':>12} {'used links':>11} {'sim makespan':>13}"
+    )
+    print("-" * 73)
+    for name in ROUTINGS:
+        policy = get_policy(name, seed=0)
+        inc = policy.route_incidence(topology, src, dst, pair_weights=weights)
+        hops = np.bincount(inc.pair_index, minlength=len(src))
+        _, loads = inc.link_loads(weights)
+        sim = simulate_network(
+            matrix,
+            topology,
+            execution_time=5e-4,
+            routing=name,
+            routing_seed=0,
+        )
+        print(
+            f"{name:<10} {hops.mean():>10.2f} {loads.max() / 1e6:>12.2f} "
+            f"{np.percentile(loads, 99) / 1e6:>12.2f} {len(loads):>11} "
+            f"{sim.makespan * 1e3:>11.2f}ms"
+        )
+
+    print(
+        "\nminimal/ecmp/dmodk collapse onto the one global link between the"
+        "\ntwo groups (dragonfly shortest paths are unique); valiant spreads"
+        "\nthe load across all intermediate groups at ~2x the hops; ugal"
+        "\npays the detour only where the load advantage justifies it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -13,10 +13,10 @@ The library has four layers:
    contributions: rank locality, selectivity, peers, and the 1D/2D/3D
    dimensionality analysis.
 4. **Network model** (:mod:`repro.topology`, :mod:`repro.mapping`,
-   :mod:`repro.model`) — static 3D-torus / fat-tree / dragonfly models with
-   deterministic shortest-path routing, rank→node mappings (consecutive,
-   multi-core, optimized), and the packet-hops / average-hops / utilization
-   analyses of §6.
+   :mod:`repro.routing`, :mod:`repro.model`) — static 3D-torus / fat-tree /
+   dragonfly models, pluggable routing policies (minimal, ECMP, Valiant,
+   d-mod-k, UGAL), rank→node mappings (consecutive, multi-core, optimized),
+   and the packet-hops / average-hops / utilization analyses of §6.
 
 Quick start::
 
@@ -62,6 +62,7 @@ from .metrics import (
     selectivity_curve,
 )
 from .paper import compare_table3, deviation_summary, table1_row, table3_row
+from .routing import ROUTINGS, RoutingPolicy, get_policy
 from .sim import SimulationResult, simulate_network
 from .model import (
     BANDWIDTH_BYTES_PER_S,
@@ -135,6 +136,9 @@ __all__ = [
     "link_load_stats",
     "SimulationResult",
     "simulate_network",
+    "ROUTINGS",
+    "RoutingPolicy",
+    "get_policy",
     "compare_table3",
     "deviation_summary",
     "table1_row",

@@ -35,6 +35,7 @@ from ..cache import cached_matrix, cached_trace
 from ..mapping.base import Mapping
 from ..mapping.optimized import optimize_mapping
 from ..model.engine import BANDWIDTH_BYTES_PER_S, analyze_network
+from ..routing import ROUTINGS
 from ..topology.configs import config_for
 
 __all__ = ["SweepSpec", "run_sweep"]
@@ -62,6 +63,7 @@ class SweepSpec:
     mappings: tuple[str, ...] = ("consecutive",)
     payloads: tuple[int, ...] = (4096,)
     bandwidths: tuple[float, ...] = (BANDWIDTH_BYTES_PER_S,)
+    routings: tuple[str, ...] = ("minimal",)
     include_collectives: bool = True
     seed: int = 0
 
@@ -74,6 +76,9 @@ class SweepSpec:
         unknown = set(self.mappings) - set(_MAPPING_METHODS)
         if unknown:
             raise ValueError(f"unknown mapping methods {sorted(unknown)}")
+        unknown = set(self.routings) - set(ROUTINGS)
+        if unknown:
+            raise ValueError(f"unknown routing policies {sorted(unknown)}")
         if any(p <= 0 for p in self.payloads):
             raise ValueError("payloads must be positive")
         if any(b <= 0 for b in self.bandwidths):
@@ -86,17 +91,19 @@ class SweepSpec:
             * len(self.topologies)
             * len(self.mappings)
             * len(self.payloads)
+            * len(self.routings)
             * len(self.bandwidths)
         )
 
-    def points(self) -> list[tuple[str, int, int, str, str]]:
+    def points(self) -> list[tuple[str, int, int, str, str, str]]:
         """The grid in canonical evaluation order (bandwidths loop inside)."""
         return [
-            (app, ranks, payload, topo_kind, mapping_method)
+            (app, ranks, payload, topo_kind, mapping_method, routing)
             for app, ranks in self.apps
             for payload in self.payloads
             for topo_kind in self.topologies
             for mapping_method in self.mappings
+            for routing in self.routings
         ]
 
 
@@ -107,7 +114,7 @@ def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
 
 
 def _eval_point(
-    spec: SweepSpec, point: tuple[str, int, int, str, str]
+    spec: SweepSpec, point: tuple[str, int, int, str, str, str]
 ) -> list[dict[str, Any]]:
     """Evaluate one grid point — a pure function of (spec, point).
 
@@ -115,7 +122,7 @@ def _eval_point(
     otherwise; all heavy intermediates go through the process-local
     :mod:`repro.cache`, so points sharing an app/payload rebuild nothing.
     """
-    app, ranks, payload, topo_kind, mapping_method = point
+    app, ranks, payload, topo_kind, mapping_method, routing = point
     trace = cached_trace(app, ranks, seed=spec.seed)
     matrix = cached_matrix(
         trace,
@@ -134,6 +141,8 @@ def _eval_point(
             execution_time=trace.meta.execution_time,
             bandwidth=bandwidth,
             payload=payload,
+            routing=routing,
+            routing_seed=spec.seed,
         )
         records.append(
             {
@@ -141,6 +150,7 @@ def _eval_point(
                 "ranks": ranks,
                 "topology": topo_kind,
                 "mapping": mapping_method,
+                "routing": routing,
                 "payload": payload,
                 "bandwidth": bandwidth,
                 "packet_hops": result.packet_hops,

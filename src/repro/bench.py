@@ -1,4 +1,4 @@
-"""Front-end pipeline benchmark (``repro bench pipeline``).
+"""Performance benchmarks behind ``repro bench`` (pipeline and routing).
 
 Times the cold trace-generation and matrix-construction stages of the
 largest study configurations on both front-end paths — the legacy per-event
@@ -15,6 +15,14 @@ all-collective workload (densest traffic graph).
 Machine-dependent wall times are recorded for provenance; the stable,
 asserted quantity (see ``benchmarks/test_perf_pipeline.py``) is the
 *speedup ratio* between the two paths on the same machine.
+
+``repro bench routing`` (:func:`run_routing_bench`, recorded in
+``BENCH_routing.json``) measures route-construction throughput of every
+:mod:`repro.routing` policy on the paper's 1728-rank topologies, plus the
+memoization speedup of re-querying one batch through
+:func:`repro.cache.cached_route_incidence`.  Again only ratios are asserted
+(``benchmarks/test_perf_routing.py``): each policy's slowdown relative to
+minimal routing on the same machine, and the cache's warm/cold ratio.
 """
 
 from __future__ import annotations
@@ -28,10 +36,23 @@ import numpy as np
 
 from . import timings
 
-__all__ = ["run_pipeline_bench", "write_pipeline_bench", "render_pipeline_bench"]
+__all__ = [
+    "run_pipeline_bench",
+    "write_pipeline_bench",
+    "render_pipeline_bench",
+    "run_routing_bench",
+    "write_routing_bench",
+    "render_routing_bench",
+]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
 FRONT_END_TARGET = 5.0
+
+#: The asserted ceiling on any policy's slowdown over minimal routing, and
+#: the floor on the incidence cache's warm/cold speedup (ratio assertions
+#: only — wall times are provenance, never compared across machines).
+ROUTING_SLOWDOWN_CEILING = 200.0
+CACHE_SPEEDUP_TARGET = 5.0
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -155,6 +176,117 @@ def run_pipeline_bench(
         # Densest traffic graph in the study: the all-collective 3D FFT.
         result["mapping"] = _mapping_bench("BigFFT", 1024)
     return result
+
+
+def run_routing_bench(
+    ranks: int = 1728, pairs: int = 100_000, seed: int = 0
+) -> dict[str, Any]:
+    """Route-construction throughput of every policy at the 1728-rank scale.
+
+    One batch of ``pairs`` random node pairs per topology, routed once per
+    policy (load-aware policies see uniform unit weights); plus a cold/warm
+    pass through :func:`repro.cache.cached_route_incidence` on the minimal
+    policy to measure the memoization speedup the pipeline relies on.
+    """
+    from . import cache
+    from .routing import ROUTINGS, get_policy
+    from .topology.configs import config_for
+
+    cfg = config_for(ranks)
+    topologies = {
+        "torus3d": cfg.build_torus(),
+        "fattree": cfg.build_fat_tree(),
+        "dragonfly": cfg.build_dragonfly(),
+    }
+    rng = np.random.default_rng(seed)
+    per_topology: dict[str, Any] = {}
+    slowdowns: dict[str, list[float]] = {name: [] for name in ROUTINGS}
+    for kind, topology in topologies.items():
+        src = rng.integers(0, topology.num_nodes, size=pairs)
+        dst = rng.integers(0, topology.num_nodes, size=pairs)
+        entry: dict[str, Any] = {}
+        for name in ROUTINGS:
+            policy = get_policy(name, seed=seed)
+            t0 = time.perf_counter()
+            inc = policy.route_incidence(topology, src, dst)
+            dt = time.perf_counter() - t0
+            entry[name] = {
+                "seconds": round(dt, 4),
+                "pairs_per_s": round(pairs / dt) if dt else None,
+                "incidence_rows": inc.num_incidences,
+                "mean_hops": round(inc.num_incidences / pairs, 3),
+            }
+        for name in ROUTINGS:
+            slowdowns[name].append(
+                entry[name]["seconds"] / max(entry["minimal"]["seconds"], 1e-9)
+            )
+        per_topology[kind] = entry
+
+    # Warm/cold memoization ratio, measured in a clean in-memory cache.
+    topology = topologies["torus3d"]
+    src = rng.integers(0, topology.num_nodes, size=pairs)
+    dst = rng.integers(0, topology.num_nodes, size=pairs)
+    cache.clear(memory=True)
+    t0 = time.perf_counter()
+    cache.cached_route_incidence(topology, src, dst)
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cache.cached_route_incidence(topology, src, dst)
+    warm = time.perf_counter() - t0
+    cache_speedup = round(cold / max(warm, 1e-9), 1)
+
+    return {
+        "routing": per_topology,
+        "summary": {
+            "ranks": ranks,
+            "pairs": pairs,
+            "seed": seed,
+            "slowdown_vs_minimal": {
+                name: round(float(np.exp(np.mean(np.log(vals)))), 2)
+                for name, vals in slowdowns.items()
+            },
+            "slowdown_ceiling": ROUTING_SLOWDOWN_CEILING,
+            "cache_cold_s": round(cold, 4),
+            "cache_warm_s": round(warm, 6),
+            "cache_speedup": cache_speedup,
+            "cache_speedup_target": CACHE_SPEEDUP_TARGET,
+        },
+    }
+
+
+def write_routing_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_routing_bench(data: dict[str, Any]) -> str:
+    policies = list(data["summary"]["slowdown_vs_minimal"])
+    header = f"{'topology':<12}" + "".join(f"{p:>12}" for p in policies)
+    lines = [header + "   (pairs/s)"]
+    for kind, entry in data["routing"].items():
+        cells = "".join(
+            f"{entry[p]['pairs_per_s']:>12,}".replace(",", " ")
+            if entry[p]["pairs_per_s"]
+            else f"{'n/a':>12}"
+            for p in policies
+        )
+        lines.append(f"{kind:<12}{cells}")
+    summary = data["summary"]
+    slow = ", ".join(
+        f"{name} {value}x"
+        for name, value in summary["slowdown_vs_minimal"].items()
+        if name != "minimal"
+    )
+    lines.append(
+        f"geomean slowdown vs minimal: {slow} "
+        f"(ceiling {summary['slowdown_ceiling']}x)"
+    )
+    lines.append(
+        f"incidence cache warm/cold speedup: {summary['cache_speedup']}x "
+        f"(target >= {summary['cache_speedup_target']}x)"
+    )
+    return "\n".join(lines)
 
 
 def write_pipeline_bench(path: str | Path, data: dict[str, Any]) -> Path:

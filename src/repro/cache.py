@@ -12,8 +12,11 @@ module gives the three hot producers a shared cache:
 - :func:`cached_matrix` — traffic matrices, keyed on the trace's content
   key plus ``(include_p2p, include_collectives, payload)``;
 - :func:`cached_route_incidence` — route incidences, keyed on the topology
-  fingerprint (:meth:`repro.topology.base.Topology.fingerprint`) plus a
-  BLAKE2 digest of the queried ``(src, dst)`` pair arrays.
+  fingerprint (:meth:`repro.topology.base.Topology.fingerprint`), the
+  routing policy's :meth:`~repro.routing.base.RoutingPolicy.cache_token`
+  (policy name, plus the seed for randomized policies), and a BLAKE2 digest
+  of the queried ``(src, dst)`` pair arrays — extended with the per-pair
+  weights when a load-aware policy (UGAL) routes on them.
 
 Two tiers: a per-process in-memory LRU (always on) and an optional on-disk
 cache enabled with :func:`configure` or the ``REPRO_CACHE_DIR`` environment
@@ -60,7 +63,9 @@ __all__ = [
 #: Bump when trace generators, matrix construction, routing, or the on-disk
 #: layout change semantics — entries from other versions are never read.
 #: v2: traces store columnar event blocks as ``.npz`` instead of pickle.
-CACHE_VERSION = 2
+#: v3: route-incidence keys carry the routing policy token (name + seed for
+#: randomized policies), so pluggable routing never aliases minimal entries.
+CACHE_VERSION = 3
 
 
 @dataclass
@@ -424,22 +429,47 @@ def cached_matrix(
     return value
 
 
-def cached_route_incidence(topology, src: np.ndarray, dst: np.ndarray):
-    """Memoized :meth:`Topology.route_incidence`.
+def cached_route_incidence(
+    topology,
+    src: np.ndarray,
+    dst: np.ndarray,
+    routing="minimal",
+    seed: int = 0,
+    pair_weights: np.ndarray | None = None,
+):
+    """Memoized route incidence under any :mod:`repro.routing` policy.
+
+    ``routing`` is a policy name or a pre-built
+    :class:`~repro.routing.base.RoutingPolicy` instance; the default
+    ``"minimal"`` memoizes :meth:`Topology.route_incidence` exactly as
+    before.  The cache key carries the policy's ``cache_token()`` — name
+    plus seed for randomized policies — so no two policies (or two seeds of
+    one randomized policy) ever share an entry.  For load-aware policies
+    (UGAL) with ``pair_weights`` supplied, the weights join the content
+    digest, since they steer the adaptive placements.
 
     Topologies without a structural fingerprint (custom subclasses that do
     not override :meth:`fingerprint`) bypass the cache.
     """
+    from .routing import get_policy
     from .topology.base import RouteIncidence
 
+    policy = get_policy(routing, seed=seed)
     fingerprint = topology.fingerprint()
     if fingerprint is None:
         with timings.stage("routing"):
-            return topology.route_incidence(src, dst)
+            return policy.route_incidence(
+                topology, src, dst, pair_weights=pair_weights
+            )
 
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
-    key = ("incidence", fingerprint, array_digest(src, dst))
+    if policy.load_aware and pair_weights is not None:
+        weights = np.asarray(pair_weights, dtype=np.float64)
+        digest = array_digest(src, dst, weights)
+    else:
+        digest = array_digest(src, dst)
+    key = ("incidence", fingerprint, policy.cache_token(), digest)
     region = _regions["incidence"]
     value = region.get(key)
     if value is not _MISS:
@@ -456,7 +486,9 @@ def cached_route_incidence(topology, src: np.ndarray, dst: np.ndarray):
             value = _MISS
     if value is _MISS:
         with timings.stage("routing"):
-            value = topology.route_incidence(src, dst)
+            value = policy.route_incidence(
+                topology, src, dst, pair_weights=pair_weights
+            )
         if path is not None:
             _atomic_write(
                 path,

@@ -13,14 +13,16 @@ Usage::
     python -m repro claims  [--max-ranks N]
     python -m repro report  [--max-ranks N] [--out PATH]
     python -m repro heatmap --app LULESH --ranks 64 [--bins 32]
-    python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d]
-    python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K]
+    python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d] [--routing ugal]
+    python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
+    python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal]
     python -m repro trace   --app LULESH --ranks 64 [--out PATH]
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
     python -m repro compare [--max-ranks N]
     python -m repro validate [--max-ranks N]
     python -m repro apps
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
+    python -m repro bench routing [--pairs N] [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -37,6 +39,9 @@ import argparse
 import sys
 
 __all__ = ["main", "build_parser"]
+
+#: Kept literal (matching repro.routing.ROUTINGS) so --help needs no imports.
+_ROUTING_CHOICES = ("minimal", "ecmp", "valiant", "dmodk", "ugal")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
     hm.add_argument("--ranks", type=int, required=True)
     hm.add_argument("--bins", type=int, default=32)
 
+    def add_routing(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--routing", default="minimal", choices=_ROUTING_CHOICES,
+            help="routing policy carrying the traffic (default: minimal)",
+        )
+        p.add_argument(
+            "--routing-seed", type=int, default=0,
+            help="seed for randomized policies (ecmp/valiant/ugal)",
+        )
+
     sl = sub.add_parser("slack", help="per-link bandwidth slack (paper \u00a77)")
     sl.add_argument("--app", required=True)
     sl.add_argument("--ranks", type=int, required=True)
@@ -121,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--topology", default="torus3d",
         choices=("torus3d", "fattree", "dragonfly"),
     )
+    add_routing(sl)
 
     sm = sub.add_parser(
         "simulate", help="dynamic packet-level simulation vs the static model"
@@ -139,6 +155,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine", default="auto", choices=("auto", "batched", "reference"),
         help="simulation kernel (all bit-identical; default picks by load)",
     )
+    add_routing(sm)
+
+    sw = sub.add_parser(
+        "sweep", help="cross a custom parameter grid (incl. routing policies)"
+    )
+    sw.add_argument("--app", default="LULESH")
+    sw.add_argument("--ranks", type=int, default=64)
+    sw.add_argument(
+        "--topologies", default="torus3d,fattree,dragonfly",
+        help="comma-separated topology kinds",
+    )
+    sw.add_argument(
+        "--mappings", default="consecutive",
+        help="comma-separated mapping methods",
+    )
+    sw.add_argument(
+        "--routings", default="minimal",
+        help=f"comma-separated routing policies ({', '.join(_ROUTING_CHOICES)})",
+    )
+    sw.add_argument(
+        "--payloads", default="4096", help="comma-separated packet payloads"
+    )
+    sw.add_argument(
+        "--workers", type=int, default=1,
+        help="evaluate grid points in this many processes",
+    )
+    sw.add_argument("--seed", type=int, default=0)
+    add_format(sw)
 
     cv = sub.add_parser(
         "convert", help="convert real dumpi2ascii output to repro-dumpi"
@@ -164,28 +208,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("apps", help="list applications and configurations")
 
-    be = sub.add_parser("bench", help="measure pipeline performance")
+    be = sub.add_parser("bench", help="measure pipeline/routing performance")
     be.add_argument(
         "target",
-        choices=["pipeline"],
-        help="pipeline: legacy vs columnar front-end on the largest configs",
+        choices=["pipeline", "routing"],
+        help="pipeline: legacy vs columnar front-end; "
+        "routing: per-policy route-construction throughput",
     )
     be.add_argument(
         "--min-ranks",
         type=int,
         default=1000,
-        help="benchmark configurations with at least this many ranks",
+        help="(pipeline) benchmark configurations with at least this many ranks",
     )
     be.add_argument(
         "--no-mapping",
         action="store_true",
-        help="skip the mapping-kernel (reference vs vectorized) section",
+        help="(pipeline) skip the mapping-kernel section",
+    )
+    be.add_argument(
+        "--pairs",
+        type=int,
+        default=100_000,
+        help="(routing) node pairs routed per policy (default: 100000)",
     )
     be.add_argument(
         "--out",
-        default="BENCH_pipeline.json",
+        default=None,
         metavar="PATH",
-        help="where to write the JSON record (default: ./BENCH_pipeline.json)",
+        help="where to write the JSON record (default: ./BENCH_<target>.json)",
     )
     return parser
 
@@ -293,9 +344,16 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             "dragonfly": cfg.build_dragonfly,
         }[args.topology]()
         report = bandwidth_slack(
-            matrix, topo, execution_time=trace.meta.execution_time
+            matrix,
+            topo,
+            execution_time=trace.meta.execution_time,
+            routing=args.routing,
+            routing_seed=args.routing_seed,
         )
-        print(f"{trace.meta.label} on {topo!r}: {report.num_links} used links")
+        print(
+            f"{trace.meta.label} on {topo!r} "
+            f"({args.routing} routing): {report.num_links} used links"
+        )
         print(f"min slack (busiest link):   {report.min_slack:.1f}x")
         print(f"median slack:               {report.median_slack:.1f}x")
         print(
@@ -324,21 +382,59 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             "dragonfly": cfg.build_dragonfly,
         }[args.topology]()
         t = trace.meta.execution_time
-        static = analyze_network(matrix, topo, execution_time=t)
+        static = analyze_network(
+            matrix,
+            topo,
+            execution_time=t,
+            routing=args.routing,
+            routing_seed=args.routing_seed,
+        )
         dyn = simulate_network(
             matrix,
             topo,
             execution_time=t,
             volume_scale=args.volume_scale,
             engine=args.engine,
+            routing=args.routing,
+            routing_seed=args.routing_seed,
         )
-        print(f"{trace.meta.label} on {topo!r}")
+        print(f"{trace.meta.label} on {topo!r} ({args.routing} routing)")
         print(f"static utilization (Eq. 5):  {static.utilization_percent:.4f}%")
         print(f"dynamic busy fraction:       {100 * dyn.dynamic_utilization:.4f}%")
         print(f"packets simulated:           {dyn.packets_simulated}")
         print(f"congested packets:           {100 * dyn.congested_packet_share:.2f}%")
         print(f"mean queueing delay:         {dyn.mean_queue_delay:.3e} s")
         print(f"makespan inflation:          {dyn.makespan_inflation:.3f}x")
+    elif args.command == "sweep":
+        from .analysis.sweep import SweepSpec, run_sweep
+
+        def split(value: str) -> tuple[str, ...]:
+            return tuple(s.strip() for s in value.split(",") if s.strip())
+
+        spec = SweepSpec(
+            apps=((args.app, args.ranks),),
+            topologies=split(args.topologies),
+            mappings=split(args.mappings),
+            routings=split(args.routings),
+            payloads=tuple(int(p) for p in split(args.payloads)),
+            seed=args.seed,
+        )
+        records = run_sweep(spec, workers=args.workers)
+        if getattr(args, "format", "text") == "text":
+            header = (
+                f"{'topology':<10} {'mapping':<12} {'routing':<8} "
+                f"{'payload':>7} {'avg hops':>9} {'util %':>10} {'links':>7}"
+            )
+            print(f"# {args.app}@{args.ranks}: {len(records)} records")
+            print(header)
+            for r in records:
+                print(
+                    f"{r['topology']:<10} {r['mapping']:<12} {r['routing']:<8} "
+                    f"{r['payload']:>7} {r['avg_hops']:>9.3f} "
+                    f"{r['utilization_percent']:>10.5f} {r['used_links']:>7}"
+                )
+        else:
+            emit(records, "")
     elif args.command == "convert":
         from .dumpi.ascii_dumpi import load_dumpi2ascii_dir
         from .dumpi.writer import dump_trace, dumps_trace
@@ -398,17 +494,29 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             star = " (*)" if app.uses_derived_types else ""
             print(f"{name:<22}{star:<5} ranks: {configs}")
     elif args.command == "bench":
-        from .bench import (
-            render_pipeline_bench,
-            run_pipeline_bench,
-            write_pipeline_bench,
-        )
+        out = args.out or f"BENCH_{args.target}.json"
+        if args.target == "pipeline":
+            from .bench import (
+                render_pipeline_bench,
+                run_pipeline_bench,
+                write_pipeline_bench,
+            )
 
-        data = run_pipeline_bench(
-            min_ranks=args.min_ranks, mapping=not args.no_mapping
-        )
-        print(render_pipeline_bench(data))
-        path = write_pipeline_bench(args.out, data)
+            data = run_pipeline_bench(
+                min_ranks=args.min_ranks, mapping=not args.no_mapping
+            )
+            print(render_pipeline_bench(data))
+            path = write_pipeline_bench(out, data)
+        else:
+            from .bench import (
+                render_routing_bench,
+                run_routing_bench,
+                write_routing_bench,
+            )
+
+            data = run_routing_bench(pairs=args.pairs)
+            print(render_routing_bench(data))
+            path = write_routing_bench(out, data)
         print(f"wrote {path}")
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command}")

@@ -35,6 +35,7 @@ from ..cache import cached_route_incidence
 from ..comm.matrix import CommMatrix
 from ..core.packets import MAX_PAYLOAD_BYTES
 from ..mapping.base import Mapping
+from ..routing import get_policy
 from ..topology.base import Topology
 from ..topology.dragonfly import Dragonfly
 
@@ -59,6 +60,7 @@ class NetworkAnalysis:
     execution_time: float
     bandwidth: float
     global_link_packet_share: float | None = None
+    routing: str = "minimal"
 
     @property
     def avg_hops(self) -> float:
@@ -125,6 +127,8 @@ def analyze_network(
     bandwidth: float = BANDWIDTH_BYTES_PER_S,
     volume_mode: str = "raw",
     payload: int = MAX_PAYLOAD_BYTES,
+    routing: str = "minimal",
+    routing_seed: int = 0,
 ) -> NetworkAnalysis:
     """Run the full static analysis for one topology.
 
@@ -140,6 +144,11 @@ def analyze_network(
     volume_mode:
         ``"raw"`` — payload bytes, Eq. 5's ``datavolume`` (default);
         ``"padded"`` — every packet charges a full ``payload`` slot.
+    routing:
+        :mod:`repro.routing` policy name (``routing_seed`` feeds its rng).
+        The default ``"minimal"`` reproduces the paper's deterministic
+        shortest-path numbers exactly; non-minimal policies change hop
+        counts, used links, and the dragonfly global-link share.
     """
     if volume_mode not in ("padded", "raw"):
         raise ValueError(f"volume_mode must be 'padded' or 'raw', got {volume_mode!r}")
@@ -153,13 +162,11 @@ def analyze_network(
             f"{topology.num_nodes}"
         )
 
+    policy = get_policy(routing, seed=routing_seed)
     with timings.stage("analysis"):
         src_n, dst_n, nbytes, packets = _node_pair_aggregate(matrix, mapping)
-        hops = topology.hops_array(src_n, dst_n)
 
-        packet_hops = int((packets * hops).sum())
         total_packets = int(packets.sum())
-
         crossing = src_n != dst_n
         network_bytes = int(nbytes[crossing].sum())
         if volume_mode == "padded":
@@ -168,15 +175,40 @@ def analyze_network(
             wire_bytes = network_bytes
 
         incidence = cached_route_incidence(
-            topology, src_n[crossing], dst_n[crossing]
+            topology,
+            src_n[crossing],
+            dst_n[crossing],
+            routing=policy,
+            pair_weights=nbytes[crossing],
         )
         used_links = len(incidence.used_links())
 
+        if policy.name == "minimal":
+            # Closed-form hop counts — the paper-faithful fast path, kept
+            # bit-identical to the pre-routing-subsystem engine.
+            hops = topology.hops_array(src_n, dst_n)
+        else:
+            # Under any other policy hop counts follow the chosen routes:
+            # each pair's hops = its incidence row count (0 for self pairs).
+            hops = np.zeros(len(src_n), dtype=np.int64)
+            hops[crossing] = np.bincount(
+                incidence.pair_index, minlength=int(crossing.sum())
+            )
+        packet_hops = int((packets * hops).sum())
+
         global_share: float | None = None
         if isinstance(topology, Dragonfly):
-            crosses = topology.crosses_groups(src_n, dst_n)
+            if policy.name == "minimal":
+                crosses = topology.crosses_groups(src_n, dst_n)
+                packets_on_global = int(packets[crosses].sum())
+            else:
+                # A pair touches a global link iff its route contains one.
+                uses_global = np.zeros(int(crossing.sum()), dtype=bool)
+                global_rows = topology.is_global_link(incidence.link_id)
+                uses_global[incidence.pair_index[global_rows]] = True
+                packets_on_global = int(packets[crossing][uses_global].sum())
             global_share = (
-                float(packets[crosses].sum()) / total_packets if total_packets else 0.0
+                packets_on_global / total_packets if total_packets else 0.0
             )
 
     return NetworkAnalysis(
@@ -191,4 +223,5 @@ def analyze_network(
         execution_time=execution_time,
         bandwidth=bandwidth,
         global_link_packet_share=global_share,
+        routing=policy.name,
     )

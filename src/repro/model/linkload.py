@@ -16,6 +16,8 @@ import numpy as np
 
 from ..comm.matrix import CommMatrix
 from ..mapping.base import Mapping
+from ..routing import get_policy
+from ..routing.base import RoutingPolicy
 from ..topology.base import Topology
 from ..topology.dragonfly import Dragonfly
 
@@ -43,19 +45,28 @@ def link_loads(
     matrix: CommMatrix,
     topology: Topology,
     mapping: Mapping | None = None,
+    routing: str | RoutingPolicy = "minimal",
+    routing_seed: int = 0,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Byte load on every used link under deterministic routing.
+    """Byte load on every used link under the given routing policy.
 
     Returns ``(link_ids, loads)``; ``loads[i]`` is the total bytes crossing
-    ``link_ids[i]``.  Self-node traffic is excluded (it uses no link).
+    ``link_ids[i]``.  Self-node traffic is excluded (it uses no link).  The
+    default ``"minimal"`` policy reproduces the topology's deterministic
+    routes exactly; load-aware policies (UGAL) adapt to the per-pair byte
+    counts.
     """
     if mapping is None:
         mapping = Mapping.consecutive(matrix.num_ranks, topology.num_nodes)
     src_n = mapping.node_of(matrix.src)
     dst_n = mapping.node_of(matrix.dst)
     crossing = src_n != dst_n
-    incidence = topology.route_incidence(src_n[crossing], dst_n[crossing])
-    return incidence.link_loads(matrix.nbytes[crossing])
+    nbytes = matrix.nbytes[crossing]
+    policy = get_policy(routing, seed=routing_seed)
+    incidence = policy.route_incidence(
+        topology, src_n[crossing], dst_n[crossing], pair_weights=nbytes
+    )
+    return incidence.link_loads(nbytes)
 
 
 def _gini(values: np.ndarray) -> float:
@@ -73,9 +84,13 @@ def link_load_stats(
     matrix: CommMatrix,
     topology: Topology,
     mapping: Mapping | None = None,
+    routing: str | RoutingPolicy = "minimal",
+    routing_seed: int = 0,
 ) -> LinkLoadStats:
     """Distribution statistics of per-link byte loads."""
-    ids, loads = link_loads(matrix, topology, mapping)
+    ids, loads = link_loads(
+        matrix, topology, mapping, routing=routing, routing_seed=routing_seed
+    )
     if len(ids) == 0:
         return LinkLoadStats(0, 0, 0.0, 0, 0.0)
     global_share: float | None = None

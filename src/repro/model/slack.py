@@ -23,6 +23,8 @@ import numpy as np
 
 from ..comm.matrix import CommMatrix
 from ..mapping.base import Mapping
+from ..routing import get_policy
+from ..routing.base import RoutingPolicy
 from ..topology.base import Topology
 from ..topology.dragonfly import Dragonfly
 from .engine import BANDWIDTH_BYTES_PER_S
@@ -96,12 +98,16 @@ def bandwidth_slack(
     execution_time: float,
     mapping: Mapping | None = None,
     bandwidth: float = BANDWIDTH_BYTES_PER_S,
+    routing: str | RoutingPolicy = "minimal",
+    routing_seed: int = 0,
 ) -> SlackReport:
     """Compute per-link bandwidth slack for one configuration.
 
     slack(link) = execution_time / (offered_bytes / bandwidth): the ratio of
     available time to busy time at full speed, i.e. 1 / utilization of that
-    link.
+    link.  ``routing`` selects the :mod:`repro.routing` policy carrying the
+    traffic; non-minimal policies spread load differently and so change
+    which links have the least slack.
     """
     if execution_time <= 0:
         raise ValueError("execution_time must be positive")
@@ -113,8 +119,12 @@ def bandwidth_slack(
     src_n = mapping.node_of(matrix.src)
     dst_n = mapping.node_of(matrix.dst)
     crossing = src_n != dst_n
-    incidence = topology.route_incidence(src_n[crossing], dst_n[crossing])
-    ids, loads = incidence.link_loads(matrix.nbytes[crossing])
+    nbytes = matrix.nbytes[crossing]
+    policy = get_policy(routing, seed=routing_seed)
+    incidence = policy.route_incidence(
+        topology, src_n[crossing], dst_n[crossing], pair_weights=nbytes
+    )
+    ids, loads = incidence.link_loads(nbytes)
     if len(ids) == 0:
         empty = np.zeros(0)
         return SlackReport(

@@ -1,0 +1,103 @@
+"""The :class:`RoutingPolicy` interface.
+
+A routing policy maps ``(topology, src, dst)`` batches to a
+:class:`~repro.topology.base.RouteIncidence` — the same sparse pair→link
+form the topologies' built-in deterministic routing produces — so every
+downstream consumer (Eq. 5 utilization, link-load statistics, bandwidth
+slack, both packet simulators) can swap policies without caring where the
+routes came from.
+
+Three orthogonal capabilities distinguish policies:
+
+- **randomized** — route choice depends on the policy's ``seed`` (Valiant,
+  UGAL, and ECMP's hash salt).  The seed participates in the policy's
+  :meth:`~RoutingPolicy.cache_token`, so cached incidences of different
+  seeds never alias.
+- **load_aware** — route choice depends on the per-pair traffic weights
+  (UGAL).  Callers pass ``pair_weights`` (bytes or packets per pair);
+  non-adaptive policies ignore it.
+- **specialization** — a policy that has no non-trivial definition on some
+  topology (e.g. Valiant on a fat tree) falls back to that topology's
+  minimal deterministic routes, so every policy is total over every
+  topology and sweeps never hit holes.
+
+Hop counts under a policy are derived, not separately modeled:
+``hops_array`` counts each pair's incidence rows, which is exactly the
+number of link traversals of the chosen route.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..topology.base import RouteIncidence, Topology
+
+__all__ = ["RoutingPolicy"]
+
+
+class RoutingPolicy(abc.ABC):
+    """Strategy object turning node-pair batches into link-level routes."""
+
+    #: Registry identifier ("minimal", "ecmp", "valiant", "dmodk", "ugal").
+    name: str = "policy"
+
+    #: True when the seed changes the routes (participates in cache keys).
+    randomized: bool = False
+
+    #: True when ``pair_weights`` changes the routes (participates in cache
+    #: keys whenever weights are supplied).
+    load_aware: bool = False
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def __repr__(self) -> str:
+        if self.randomized:
+            return f"{type(self).__name__}(seed={self.seed})"
+        return f"{type(self).__name__}()"
+
+    def cache_token(self) -> tuple:
+        """Identity of this policy for route-incidence cache keys.
+
+        Two policies with equal tokens must produce identical routes for
+        identical ``(topology, src, dst, pair_weights)`` queries.  The seed
+        is included only for randomized policies, so e.g. ``minimal`` with
+        different seeds shares one cache entry.
+        """
+        if self.randomized:
+            return (self.name, self.seed)
+        return (self.name,)
+
+    def _rng(self) -> np.random.Generator:
+        """A fresh deterministic generator — one per routing query."""
+        return np.random.default_rng(self.seed)
+
+    @abc.abstractmethod
+    def route_incidence(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> RouteIncidence:
+        """Every link on every pair's route under this policy.
+
+        ``pair_weights`` (parallel to the pair arrays) is consulted only by
+        load-aware policies; pass the per-pair byte or packet counts that
+        will ride the routes.
+        """
+
+    def hops_array(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Link traversals per pair under this policy (0 for same-node)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        inc = self.route_incidence(topology, src, dst, pair_weights=pair_weights)
+        return np.bincount(inc.pair_index, minlength=len(src)).astype(np.int64)

@@ -1,0 +1,46 @@
+"""Explicit destination-mod-k routing for fat trees.
+
+D-mod-k picks the stage-1 upward lane as ``dst % k`` and the stage-2 lane
+as ``(dst // k) % k`` — the classic deterministic fat-tree scheme that
+perfectly spreads *all-to-one-free* traffic because every destination owns
+a fixed path down from the core.  The fat tree's built-in deterministic
+routing already is d-mod-k, so on fat trees this policy is bit-identical
+to ``minimal`` (a property test pins that equivalence); it exists as a
+named policy so sweeps can state the lane-selection rule explicitly and so
+alternative fat-tree defaults could change underneath without silently
+changing what "dmodk" means.
+
+On topologies without lanes to select (torus, dragonfly) it degenerates to
+minimal routing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import RouteIncidence, Topology
+from ..topology.fattree import FatTree
+from .base import RoutingPolicy
+
+__all__ = ["DModKRouting"]
+
+
+class DModKRouting(RoutingPolicy):
+    """Destination-based up-lane selection on fat trees; minimal elsewhere."""
+
+    name = "dmodk"
+
+    def route_incidence(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> RouteIncidence:
+        if isinstance(topology, FatTree):
+            dst = np.asarray(dst, dtype=np.int64)
+            k = topology.k
+            return topology.route_incidence_lanes(
+                src, dst, dst % k, (dst // k) % k
+            )
+        return topology.route_incidence(src, dst)

@@ -1,0 +1,117 @@
+"""Deterministic hash-spread over equal-cost shortest paths (ECMP).
+
+Real fabrics pick among equal-cost next hops by hashing the flow identity;
+here the "flow" is the node pair, hashed with a splitmix64-style finalizer
+salted by the policy seed.  The hash is a pure function of ``(src, dst,
+seed)``, so routes are reproducible run to run and cache entries for
+different seeds never alias (the seed participates in ``cache_token``).
+
+Per topology the equal-cost set is:
+
+- **fat tree** — the ``k * k`` upward lane combinations through the folded
+  Clos; the hash picks ``(lane1, lane2)`` per pair via
+  :meth:`FatTree.route_incidence_lanes`.
+- **torus** — the six dimension-order permutations; every permutation walks
+  the same per-dimension shortest deltas, so all are shortest paths
+  (:meth:`Torus3D.route_incidence_ordered`).
+- **dragonfly** — the minimal path is unique under the palm-tree layout
+  (one global link per group pair, one gateway each side), so ECMP
+  degenerates to minimal routing by construction.
+
+Path *lengths* are untouched — ECMP only spreads load across the shortest
+tier — so ``hops_array`` always matches minimal; a property test pins that.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from ..topology.base import RouteIncidence, Topology
+from ..topology.fattree import FatTree
+from ..topology.torus import Torus3D
+from .base import RoutingPolicy
+
+__all__ = ["ECMPRouting", "pair_hash"]
+
+_DIM_ORDERS: tuple[tuple[int, int, int], ...] = tuple(
+    itertools.permutations((0, 1, 2))
+)
+
+
+def pair_hash(src: np.ndarray, dst: np.ndarray, seed: int) -> np.ndarray:
+    """Well-mixed uint64 per pair — splitmix64 finalizer over (src, dst, seed).
+
+    uint64 arithmetic wraps silently in numpy, which is exactly the modular
+    behavior the mixer needs.
+    """
+    x = (
+        np.asarray(src, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+        + np.asarray(dst, dtype=np.uint64) * np.uint64(0xC2B2AE3D27D4EB4F)
+        + np.uint64(seed & 0xFFFFFFFFFFFFFFFF)
+    )
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class ECMPRouting(RoutingPolicy):
+    """Hash-spread over equal-cost shortest paths; seed salts the hash."""
+
+    name = "ecmp"
+    randomized = True  # the salt changes the spread, so it keys the cache
+
+    def route_incidence(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> RouteIncidence:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if isinstance(topology, FatTree):
+            h = pair_hash(src, dst, self.seed)
+            k = np.uint64(topology.k)
+            lane1 = (h % k).astype(np.int64)
+            lane2 = ((h >> np.uint64(20)) % k).astype(np.int64)
+            return topology.route_incidence_lanes(src, dst, lane1, lane2)
+        if isinstance(topology, Torus3D):
+            return self._torus_spread(topology, src, dst)
+        # Dragonfly minimal paths are unique: nothing to spread over.
+        return topology.route_incidence(src, dst)
+
+    def _torus_spread(
+        self, topology: Torus3D, src: np.ndarray, dst: np.ndarray
+    ) -> RouteIncidence:
+        choice = pair_hash(src, dst, self.seed) % np.uint64(len(_DIM_ORDERS))
+        pair_chunks: list[np.ndarray] = []
+        link_chunks: list[np.ndarray] = []
+        pair_ids = np.arange(len(src), dtype=np.int64)
+        for i, order in enumerate(_DIM_ORDERS):
+            mask = choice == np.uint64(i)
+            if not mask.any():
+                continue
+            sub = topology.route_incidence_ordered(src[mask], dst[mask], order)
+            pair_chunks.append(pair_ids[mask][sub.pair_index])
+            link_chunks.append(sub.link_id)
+        if pair_chunks:
+            return RouteIncidence(
+                np.concatenate(pair_chunks), np.concatenate(link_chunks)
+            )
+        empty = np.zeros(0, dtype=np.int64)
+        return RouteIncidence(empty, empty.copy())
+
+    def hops_array(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # ECMP only moves load between equal-cost paths; lengths are minimal.
+        return topology.hops_array(src, dst)

@@ -1,0 +1,43 @@
+"""The deterministic shortest-path policy — today's behavior, unchanged.
+
+``minimal`` is a thin delegate to :meth:`Topology.route_incidence`, so the
+routes (and everything computed from them) are bit-identical to calling the
+topology directly.  It is the default policy everywhere, which is what keeps
+Table 3, the Eq. 5 utilization figures, and the simulator makespans stable
+while the routing axis exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..topology.base import RouteIncidence, Topology
+from .base import RoutingPolicy
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingPolicy):
+    """The topology's own deterministic shortest-path routes."""
+
+    name = "minimal"
+
+    def route_incidence(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> RouteIncidence:
+        return topology.route_incidence(src, dst)
+
+    def hops_array(
+        self,
+        topology: Topology,
+        src: np.ndarray,
+        dst: np.ndarray,
+        pair_weights: np.ndarray | None = None,
+    ) -> np.ndarray:
+        # The topologies' closed-form hop counts are much cheaper than
+        # materializing routes; minimal is the one policy where they agree.
+        return topology.hops_array(src, dst)

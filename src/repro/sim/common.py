@@ -113,11 +113,16 @@ def prepare_simulation(
     volume_scale: float = 1.0,
     max_packets: int = 2_000_000,
     seed: int = 0,
+    routing: str = "minimal",
+    routing_seed: int = 0,
 ) -> SimSetup | None:
     """Validate parameters and build the shared simulation state.
 
     Returns ``None`` when no packet crosses the network (the caller returns
     :func:`empty_result`).  Raises exactly as the original simulator did.
+    ``routing`` selects the :mod:`repro.routing` policy whose routes the
+    packets walk; both engines consume the resulting :class:`SimSetup`, so
+    their seed-for-seed bit equality holds under every policy.
     """
     if execution_time <= 0:
         raise ValueError("execution_time must be positive")
@@ -147,8 +152,17 @@ def prepare_simulation(
             f"raise volume_scale (currently {volume_scale})"
         )
 
-    # Per-pair routes as flat link-index runs, in traversal order.
-    incidence = cached_route_incidence(topology, src_n, dst_n)
+    # Per-pair routes as flat link-index runs, in traversal order.  The
+    # load-aware policies adapt to the scaled per-pair packet counts — the
+    # traffic the simulation actually injects.
+    incidence = cached_route_incidence(
+        topology,
+        src_n,
+        dst_n,
+        routing=routing,
+        seed=routing_seed,
+        pair_weights=scaled,
+    )
     order = np.argsort(incidence.pair_index, kind="stable")
     sorted_pairs = incidence.pair_index[order]
     sorted_links = incidence.link_id[order]

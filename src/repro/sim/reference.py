@@ -97,6 +97,8 @@ def simulate_network_reference(
     volume_scale: float = 1.0,
     max_packets: int = 2_000_000,
     seed: int = 0,
+    routing: str = "minimal",
+    routing_seed: int = 0,
 ) -> SimulationResult:
     """Event-by-event simulation (see :func:`repro.sim.simulate_network`)."""
     setup = prepare_simulation(
@@ -110,6 +112,8 @@ def simulate_network_reference(
         volume_scale=volume_scale,
         max_packets=max_packets,
         seed=seed,
+        routing=routing,
+        routing_seed=routing_seed,
     )
     if setup is None:
         return empty_result()

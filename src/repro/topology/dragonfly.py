@@ -23,7 +23,11 @@ The paper notes that "in practice usually adaptive routing is used in
 dragonfly networks, which often results in even longer paths" (§7);
 :meth:`Dragonfly.valiant_hops` provides the classic static surrogate —
 Valiant routing through a random intermediate group — so that remark can be
-quantified (see the routing ablation benchmark).
+quantified (see the routing ablation benchmark).  Full *link-level*
+non-minimal routing (Valiant and load-adaptive UGAL route incidences, not
+just hop counts) lives in :mod:`repro.routing`; its Valiant engine draws
+intermediate groups through :meth:`Dragonfly.valiant_intermediate_groups`,
+the same sampler ``valiant_hops`` uses, so both agree seed for seed.
 """
 
 from __future__ import annotations
@@ -226,6 +230,36 @@ class Dragonfly(Topology):
         dst = np.asarray(dst, dtype=np.int64)
         return self.group_of(src) != self.group_of(dst)
 
+    def valiant_intermediate_groups(
+        self,
+        src_groups: np.ndarray,
+        dst_groups: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Uniformly random intermediate group per pair, excluding endpoints.
+
+        One bulk draw plus rejection resampling of clashes, tested against
+        *both* endpoint groups each round — resampling against one endpoint
+        at a time can reintroduce a clash with the other and leak a
+        degenerate intermediate.  Requires at least three groups (otherwise
+        no valid intermediate exists for a cross-group pair).  This is the
+        *shared sampler*: both :meth:`valiant_hops` and the link-level
+        Valiant/UGAL engines in :mod:`repro.routing` consume it, so for one
+        rng state they pick identical intermediate groups — the basis of
+        the oracle test tying the two together.
+        """
+        g = self.num_groups
+        if g < 3:
+            raise ValueError(
+                f"Valiant needs >= 3 groups for an intermediate, have {g}"
+            )
+        gi = rng.integers(0, g, size=len(src_groups))
+        clash = (gi == src_groups) | (gi == dst_groups)
+        while clash.any():
+            gi[clash] = rng.integers(0, g, size=int(clash.sum()))
+            clash = (gi == src_groups) | (gi == dst_groups)
+        return gi
+
     def valiant_hops(
         self,
         src: np.ndarray,
@@ -242,13 +276,20 @@ class Dragonfly(Topology):
         The intermediate leg ends at the router where the packet *arrives*
         in the intermediate group (no extra node hops there), so the path is
         src-node → ... → global → (local) → global → ... → dst-node.
+
+        This is the hops-only *oracle* for the link-level Valiant engine in
+        :mod:`repro.routing`: ``get_policy("valiant", seed).hops_array(...)``
+        reproduces these counts exactly for the same rng seed, because both
+        draw intermediate groups via :meth:`valiant_intermediate_groups`.
+        Use the routing policy when actual link routes (loads, utilization,
+        simulation) are needed; this surrogate stays as the independent
+        cross-check.
         """
         if rng is None:
             rng = np.random.default_rng(0)
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         self._check_nodes(src, dst)
-        g = self.num_groups
 
         hops = self.hops_array(src, dst)  # minimal baseline
         gs = self.group_of(src)
@@ -258,13 +299,7 @@ class Dragonfly(Topology):
             return hops
 
         # random intermediate group, different from both endpoints
-        k = int(cross.sum())
-        gi = rng.integers(0, g, size=k)
-        for arr in (gs[cross], gd[cross]):
-            clash = gi == arr
-            while clash.any():
-                gi[clash] = rng.integers(0, g, size=int(clash.sum()))
-                clash = gi == arr
+        gi = self.valiant_intermediate_groups(gs[cross], gd[cross], rng)
 
         rs = self.router_of(src)[cross]
         rd = self.router_of(dst)[cross]

@@ -123,10 +123,42 @@ class FatTree(Topology):
     def _l2_base(self) -> int:
         return self._num_nodes + self.num_leaves * self.k
 
+    @property
+    def num_links(self) -> int:
+        """Distinct links: node + leaf-uplink + core levels (each once)."""
+        if self.stages < 3:
+            return self._l2_base
+        return self._l2_base + self.num_pods * self.k * self.k
+
     def route_incidence(self, src: np.ndarray, dst: np.ndarray) -> RouteIncidence:
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
+        # Deterministic shortest-path routing: d-mod-k upward lane selection.
+        return self.route_incidence_lanes(
+            src, dst, dst % self.k, (dst // self.k) % self.k
+        )
+
+    def route_incidence_lanes(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        lane1: np.ndarray,
+        lane2: np.ndarray,
+    ) -> RouteIncidence:
+        """Up/down routes with caller-chosen upward lanes.
+
+        ``lane1``/``lane2`` (parallel to the pair arrays, reduced mod ``k``)
+        pick the stage-1 and stage-2 upward lane per pair; every choice is an
+        equal-cost shortest path through the folded Clos.  The deterministic
+        default (:meth:`route_incidence`) is d-mod-k: ``lane1 = dst % k``,
+        ``lane2 = (dst // k) % k``; :mod:`repro.routing` builds the ECMP
+        (hash-spread) and explicit d-mod-k policies on this hook.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
         self._check_nodes(src, dst)
+        lane1 = np.asarray(lane1, dtype=np.int64) % self.k
+        lane2 = np.asarray(lane2, dtype=np.int64) % self.k
         level = self._nca_level(src, dst)
         pair_ids = np.arange(len(src), dtype=np.int64)
 
@@ -145,24 +177,24 @@ class FatTree(Topology):
         if self.stages >= 2:
             up1 = level >= 2
             if up1.any():
-                lane1 = dst[up1] % self.k  # d-mod-k upward lane
-                emit(up1, self._l1_base + self.leaf_of(src[up1]) * self.k + lane1)
-                emit(up1, self._l1_base + self.leaf_of(dst[up1]) * self.k + lane1)
+                l1 = lane1[up1]
+                emit(up1, self._l1_base + self.leaf_of(src[up1]) * self.k + l1)
+                emit(up1, self._l1_base + self.leaf_of(dst[up1]) * self.k + l1)
 
         if self.stages >= 3:
             up2 = level >= 3
             if up2.any():
-                lane1 = dst[up2] % self.k
-                lane2 = (dst[up2] // self.k) % self.k
+                l1 = lane1[up2]
+                l2 = lane2[up2]
                 src_pod = self.pod_of(src[up2])
                 dst_pod = self.pod_of(dst[up2])
                 emit(
                     up2,
-                    self._l2_base + (src_pod * self.k + lane1) * self.k + lane2,
+                    self._l2_base + (src_pod * self.k + l1) * self.k + l2,
                 )
                 emit(
                     up2,
-                    self._l2_base + (dst_pod * self.k + lane1) * self.k + lane2,
+                    self._l2_base + (dst_pod * self.k + l1) * self.k + l2,
                 )
 
         if pair_chunks:

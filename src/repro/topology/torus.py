@@ -113,9 +113,23 @@ class Torus3D(Topology):
         return owner_nodes * 3 + dim
 
     def route_incidence(self, src: np.ndarray, dst: np.ndarray) -> RouteIncidence:
+        return self.route_incidence_ordered(src, dst, (0, 1, 2))
+
+    def route_incidence_ordered(
+        self, src: np.ndarray, dst: np.ndarray, order: tuple[int, int, int]
+    ) -> RouteIncidence:
+        """Shortest routes walked in an explicit dimension order.
+
+        ``order`` is a permutation of ``(0, 1, 2)``; the default
+        :meth:`route_incidence` uses ``(0, 1, 2)`` (x, then y, then z).  All
+        six orders are equal-cost shortest paths — :mod:`repro.routing`'s
+        ECMP policy hash-spreads pairs over them.
+        """
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         self._check_nodes(src, dst)
+        if sorted(order) != [0, 1, 2]:
+            raise ValueError(f"order must permute (0, 1, 2), got {order}")
         deltas = self._ring_deltas(src, dst)  # (k, 3)
         coords = self.coordinates(src)  # walked in place per dimension
         sizes = np.array(self.dims, dtype=np.int64)
@@ -124,7 +138,7 @@ class Torus3D(Topology):
         link_chunks: list[np.ndarray] = []
         pair_ids = np.arange(len(src), dtype=np.int64)
 
-        for dim in range(3):
+        for dim in order:
             d = deltas[:, dim]
             steps = np.abs(d)
             direction = np.sign(d)

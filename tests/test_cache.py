@@ -230,6 +230,64 @@ class TestKeys:
             "disk_hits": 0,
         }
 
+    def test_cache_version_is_3(self):
+        """v3 added the routing-policy token to incidence keys."""
+        assert cache.CACHE_VERSION == 3
+
+    def test_policies_never_share_entries(self):
+        """Different routing policies must never alias one cache entry —
+        even on topologies where they happen to produce identical routes
+        (ECMP == minimal on the dragonfly's unique shortest paths)."""
+        topo = Dragonfly(4, 2, 2)
+        src = np.arange(20, dtype=np.int64)
+        dst = (src + 17) % topo.num_nodes
+        minimal = cached_route_incidence(topo, src, dst, routing="minimal")
+        ecmp = cached_route_incidence(topo, src, dst, routing="ecmp")
+        assert ecmp is not minimal
+        assert np.array_equal(ecmp.link_id, minimal.link_id)  # same content
+        s = cache.stats()["incidence"]
+        assert s["misses"] == 2 and s["hits"] == 0
+        # and each policy hits its own entry on re-query
+        assert cached_route_incidence(topo, src, dst, routing="ecmp") is ecmp
+        assert cache.stats()["incidence"]["hits"] == 1
+
+    def test_seed_keys_only_randomized_policies(self):
+        topo = Torus3D((3, 3, 3))
+        src = np.arange(10, dtype=np.int64)
+        dst = (src + 7) % topo.num_nodes
+        a = cached_route_incidence(topo, src, dst, routing="minimal", seed=0)
+        b = cached_route_incidence(topo, src, dst, routing="minimal", seed=9)
+        assert b is a  # minimal is seed-invariant: one entry
+        c = cached_route_incidence(topo, src, dst, routing="ecmp", seed=0)
+        d = cached_route_incidence(topo, src, dst, routing="ecmp", seed=9)
+        assert d is not c
+
+    def test_load_aware_weights_key_the_entry(self):
+        topo = Dragonfly(4, 2, 2)
+        src = np.arange(10, dtype=np.int64)
+        dst = (src + 21) % topo.num_nodes
+        w1 = np.ones(10)
+        w2 = np.full(10, 2.0)
+        a = cached_route_incidence(topo, src, dst, routing="ugal", pair_weights=w1)
+        b = cached_route_incidence(topo, src, dst, routing="ugal", pair_weights=w2)
+        assert b is not a
+        assert (
+            cached_route_incidence(topo, src, dst, routing="ugal", pair_weights=w1)
+            is a
+        )
+
+    def test_weights_ignored_for_non_load_aware_policies(self):
+        """ECMP routes don't depend on traffic, so weights must not fragment
+        its cache entries."""
+        topo = Torus3D((3, 3, 3))
+        src = np.arange(10, dtype=np.int64)
+        dst = (src + 5) % topo.num_nodes
+        a = cached_route_incidence(topo, src, dst, routing="ecmp")
+        b = cached_route_incidence(
+            topo, src, dst, routing="ecmp", pair_weights=np.full(10, 3.0)
+        )
+        assert b is a
+
     def test_builtin_topology_fingerprints_distinct(self):
         prints = {
             Torus3D((3, 3, 3)).fingerprint(),

@@ -50,6 +50,32 @@ class TestParallelIdentity:
         tiny = SweepSpec(apps=(("LULESH", 64),), topologies=("torus3d",))
         assert run_sweep(tiny, workers=4) == run_sweep(tiny, workers=1)
 
+    def test_routing_axis_parallel_identity(self):
+        """Multi-policy sweeps stay deterministic across worker counts."""
+        spec = SweepSpec(
+            apps=(("LULESH", 64),),
+            topologies=("dragonfly", "torus3d"),
+            routings=("minimal", "valiant", "ugal"),
+        )
+        sequential = run_sweep(spec, workers=1)
+        assert run_sweep(spec, workers=2) == sequential
+        assert run_sweep(spec, workers=4) == sequential
+        assert len(sequential) == spec.num_points == 6
+        # routing is the innermost axis of the canonical grid order
+        assert [r["routing"] for r in sequential[:3]] == [
+            "minimal",
+            "valiant",
+            "ugal",
+        ]
+        assert all(r["topology"] == "dragonfly" for r in sequential[:3])
+        # non-minimal detours show up in the records
+        by_routing = {r["routing"]: r for r in sequential[:3]}
+        assert by_routing["valiant"]["avg_hops"] > by_routing["minimal"]["avg_hops"]
+
+    def test_unknown_routing_rejected(self):
+        with pytest.raises(ValueError, match="routing"):
+            SweepSpec(routings=("minimal", "shortest"))
+
     def test_bandwidth_only_affects_utilization(self, sequential):
         by_key: dict[tuple, list[dict]] = {}
         for r in sequential:
