@@ -1,0 +1,69 @@
+"""Telemetry overhead benchmarks (``pytest -m perf``).
+
+Two calibrated ratio assertions on the 500k-packet dragonfly workload of
+``test_perf_sim.py``, both measured by :func:`repro.bench.run_telemetry_bench`
+(median per-round ratio over six rotated-order rounds — an estimator
+built to cancel machine-load spikes and slot bias; all over one shared
+prepared setup):
+
+1. a **disabled** collector (the ``NullCollector``) must cost nothing —
+   the engines guard every recording site with one attribute check;
+2. full **windowed collection** must stay a small fraction of the batched
+   kernel's runtime (the buffers are per-window array appends; the real
+   reduction work happens once, in ``finalize``).
+
+Measured numbers (plus the adversarial minimal-vs-adaptive congestion
+comparison) are recorded in ``BENCH_telemetry.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import (
+    TELEMETRY_NULL_OVERHEAD_CEILING,
+    TELEMETRY_WINDOWED_OVERHEAD_CEILING,
+    run_telemetry_bench,
+)
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+
+class TestTelemetryOverhead:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        data = run_telemetry_bench()
+        BENCH_PATH.write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+        return data
+
+    def test_workload_is_the_benchmark_regime(self, bench):
+        assert bench["overhead"]["packets"] >= 500_000
+
+    def test_null_collector_is_free(self, bench):
+        o = bench["overhead"]
+        assert o["null_overhead"] <= TELEMETRY_NULL_OVERHEAD_CEILING, (
+            f"null collector {o['null_overhead']:.3f}x vs bare kernel; "
+            f"ceiling {TELEMETRY_NULL_OVERHEAD_CEILING}x "
+            f"({o['null_s']:.3f}s vs {o['bare_s']:.3f}s)"
+        )
+
+    def test_windowed_collection_overhead_bounded(self, bench):
+        o = bench["overhead"]
+        assert o["windowed_overhead"] <= TELEMETRY_WINDOWED_OVERHEAD_CEILING, (
+            f"windowed collector {o['windowed_overhead']:.3f}x vs bare "
+            f"kernel; ceiling {TELEMETRY_WINDOWED_OVERHEAD_CEILING}x "
+            f"({o['windowed_s']:.3f}s vs {o['bare_s']:.3f}s)"
+        )
+
+    def test_congestion_story_recorded(self, bench):
+        records = {r["routing"]: r for r in bench["congestion"]}
+        assert records["ugal"]["longest_region_s"] < (
+            records["minimal"]["longest_region_s"]
+        )

@@ -9,12 +9,26 @@ level simulator: for a quiet workload (LULESH) and the one hot workload
 measured link business, queueing, and congestion — and shows why the
 paper's "<1% utilization means congestion is improbable" reading holds.
 
+A second part turns the simulator into an observable system with the
+telemetry layer (docs/telemetry.md): an adversarial dragonfly workload —
+all of group 0 talking to group 1 — is run under minimal and UGAL
+routing, and the windowed congestion timeline shows minimal saturating
+the single g0-g1 global link for most of the run while adaptive routing
+never forms a hot region at all.
+
 Run:  python examples/dynamic_effects.py
 """
 
 import repro
 from repro.model import analyze_network
 from repro.sim import simulate_network
+from repro.telemetry import (
+    TelemetryConfig,
+    adversarial_hot_group_matrix,
+    congestion_summary,
+    render_congestion_timeline,
+)
+from repro.topology import Dragonfly
 
 CASES = [
     ("LULESH", 64, 8.0),  # quiet: static utilization ~0.005%
@@ -51,6 +65,35 @@ def main() -> None:
         "\nqueue behind another at least once, yet the network still drains"
         "\nwithin the execution window (inflation ~1.0): the paper's 'upper"
         "\nlimit' reading of static utilization survives the dynamic test."
+    )
+
+    congestion_timeline_demo()
+
+
+def congestion_timeline_demo() -> None:
+    """Adversarial dragonfly traffic: minimal vs UGAL, window by window."""
+    topo = Dragonfly(a=4, h=2, p=2)
+    matrix = adversarial_hot_group_matrix(topo, packets_per_pair=40)
+    print("\n\nCongestion timelines: group 0 floods group 1 on", topo)
+    for routing in ("minimal", "ugal"):
+        result = simulate_network(
+            matrix, topo, execution_time=2e-3, routing=routing,
+            telemetry=TelemetryConfig(windows=24),
+        )
+        summary = congestion_summary(result.telemetry, topo, threshold=0.4)
+        print(f"\n--- routing={routing} ---")
+        print(render_congestion_timeline(result.telemetry, topo, threshold=0.4))
+        print(
+            f"regions={summary.num_regions}  hot_windows={summary.hot_windows}"
+            f"  longest={summary.longest_region_s:.2e}s"
+            f"  inflation={result.makespan_inflation:.3f}"
+        )
+
+    print(
+        "\nReading: minimal routing funnels every flow through the single"
+        "\ng0-g1 global link, which saturates and stays hot for most of the"
+        "\nrun; UGAL detours around it and never forms a hot region — the"
+        "\nadaptive-routing story, visible window by window."
     )
 
 

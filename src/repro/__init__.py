@@ -64,6 +64,7 @@ from .metrics import (
 from .paper import compare_table3, deviation_summary, table1_row, table3_row
 from .routing import ROUTINGS, RoutingPolicy, get_policy
 from .sim import SimulationResult, simulate_network
+from .telemetry import TelemetryConfig, TelemetryReport, congestion_summary
 from .model import (
     BANDWIDTH_BYTES_PER_S,
     EnergyModel,
@@ -136,6 +137,9 @@ __all__ = [
     "link_load_stats",
     "SimulationResult",
     "simulate_network",
+    "TelemetryConfig",
+    "TelemetryReport",
+    "congestion_summary",
     "ROUTINGS",
     "RoutingPolicy",
     "get_policy",

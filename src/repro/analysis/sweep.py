@@ -66,10 +66,23 @@ class SweepSpec:
     routings: tuple[str, ...] = ("minimal",)
     include_collectives: bool = True
     seed: int = 0
+    #: Opt-in telemetry axis: when True every point also runs the dynamic
+    #: simulator with a windowed collector and merges a compact congestion
+    #: summary (peak occupancy, hot windows, region stats) into its records.
+    telemetry: bool = False
+    telemetry_windows: int = 48
+    telemetry_threshold: float = 0.7
+    sim_volume_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.apps:
             raise ValueError("sweep needs at least one (app, ranks) pair")
+        if self.telemetry_windows < 1:
+            raise ValueError("telemetry_windows must be >= 1")
+        if not 0.0 < self.telemetry_threshold <= 1.0:
+            raise ValueError("telemetry_threshold must be in (0, 1]")
+        if self.sim_volume_scale <= 0:
+            raise ValueError("sim_volume_scale must be positive")
         unknown = set(self.topologies) - set(_TOPOLOGY_BUILDERS)
         if unknown:
             raise ValueError(f"unknown topologies {sorted(unknown)}")
@@ -144,22 +157,67 @@ def _eval_point(
             routing=routing,
             routing_seed=spec.seed,
         )
-        records.append(
-            {
-                "app": app,
-                "ranks": ranks,
-                "topology": topo_kind,
-                "mapping": mapping_method,
-                "routing": routing,
-                "payload": payload,
-                "bandwidth": bandwidth,
-                "packet_hops": result.packet_hops,
-                "avg_hops": round(result.avg_hops, 4),
-                "utilization_percent": round(result.utilization_percent, 6),
-                "used_links": result.used_links,
-            }
-        )
+        record = {
+            "app": app,
+            "ranks": ranks,
+            "topology": topo_kind,
+            "mapping": mapping_method,
+            "routing": routing,
+            "payload": payload,
+            "bandwidth": bandwidth,
+            "packet_hops": result.packet_hops,
+            "avg_hops": round(result.avg_hops, 4),
+            "utilization_percent": round(result.utilization_percent, 6),
+            "used_links": result.used_links,
+        }
+        if spec.telemetry:
+            record.update(
+                _telemetry_fields(
+                    spec, matrix, topology, mapping, trace, bandwidth,
+                    payload, routing,
+                )
+            )
+        records.append(record)
     return records
+
+
+def _telemetry_fields(
+    spec, matrix, topology, mapping, trace, bandwidth, payload, routing
+) -> dict[str, Any]:
+    """Run the dynamic simulator with telemetry; flatten a compact summary.
+
+    All values are plain floats/ints so records stay picklable for the
+    process pool and serializable by :mod:`repro.analysis.export`.
+    """
+    from ..sim.engine import simulate_network
+    from ..telemetry import TelemetryConfig, congestion_summary
+
+    sim = simulate_network(
+        matrix,
+        topology,
+        mapping=mapping,
+        execution_time=trace.meta.execution_time,
+        bandwidth=bandwidth,
+        payload=payload,
+        volume_scale=spec.sim_volume_scale,
+        seed=spec.seed,
+        routing=routing,
+        routing_seed=spec.seed,
+        telemetry=TelemetryConfig(windows=spec.telemetry_windows),
+    )
+    fields: dict[str, Any] = {
+        "makespan_inflation": round(sim.makespan_inflation, 4),
+        "peak_link_busy_fraction": round(sim.peak_link_busy_fraction, 6),
+    }
+    if sim.telemetry is not None:
+        summary = congestion_summary(
+            sim.telemetry, topology, threshold=spec.telemetry_threshold
+        )
+        fields["peak_window_occupancy"] = round(
+            sim.telemetry.peak_occupancy, 6
+        )
+        fields.update(summary.as_dict())
+    return fields
 
 
 def run_sweep(spec: SweepSpec, workers: int = 1) -> list[dict[str, Any]]:

@@ -43,6 +43,9 @@ __all__ = [
     "run_routing_bench",
     "write_routing_bench",
     "render_routing_bench",
+    "run_telemetry_bench",
+    "write_telemetry_bench",
+    "render_telemetry_bench",
 ]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
@@ -53,6 +56,12 @@ FRONT_END_TARGET = 5.0
 #: only — wall times are provenance, never compared across machines).
 ROUTING_SLOWDOWN_CEILING = 200.0
 CACHE_SPEEDUP_TARGET = 5.0
+
+#: ``repro bench telemetry`` ceilings (benchmarks/test_perf_telemetry.py):
+#: a disabled (null) collector must be free, and full windowed collection
+#: must stay a small fraction of the batched kernel's runtime.
+TELEMETRY_NULL_OVERHEAD_CEILING = 1.05
+TELEMETRY_WINDOWED_OVERHEAD_CEILING = 1.20
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -252,6 +261,142 @@ def run_routing_bench(
             "cache_speedup_target": CACHE_SPEEDUP_TARGET,
         },
     }
+
+
+def run_telemetry_bench(
+    num_pairs: int = 2_000,
+    packets_per_pair: int = 250,
+    execution_time: float = 1.1e-3,
+    seed: int = 7,
+    windows: int = 48,
+    repeats: int = 6,
+) -> dict[str, Any]:
+    """Telemetry overhead on the 500k-packet dragonfly simulation, plus the
+    adversarial minimal-vs-adaptive congestion comparison.
+
+    The overhead section times the batched kernel three ways over the same
+    prepared setup — no collector, :class:`~repro.telemetry.NullCollector`,
+    and a full :class:`~repro.telemetry.WindowedCollector` — and reports
+    each collector's median per-round ratio against the bare run over
+    ``repeats`` rotated-order rounds (see the in-function comment for
+    why that estimator).  The congestion section
+    replays the hot-group traffic pattern per routing policy and records
+    each policy's congestion-region summary.
+    """
+    from .comm.matrix import CommMatrixBuilder
+    from .sim.common import prepare_simulation
+    from .sim.engine import run_batched
+    from .telemetry import (
+        NullCollector,
+        TelemetryConfig,
+        WindowedCollector,
+        adversarial_hot_group_matrix,
+        congestion_by_routing,
+    )
+    from .topology.dragonfly import Dragonfly
+
+    topo = Dragonfly(8, 4, 4)
+    rng = np.random.default_rng(0)
+    builder = CommMatrixBuilder(topo.num_nodes)
+    src = rng.integers(0, topo.num_nodes, num_pairs)
+    dst = (src + rng.integers(1, topo.num_nodes, num_pairs)) % topo.num_nodes
+    packets = np.full(num_pairs, packets_per_pair, dtype=np.int64)
+    builder.add_arrays(src, dst, packets * 4096, packets, packets)
+    setup = prepare_simulation(
+        builder.finalize(),
+        topo,
+        execution_time=execution_time,
+        seed=seed,
+        max_packets=2_000_000,
+    )
+
+    config = TelemetryConfig(windows=windows)
+
+    # The asserted quantities are *ratios* against the bare kernel, and
+    # machine-load noise (multi-second spikes, turbo decay) dwarfs the
+    # effect under test, so the estimator is built to cancel it twice
+    # over: each round times all three configurations back to back and
+    # contributes one per-round ratio (a load spike covers the whole
+    # round and divides out), the in-round order rotates (so no
+    # configuration systematically sits in the slow late slot), and the
+    # reported overhead is the median over rounds (a spike straddling a
+    # round boundary spoils at most the rounds it touches).
+    makers = [lambda: None, NullCollector, lambda: WindowedCollector(config)]
+    samples = [[], [], []]
+    for r in range(repeats):
+        for i in range(len(makers)):
+            i = (i + r) % len(makers)
+            t0 = time.perf_counter()
+            run_batched(setup, collector=makers[i]())
+            samples[i].append(time.perf_counter() - t0)
+    bare, null, windowed = (np.asarray(s) for s in samples)
+    bare_s, null_s, windowed_s = bare.min(), null.min(), windowed.min()
+    null_overhead = float(np.median(null / bare))
+    windowed_overhead = float(np.median(windowed / bare))
+
+    result = run_batched(setup, collector=WindowedCollector(config))
+    report = result.telemetry
+
+    adversarial_topo = Dragonfly(4, 2, 2)
+    matrix = adversarial_hot_group_matrix(adversarial_topo, packets_per_pair=40)
+    congestion = congestion_by_routing(
+        matrix,
+        adversarial_topo,
+        routings=("minimal", "valiant", "ugal"),
+        execution_time=2e-3,
+        threshold=0.4,
+        windows=24,
+        seed=seed,
+    )
+
+    return {
+        "overhead": {
+            "topology": "Dragonfly(8,4,4)",
+            "packets": setup.total_packets,
+            "packet_hops": setup.total_hops,
+            "windows": windows,
+            "bare_s": round(bare_s, 4),
+            "null_s": round(null_s, 4),
+            "windowed_s": round(windowed_s, 4),
+            "null_overhead": round(null_overhead, 4),
+            "windowed_overhead": round(windowed_overhead, 4),
+            "null_ceiling": TELEMETRY_NULL_OVERHEAD_CEILING,
+            "windowed_ceiling": TELEMETRY_WINDOWED_OVERHEAD_CEILING,
+            "peak_window_occupancy": round(report.peak_occupancy, 4),
+            "services_recorded": int(report.serve_series.sum()),
+        },
+        "congestion": congestion,
+    }
+
+
+def write_telemetry_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_telemetry_bench(data: dict[str, Any]) -> str:
+    o = data["overhead"]
+    lines = [
+        f"telemetry overhead on {o['topology']} "
+        f"({o['packets']} packets, {o['windows']} windows)",
+        f"  bare kernel:        {o['bare_s']:.3f}s",
+        f"  null collector:     {o['null_s']:.3f}s "
+        f"({o['null_overhead']:.3f}x, ceiling {o['null_ceiling']}x)",
+        f"  windowed collector: {o['windowed_s']:.3f}s "
+        f"({o['windowed_overhead']:.3f}x, ceiling {o['windowed_ceiling']}x)",
+        "",
+        "adversarial hot-group congestion (Dragonfly(4,2,2)):",
+        f"{'routing':<10} {'peak occ':>9} {'regions':>8} "
+        f"{'peak links':>11} {'longest(s)':>11} {'hot win':>8}",
+    ]
+    for rec in data["congestion"]:
+        lines.append(
+            f"{rec['routing']:<10} {rec['peak_window_occupancy']:>9.3f} "
+            f"{rec['num_regions']:>8} {rec['peak_region_links']:>11} "
+            f"{rec['longest_region_s']:>11.2e} {rec['hot_windows']:>8}"
+        )
+    return "\n".join(lines)
 
 
 def write_routing_bench(path: str | Path, data: dict[str, Any]) -> Path:

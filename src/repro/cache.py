@@ -30,6 +30,11 @@ semantics.
 
 Cached objects are shared — treat them as immutable.  ``Trace`` is the one
 mutable type handled here; never ``add()`` events to a cached trace.
+
+Telemetry configuration never enters a cache key: collectors observe a
+simulation without changing the traces, matrices, or route incidences it
+consumes, so instrumented and plain runs share the same cached artifacts
+(``tests/test_telemetry.py::TestCacheHygiene`` pins this down).
 """
 
 from __future__ import annotations

@@ -15,6 +15,7 @@ Usage::
     python -m repro heatmap --app LULESH --ranks 64 [--bins 32]
     python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d] [--routing ugal]
     python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
+    python -m repro telemetry --app BigFFT --ranks 100 [--windows N] [--compare minimal,ugal]
     python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal]
     python -m repro trace   --app LULESH --ranks 64 [--out PATH]
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
@@ -23,6 +24,7 @@ Usage::
     python -m repro apps
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
     python -m repro bench routing [--pairs N] [--out PATH]
+    python -m repro bench telemetry [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -51,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'On Network Locality in MPI-Based HPC "
             "Applications' (ICPP 2020)"
         ),
+    )
+    from . import __version__
+
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {__version__}",
     )
     parser.add_argument(
         "--timings",
@@ -157,6 +166,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_routing(sm)
 
+    tm = sub.add_parser(
+        "telemetry",
+        help="windowed link telemetry and congestion-region analysis",
+    )
+    tm.add_argument("--app", required=True)
+    tm.add_argument("--ranks", type=int, required=True)
+    tm.add_argument(
+        "--topology", default="torus3d",
+        choices=("torus3d", "fattree", "dragonfly"),
+    )
+    tm.add_argument(
+        "--windows", type=int, default=48,
+        help="number of time windows in the occupancy series (default: 48)",
+    )
+    tm.add_argument(
+        "--threshold", type=float, default=0.7,
+        help="hot-link occupancy fraction for region detection (default: 0.7)",
+    )
+    tm.add_argument(
+        "--volume-scale", type=float, default=1.0,
+        help="simulate 1/k of the volume at 1/k bandwidth (for big traces)",
+    )
+    tm.add_argument(
+        "--engine", default="auto", choices=("auto", "batched", "reference"),
+        help="simulation kernel (all bit-identical; default picks by load)",
+    )
+    tm.add_argument(
+        "--compare", default=None, metavar="POLICIES",
+        help="comma-separated routing policies to contrast on this traffic "
+        "(e.g. minimal,ugal) instead of the single-policy timeline",
+    )
+    tm.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full report to PATH (.npz exact, .json summary)",
+    )
+    add_routing(tm)
+
     sw = sub.add_parser(
         "sweep", help="cross a custom parameter grid (incl. routing policies)"
     )
@@ -180,6 +226,11 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument(
         "--workers", type=int, default=1,
         help="evaluate grid points in this many processes",
+    )
+    sw.add_argument(
+        "--telemetry", action="store_true",
+        help="also simulate each point with a windowed collector and merge "
+        "a compact congestion summary into the records",
     )
     sw.add_argument("--seed", type=int, default=0)
     add_format(sw)
@@ -211,9 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
     be = sub.add_parser("bench", help="measure pipeline/routing performance")
     be.add_argument(
         "target",
-        choices=["pipeline", "routing"],
+        choices=["pipeline", "routing", "telemetry"],
         help="pipeline: legacy vs columnar front-end; "
-        "routing: per-policy route-construction throughput",
+        "routing: per-policy route-construction throughput; "
+        "telemetry: collector overhead and congestion comparison",
     )
     be.add_argument(
         "--min-ranks",
@@ -405,6 +457,92 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         print(f"congested packets:           {100 * dyn.congested_packet_share:.2f}%")
         print(f"mean queueing delay:         {dyn.mean_queue_delay:.3e} s")
         print(f"makespan inflation:          {dyn.makespan_inflation:.3f}x")
+    elif args.command == "telemetry":
+        from .comm.matrix import matrix_from_trace
+        from .sim.engine import simulate_network
+        from .telemetry import (
+            TelemetryConfig,
+            congestion_by_routing,
+            congestion_summary,
+            render_congestion_timeline,
+            render_summary,
+            report_to_json_dict,
+            save_report_npz,
+        )
+        from .topology.configs import config_for
+
+        trace = generate_trace(args.app, args.ranks)
+        matrix = matrix_from_trace(trace)
+        cfg = config_for(args.ranks)
+        topo = {
+            "torus3d": cfg.build_torus,
+            "fattree": cfg.build_fat_tree,
+            "dragonfly": cfg.build_dragonfly,
+        }[args.topology]()
+        if args.compare:
+            policies = tuple(
+                s.strip() for s in args.compare.split(",") if s.strip()
+            )
+            records = congestion_by_routing(
+                matrix,
+                topo,
+                routings=policies,
+                execution_time=trace.meta.execution_time,
+                threshold=args.threshold,
+                windows=args.windows,
+                volume_scale=args.volume_scale,
+                routing_seed=args.routing_seed,
+                engine=args.engine,
+            )
+            print(
+                f"# {trace.meta.label} on {topo!r}: congestion by routing "
+                f"(threshold {args.threshold})"
+            )
+            print(
+                f"{'routing':<10} {'inflation':>9} {'peak occ':>9} "
+                f"{'regions':>8} {'peak links':>11} {'longest(s)':>11}"
+            )
+            for r in records:
+                print(
+                    f"{r['routing']:<10} {r['makespan_inflation']:>9.3f} "
+                    f"{r['peak_window_occupancy']:>9.3f} {r['num_regions']:>8} "
+                    f"{r['peak_region_links']:>11} {r['longest_region_s']:>11.2e}"
+                )
+            return 0
+        result = simulate_network(
+            matrix,
+            topo,
+            execution_time=trace.meta.execution_time,
+            volume_scale=args.volume_scale,
+            engine=args.engine,
+            routing=args.routing,
+            routing_seed=args.routing_seed,
+            telemetry=TelemetryConfig(windows=args.windows),
+        )
+        report = result.telemetry
+        if report is None:
+            print("nothing to report: simulation carried no crossing traffic")
+            return 0
+        print(
+            f"{trace.meta.label} on {topo!r} ({args.routing} routing), "
+            f"{result.packets_simulated} packets"
+        )
+        print(render_congestion_timeline(report, topo, threshold=args.threshold))
+        print()
+        print(render_summary(congestion_summary(report, topo, args.threshold)))
+        if args.out:
+            from pathlib import Path
+
+            out = Path(args.out)
+            if out.suffix == ".json":
+                import json as _json
+
+                out.write_text(
+                    _json.dumps(report_to_json_dict(report), indent=2) + "\n"
+                )
+            else:
+                save_report_npz(report, out)
+            print(f"\nwrote report to {out}")
     elif args.command == "sweep":
         from .analysis.sweep import SweepSpec, run_sweep
 
@@ -418,6 +556,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             routings=split(args.routings),
             payloads=tuple(int(p) for p in split(args.payloads)),
             seed=args.seed,
+            telemetry=args.telemetry,
         )
         records = run_sweep(spec, workers=args.workers)
         if getattr(args, "format", "text") == "text":
@@ -507,6 +646,16 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             )
             print(render_pipeline_bench(data))
             path = write_pipeline_bench(out, data)
+        elif args.target == "telemetry":
+            from .bench import (
+                render_telemetry_bench,
+                run_telemetry_bench,
+                write_telemetry_bench,
+            )
+
+            data = run_telemetry_bench()
+            print(render_telemetry_bench(data))
+            path = write_telemetry_bench(out, data)
         else:
             from .bench import (
                 render_routing_bench,

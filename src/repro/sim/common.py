@@ -17,9 +17,14 @@ share :func:`busy_total` so the float reduction order is identical too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from ..telemetry.collector import TelemetryCollector, TelemetryReport
 
 from ..cache import cached_route_incidence
 from ..comm.matrix import CommMatrix
@@ -34,6 +39,7 @@ __all__ = [
     "prepare_simulation",
     "empty_result",
     "assemble_result",
+    "attach_telemetry",
 ]
 
 
@@ -59,6 +65,22 @@ class SimulationResult:
     p99_queue_delay: float
     max_queue_delay: float
     congested_packet_share: float  # packets that waited at least one service time
+    #: Busy fraction of the single busiest link over the makespan (1.0 means
+    #: some link served packets back to back for the whole run).
+    peak_link_busy_fraction: float = 0.0
+    #: Per-link observables in compact-link order (``link_ids[i]`` is the
+    #: topology link that performed ``link_serve_counts[i]`` services).
+    #: Arrays are excluded from ``==`` (compare them with np.array_equal);
+    #: ``None`` on degenerate runs with no network traffic.
+    link_ids: np.ndarray | None = field(default=None, compare=False, repr=False)
+    link_serve_counts: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
+    #: Windowed telemetry (populated only when the run was instrumented via
+    #: ``simulate_network(..., telemetry=...)``; ``None`` otherwise).
+    telemetry: "TelemetryReport | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def dynamic_utilization(self) -> float:
@@ -90,6 +112,8 @@ class SimSetup:
     route_starts: np.ndarray  # int64[num_pairs]
     route_lens: np.ndarray  # int64[num_pairs]
     pair_packets: np.ndarray  # int64[num_pairs]: scaled packets per pair
+    pair_src: np.ndarray  # int64[num_pairs]: source node of each crossing pair
+    pair_dst: np.ndarray  # int64[num_pairs]: destination node of each pair
     inject_pair: np.ndarray  # int64[total_packets]
     inject_time: np.ndarray  # float64[total_packets]
     service: float  # seconds one packet occupies one link
@@ -200,6 +224,8 @@ def prepare_simulation(
         route_starts=route_starts.astype(np.int64, copy=False),
         route_lens=route_lens.astype(np.int64, copy=False),
         pair_packets=scaled.astype(np.int64, copy=False),
+        pair_src=src_n.astype(np.int64, copy=False),
+        pair_dst=dst_n.astype(np.int64, copy=False),
         inject_pair=inject_pair,
         inject_time=inject_time,
         service=float(service),
@@ -232,10 +258,17 @@ def assemble_result(
 ) -> SimulationResult:
     """Build the result from per-packet timings (identical in both engines)."""
     congested = float((wait >= setup.service).sum()) / setup.total_packets
+    makespan = float(delivered_at.max())
+    serve_counts = np.asarray(serve_counts, dtype=np.int64)
+    peak = (
+        float(serve_counts.max()) * setup.service / makespan
+        if makespan > 0 and serve_counts.size
+        else 0.0
+    )
     return SimulationResult(
         packets_simulated=setup.total_packets,
         total_hops=setup.total_hops,
-        makespan=float(delivered_at.max()),
+        makespan=makespan,
         injection_window=setup.injection_window,
         link_busy_time_total=busy_total(serve_counts, setup.service),
         used_links=int((serve_counts > 0).sum()),
@@ -243,4 +276,24 @@ def assemble_result(
         p99_queue_delay=float(np.quantile(wait, 0.99)),
         max_queue_delay=float(wait.max()),
         congested_packet_share=congested,
+        peak_link_busy_fraction=peak,
+        link_ids=setup.link_ids,
+        link_serve_counts=serve_counts,
     )
+
+
+def attach_telemetry(
+    result: SimulationResult,
+    setup: SimSetup,
+    collector: "TelemetryCollector | None",
+    delivered_at: np.ndarray,
+) -> SimulationResult:
+    """Finalize an enabled collector and attach its report to the result.
+
+    A ``None`` or disabled collector returns ``result`` unchanged, so the
+    uninstrumented fast path costs one attribute check.
+    """
+    if collector is None or not collector.enabled:
+        return result
+    report = collector.finalize(setup, result, delivered_at)
+    return dataclasses.replace(result, telemetry=report)

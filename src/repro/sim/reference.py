@@ -35,6 +35,7 @@ from .common import (
     SimSetup,
     SimulationResult,
     assemble_result,
+    attach_telemetry,
     empty_result,
     prepare_simulation,
 )
@@ -42,8 +43,14 @@ from .common import (
 __all__ = ["simulate_network_reference", "run_reference"]
 
 
-def run_reference(setup: SimSetup) -> SimulationResult:
-    """Run the per-event loop over prepared simulation state."""
+def run_reference(setup: SimSetup, collector=None) -> SimulationResult:
+    """Run the per-event loop over prepared simulation state.
+
+    ``collector`` is an optional :class:`repro.telemetry.TelemetryCollector`;
+    when enabled it receives every service this loop performs (buffered as
+    plain lists, handed over as arrays once at the end) and its report is
+    attached to the result.
+    """
     total_packets = setup.total_packets
     inject_pair = setup.inject_pair
     route_starts = setup.route_starts
@@ -64,6 +71,13 @@ def run_reference(setup: SimSetup) -> SimulationResult:
     wait = np.zeros(total_packets, dtype=np.float64)  # cumulative queueing
     delivered_at = np.zeros(total_packets, dtype=np.float64)
 
+    recording = collector is not None and collector.enabled
+    if recording:
+        collector.reserve(setup.total_hops)
+    rec_links: list[int] = []
+    rec_begins: list[float] = []
+    rec_waits: list[float] = []
+
     while events:
         t, _, pkt, hop = heapq.heappop(events)
         pair = inject_pair[pkt]
@@ -77,13 +91,24 @@ def run_reference(setup: SimSetup) -> SimulationResult:
         link_free[link] = done
         serve_count[link] = serve_count.get(link, 0) + 1
         wait[pkt] += begin - t
+        if recording:
+            rec_links.append(link)
+            rec_begins.append(begin)
+            rec_waits.append(begin - t)
         seq += 1
         heapq.heappush(events, (done + hop_latency, seq, pkt, hop + 1))
 
     counts = np.zeros(setup.num_links, dtype=np.int64)
     for link, count in serve_count.items():
         counts[link] = count
-    return assemble_result(setup, wait, delivered_at, counts)
+    if recording:
+        collector.record_services(
+            np.array(rec_links, dtype=np.int64),
+            np.array(rec_begins, dtype=np.float64),
+            np.array(rec_waits, dtype=np.float64),
+        )
+    result = assemble_result(setup, wait, delivered_at, counts)
+    return attach_telemetry(result, setup, collector, delivered_at)
 
 
 def simulate_network_reference(
@@ -99,6 +124,7 @@ def simulate_network_reference(
     seed: int = 0,
     routing: str = "minimal",
     routing_seed: int = 0,
+    telemetry=None,
 ) -> SimulationResult:
     """Event-by-event simulation (see :func:`repro.sim.simulate_network`)."""
     setup = prepare_simulation(
@@ -117,4 +143,6 @@ def simulate_network_reference(
     )
     if setup is None:
         return empty_result()
-    return run_reference(setup)
+    from .engine import resolve_collector
+
+    return run_reference(setup, collector=resolve_collector(telemetry))

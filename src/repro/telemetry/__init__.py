@@ -1,0 +1,62 @@
+"""Network telemetry & congestion analysis for the packet simulators.
+
+A pluggable instrumentation layer both sim engines feed identically (see
+:mod:`repro.telemetry.collector` for the bit-identity argument), plus the
+congestion-region analysis (:mod:`repro.telemetry.congestion`), per-policy
+comparisons (:mod:`repro.telemetry.compare`), ASCII timeline rendering
+(:mod:`repro.telemetry.render`), and npz/json persistence
+(:mod:`repro.telemetry.export`).
+
+Quick start::
+
+    from repro.sim import simulate_network
+    from repro.telemetry import TelemetryConfig, congestion_summary
+
+    result = simulate_network(matrix, topo, telemetry=TelemetryConfig(windows=48))
+    print(result.telemetry.peak_occupancy)
+    print(congestion_summary(result.telemetry, topo, threshold=0.7))
+"""
+
+from .collector import (
+    NullCollector,
+    TelemetryCollector,
+    TelemetryConfig,
+    TelemetryReport,
+    WindowedCollector,
+    reports_equal,
+)
+from .compare import adversarial_hot_group_matrix, congestion_by_routing
+from .congestion import (
+    CongestionRegion,
+    CongestionSummary,
+    congestion_summary,
+    find_congestion_regions,
+)
+from .export import (
+    load_report_npz,
+    report_to_json_dict,
+    save_report_json,
+    save_report_npz,
+)
+from .render import render_congestion_timeline, render_summary
+
+__all__ = [
+    "TelemetryConfig",
+    "TelemetryCollector",
+    "NullCollector",
+    "WindowedCollector",
+    "TelemetryReport",
+    "reports_equal",
+    "CongestionRegion",
+    "CongestionSummary",
+    "find_congestion_regions",
+    "congestion_summary",
+    "congestion_by_routing",
+    "adversarial_hot_group_matrix",
+    "render_congestion_timeline",
+    "render_summary",
+    "save_report_npz",
+    "load_report_npz",
+    "save_report_json",
+    "report_to_json_dict",
+]

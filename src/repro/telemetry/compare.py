@@ -1,0 +1,93 @@
+"""Per-policy congestion comparison — the routing story, quantified.
+
+De Sensi et al. show application-aware Dragonfly routing flattens the
+congestion timeline that minimal routing produces on adversarial traffic;
+our UGAL engine reproduces the peak-load side of that story.  This module
+quantifies the *temporal* side: it runs the instrumented simulator once
+per routing policy on the same traffic and reduces each run's telemetry to
+comparable congestion statistics (peak region size, region duration, hot
+time, makespan), asserted in ``tests/test_telemetry.py`` and recorded by
+``repro bench telemetry``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from .collector import TelemetryConfig
+from .congestion import congestion_summary
+
+__all__ = ["congestion_by_routing", "adversarial_hot_group_matrix"]
+
+
+def adversarial_hot_group_matrix(topology, packets_per_pair: int = 40):
+    """The dragonfly worst case: every node of group 0 floods group 1.
+
+    All minimal routes funnel through the single global link between the
+    two groups; balanced policies (Valiant, UGAL) spread the load over
+    intermediate groups.  Returns a :class:`~repro.comm.matrix.CommMatrix`.
+    """
+    from ..comm.matrix import CommMatrixBuilder
+
+    per_group = topology.num_nodes // topology.num_groups
+    g0 = np.arange(per_group, dtype=np.int64)
+    g1 = g0 + per_group
+    src, dst = np.meshgrid(g0, g1, indexing="ij")
+    src, dst = src.ravel(), dst.ravel()
+    packets = np.full(len(src), packets_per_pair, dtype=np.int64)
+    builder = CommMatrixBuilder(topology.num_nodes)
+    builder.add_arrays(src, dst, packets * 4096, packets, packets)
+    return builder.finalize()
+
+
+def congestion_by_routing(
+    matrix,
+    topology,
+    routings: tuple[str, ...] = ("minimal", "ugal"),
+    execution_time: float = 1.0,
+    threshold: float = 0.7,
+    windows: int = 48,
+    volume_scale: float = 1.0,
+    seed: int = 0,
+    routing_seed: int = 0,
+    engine: str = "auto",
+) -> list[dict[str, Any]]:
+    """Instrumented simulation of one traffic matrix under each policy.
+
+    Returns one flat record per policy (export-compatible) with the run's
+    aggregate observables and its congestion-region summary at
+    ``threshold``.  All runs share seed, traffic, and topology, so the
+    records differ only through the routes.
+    """
+    from ..sim.engine import simulate_network
+
+    config = TelemetryConfig(windows=windows)
+    records: list[dict[str, Any]] = []
+    for routing in routings:
+        result = simulate_network(
+            matrix,
+            topology,
+            execution_time=execution_time,
+            volume_scale=volume_scale,
+            seed=seed,
+            engine=engine,
+            routing=routing,
+            routing_seed=routing_seed,
+            telemetry=config,
+        )
+        summary = congestion_summary(result.telemetry, topology, threshold)
+        records.append(
+            {
+                "routing": routing,
+                "makespan_s": result.makespan,
+                "makespan_inflation": result.makespan_inflation,
+                "peak_link_busy_fraction": result.peak_link_busy_fraction,
+                "peak_window_occupancy": result.telemetry.peak_occupancy,
+                "mean_queue_delay_s": result.mean_queue_delay,
+                "congested_packet_share": result.congested_packet_share,
+                **summary.as_dict(),
+            }
+        )
+    return records

@@ -1,0 +1,202 @@
+"""Congestion regions: hot-link grouping over topology adjacency.
+
+Jha et al.'s supercomputer congestion study characterizes interconnect
+congestion not link by link but as **congestion regions** — connected sets
+of highly-utilized links that appear, grow, persist, and dissolve over
+time.  This module reproduces that analysis on top of a
+:class:`~repro.telemetry.collector.TelemetryReport`:
+
+1. **Hot-link thresholding** — a (link, window) cell is *hot* when the
+   link's busy fraction in that window reaches ``threshold``.
+2. **Spatial grouping** — hot links of one window are grouped into regions
+   by topology adjacency: two links are adjacent when they share an
+   endpoint vertex (node, switch, or router), decoded from the opaque link
+   IDs by :func:`repro.routing.validate.link_endpoints`.
+3. **Temporal linking** — a region in window ``w`` continues a region of
+   window ``w-1`` when they share a link; regions that merge are one
+   region.  Each resulting :class:`CongestionRegion` carries its onset,
+   duration, and spread (peak concurrent links).
+
+The implementation is one union-find over hot (link, window) cells with
+spatial edges (shared endpoint, same window) and temporal edges (same
+link, consecutive windows) — linear in the number of hot cells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..routing.validate import link_endpoints
+from ..topology.base import Topology
+from .collector import TelemetryReport
+
+__all__ = [
+    "CongestionRegion",
+    "CongestionSummary",
+    "find_congestion_regions",
+    "congestion_summary",
+]
+
+
+@dataclass(frozen=True, eq=False)
+class CongestionRegion:
+    """One spatio-temporal congestion region.
+
+    ``links`` holds the *compact* link indices (rows of the report's
+    series) the region ever covered; map through ``report.link_ids`` for
+    topology link IDs.
+    """
+
+    onset_window: int  # first window the region was hot
+    end_window: int  # last window (inclusive)
+    peak_links: int  # largest concurrent hot-link count
+    link_windows: int  # total hot (link, window) cells
+    links: np.ndarray  # int64: union of compact link indices
+    window_dt: float
+
+    @property
+    def duration_windows(self) -> int:
+        return self.end_window - self.onset_window + 1
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_windows * self.window_dt
+
+    @property
+    def spread(self) -> int:
+        """Distinct links the region ever covered."""
+        return len(self.links)
+
+
+@dataclass(frozen=True)
+class CongestionSummary:
+    """Aggregate congestion statistics of one run at one threshold."""
+
+    threshold: float
+    num_regions: int
+    peak_region_links: int  # largest concurrent hot-link count of any region
+    max_region_spread: int  # most distinct links any region covered
+    longest_region_s: float  # longest region duration in seconds
+    total_hot_seconds: float  # sum of hot (link, window) cells x window_dt
+    hot_windows: int  # windows with at least one hot link
+    first_onset_window: int  # -1 when nothing was hot
+
+    def as_dict(self) -> dict:
+        return {
+            "threshold": self.threshold,
+            "num_regions": self.num_regions,
+            "peak_region_links": self.peak_region_links,
+            "max_region_spread": self.max_region_spread,
+            "longest_region_s": self.longest_region_s,
+            "total_hot_seconds": self.total_hot_seconds,
+            "hot_windows": self.hot_windows,
+            "first_onset_window": self.first_onset_window,
+        }
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        parent = self.parent
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[ra] = rb
+
+
+def find_congestion_regions(
+    report: TelemetryReport,
+    topology: Topology,
+    threshold: float = 0.7,
+) -> list[CongestionRegion]:
+    """Group hot (link, window) cells into spatio-temporal regions.
+
+    Returned regions are sorted by onset window (ties: larger first).
+    ``topology`` must be the instance the simulation ran on — its link IDs
+    decode the report's rows into endpoint vertices.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    hot = report.hot_links(threshold)
+    hot_link, hot_win = np.nonzero(hot)
+    if not len(hot_link):
+        return []
+
+    u, v = link_endpoints(topology, report.link_ids)
+    cells = {
+        (int(l), int(w)): i for i, (l, w) in enumerate(zip(hot_link, hot_win))
+    }
+    uf = _UnionFind(len(hot_link))
+
+    # Spatial edges: within one window, links sharing an endpoint vertex.
+    # Group by (window, vertex): every hot link contributes its two
+    # endpoints; cells listed under one (window, vertex) are pairwise
+    # connected through that vertex.
+    by_vertex: dict[tuple[int, int], int] = {}
+    for i, (l, w) in enumerate(zip(hot_link, hot_win)):
+        for vertex in (int(u[l]), int(v[l])):
+            key = (int(w), vertex)
+            first = by_vertex.setdefault(key, i)
+            if first != i:
+                uf.union(first, i)
+
+    # Temporal edges: the same link hot in consecutive windows.
+    for i, (l, w) in enumerate(zip(hot_link, hot_win)):
+        j = cells.get((int(l), int(w) - 1))
+        if j is not None:
+            uf.union(i, j)
+
+    groups: dict[int, list[int]] = {}
+    for i in range(len(hot_link)):
+        groups.setdefault(uf.find(i), []).append(i)
+
+    regions = []
+    for members in groups.values():
+        ls = hot_link[members]
+        ws = hot_win[members]
+        per_window = np.bincount(ws - ws.min())
+        regions.append(
+            CongestionRegion(
+                onset_window=int(ws.min()),
+                end_window=int(ws.max()),
+                peak_links=int(per_window.max()),
+                link_windows=len(members),
+                links=np.unique(ls),
+                window_dt=report.window_dt,
+            )
+        )
+    regions.sort(key=lambda r: (r.onset_window, -r.link_windows))
+    return regions
+
+
+def congestion_summary(
+    report: TelemetryReport,
+    topology: Topology,
+    threshold: float = 0.7,
+) -> CongestionSummary:
+    """One-shot :func:`find_congestion_regions` + aggregation."""
+    regions = find_congestion_regions(report, topology, threshold)
+    hot = report.hot_links(threshold)
+    hot_cells = int(hot.sum())
+    hot_windows = int(hot.any(axis=0).sum())
+    return CongestionSummary(
+        threshold=threshold,
+        num_regions=len(regions),
+        peak_region_links=max((r.peak_links for r in regions), default=0),
+        max_region_spread=max((r.spread for r in regions), default=0),
+        longest_region_s=max((r.duration_s for r in regions), default=0.0),
+        total_hot_seconds=hot_cells * report.window_dt,
+        hot_windows=hot_windows,
+        first_onset_window=(
+            min((r.onset_window for r in regions), default=-1)
+        ),
+    )

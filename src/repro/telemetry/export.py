@@ -1,0 +1,97 @@
+"""Telemetry report persistence: lossless ``.npz`` and summary JSON.
+
+The ``.npz`` round trip is exact (array bytes preserved), so downstream
+tooling can reload a report and re-run congestion analysis at different
+thresholds without re-simulating.  The JSON form is a compact summary —
+scalars plus the histograms — suitable for dashboards and sweep records;
+pass ``series=True`` to inline the full per-link series (large).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .collector import TelemetryReport
+
+__all__ = [
+    "save_report_npz",
+    "load_report_npz",
+    "report_to_json_dict",
+    "save_report_json",
+]
+
+_SCALARS = ("span", "window_dt", "service")
+_ARRAYS = (
+    "link_ids",
+    "serve_series",
+    "occupancy",
+    "injections",
+    "ejections",
+    "injected_series",
+    "delivered_series",
+    "queue_depth_hist",
+    "stall_hist",
+    "stall_edges",
+)
+
+
+def save_report_npz(report: TelemetryReport, path: str | Path) -> Path:
+    """Write a report as a ``.npz`` archive (exact array round trip)."""
+    path = Path(path)
+    payload = {name: np.array(getattr(report, name)) for name in _SCALARS}
+    payload.update({name: getattr(report, name) for name in _ARRAYS})
+    with path.open("wb") as fh:
+        np.savez(fh, **payload)
+    return path
+
+
+def load_report_npz(path: str | Path) -> TelemetryReport:
+    """Reload a report written by :func:`save_report_npz`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        kwargs = {name: float(data[name]) for name in _SCALARS}
+        kwargs.update({name: data[name] for name in _ARRAYS})
+    return TelemetryReport(**kwargs)
+
+
+def report_to_json_dict(report: TelemetryReport, series: bool = False) -> dict:
+    """JSON-serializable summary of a report.
+
+    Always includes the scalar geometry, per-run totals, and the queue/stall
+    histograms; ``series=True`` adds the full per-link windowed series.
+    """
+    out: dict = {
+        "span_s": report.span,
+        "window_dt_s": report.window_dt,
+        "service_s": report.service,
+        "num_links": report.num_links,
+        "num_windows": report.num_windows,
+        "peak_occupancy": report.peak_occupancy,
+        "total_busy_s": float(report.occupancy.sum()),
+        "injected_series": report.injected_series.tolist(),
+        "delivered_series": report.delivered_series.tolist(),
+        "queue_depth_hist": report.queue_depth_hist.tolist(),
+        "stall_hist": report.stall_hist.tolist(),
+        "stall_edges_s": report.stall_edges.tolist(),
+    }
+    if series:
+        out["link_ids"] = report.link_ids.tolist()
+        out["serve_series"] = report.serve_series.tolist()
+        out["occupancy_s"] = report.occupancy.tolist()
+        out["injections"] = report.injections.tolist()
+        out["ejections"] = report.ejections.tolist()
+    return out
+
+
+def save_report_json(
+    report: TelemetryReport, path: str | Path, series: bool = False
+) -> Path:
+    """Write the JSON summary form to ``path``."""
+    path = Path(path)
+    path.write_text(
+        json.dumps(report_to_json_dict(report, series=series), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,94 @@
+"""ASCII congestion-timeline rendering (heatmap-style shades).
+
+Reuses the shade ramp of :mod:`repro.metrics.heatmap` so the telemetry
+timeline reads exactly like the communication heat maps: one row per link
+(busiest first), one column per time window, shade = busy fraction of the
+link in that window.  A footer row counts hot links per window, making
+congestion-region onset and dissolution visible at a glance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..metrics.heatmap import _SHADES
+from ..topology.base import Topology
+from .collector import TelemetryReport
+
+__all__ = ["render_congestion_timeline", "render_summary"]
+
+
+def _shade(fraction: float) -> str:
+    if fraction <= 0:
+        return " "
+    level = min(max(fraction, 0.0), 1.0)
+    return _SHADES[1 + int(level * (len(_SHADES) - 2))]
+
+
+def render_congestion_timeline(
+    report: TelemetryReport,
+    topology: Topology | None = None,
+    threshold: float = 0.7,
+    top: int = 12,
+) -> str:
+    """Per-link occupancy timeline of the ``top`` busiest links.
+
+    With a ``topology``, rows are labeled by
+    :meth:`~repro.topology.base.Topology.describe_link`; otherwise by raw
+    link ID.  The footer row prints the number of hot links per window
+    (``.`` none, digits, ``+`` for ten or more).
+    """
+    frac = report.occupancy_fraction()
+    if not frac.size:
+        return "(no link activity recorded)"
+    totals = report.occupancy.sum(axis=1)
+    order = np.argsort(-totals, kind="stable")[:top]
+
+    labels = []
+    for idx in order:
+        link_id = int(report.link_ids[idx])
+        if topology is not None:
+            labels.append(topology.describe_link(link_id))
+        else:
+            labels.append(f"link {link_id}")
+    width = max(len(label) for label in labels)
+
+    lines = [
+        f"occupancy timeline: {report.num_windows} windows x "
+        f"{report.window_dt:.3e} s (span {report.span:.3e} s), "
+        f"top {len(order)} of {report.num_links} links"
+    ]
+    for idx, label in zip(order, labels):
+        row = "".join(_shade(f) for f in frac[idx])
+        peak = float(frac[idx].max())
+        lines.append(f"{label:<{width}} |{row}| peak {peak:.2f}")
+
+    hot_counts = (frac >= threshold).sum(axis=0)
+    footer = "".join(
+        "." if c == 0 else (str(c) if c < 10 else "+") for c in hot_counts
+    )
+    lines.append(
+        f"{'hot links >= ' + format(threshold, '.2f'):<{width}} |{footer}|"
+    )
+    return "\n".join(lines)
+
+
+def render_summary(summary) -> str:
+    """Render a :class:`~repro.telemetry.congestion.CongestionSummary`."""
+    if summary.num_regions == 0:
+        return (
+            f"no congestion regions at threshold {summary.threshold:.2f} "
+            f"(no link-window reached that busy fraction)"
+        )
+    return "\n".join(
+        [
+            f"congestion regions (threshold {summary.threshold:.2f}):",
+            f"  regions:            {summary.num_regions}",
+            f"  peak region size:   {summary.peak_region_links} links",
+            f"  max region spread:  {summary.max_region_spread} links",
+            f"  longest region:     {summary.longest_region_s:.3e} s",
+            f"  total hot time:     {summary.total_hot_seconds:.3e} link-s",
+            f"  hot windows:        {summary.hot_windows}",
+            f"  first onset window: {summary.first_onset_window}",
+        ]
+    )

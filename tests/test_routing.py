@@ -335,7 +335,11 @@ class TestSimulatorEquivalencePerPolicy:
         assert setup is not None
         a, b = run_batched(setup), run_reference(setup)
         for f in dataclasses.fields(a):
-            assert getattr(a, f.name) == getattr(b, f.name), f.name
+            va, vb = getattr(a, f.name), getattr(b, f.name)
+            if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+                assert np.array_equal(va, vb), f.name
+            else:
+                assert va == vb, f.name
 
     def test_policy_changes_simulated_congestion(self):
         """Valiant's detours really reach the simulator's route tables."""

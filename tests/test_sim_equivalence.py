@@ -28,10 +28,20 @@ from repro.topology.torus import Torus3D
 
 
 def assert_bit_identical(a, b):
-    """Every SimulationResult field exactly equal (no tolerance)."""
+    """Every SimulationResult field exactly equal (no tolerance).
+
+    Array-valued fields (per-link serve counts / link IDs) compare via
+    np.array_equal; the telemetry report field has its own equality helper
+    and is covered by tests/test_telemetry.py.
+    """
     for f in dataclasses.fields(a):
+        if f.name == "telemetry":
+            continue
         va, vb = getattr(a, f.name), getattr(b, f.name)
-        assert va == vb, f"{f.name}: {va!r} != {vb!r}"
+        if isinstance(va, np.ndarray) or isinstance(vb, np.ndarray):
+            assert np.array_equal(va, vb), f"{f.name} differs"
+        else:
+            assert va == vb, f"{f.name}: {va!r} != {vb!r}"
 
 
 TOPOLOGIES = [
