@@ -18,6 +18,7 @@ from typing import Any
 from .figures import Figure1Series, MulticoreSeries, SelectivityCurve
 from .tables import Table1Row, Table3Row, Table4Row
 from ..topology.configs import TopologyConfig
+from ..util import nan_to_none
 
 __all__ = [
     "rows_to_csv",
@@ -105,16 +106,18 @@ def table3_records(rows: list[Table3Row]) -> list[dict[str, Any]]:
             "variant": m.variant,
             "ranks": m.num_ranks,
             "peers": m.peers if m.has_p2p else None,
-            "rank_distance_90": round(m.rank_distance_90, 3)
+            "rank_distance_90": nan_to_none(round(m.rank_distance_90, 3))
             if m.has_p2p
             else None,
-            "selectivity_90": round(m.selectivity_90, 3) if m.has_p2p else None,
+            "selectivity_90": nan_to_none(round(m.selectivity_90, 3))
+            if m.has_p2p
+            else None,
         }
         for kind, net in row.network.items():
             record[f"{kind}_packet_hops"] = net.packet_hops
-            record[f"{kind}_avg_hops"] = round(net.avg_hops, 4)
-            record[f"{kind}_utilization_percent"] = round(
-                net.utilization_percent, 6
+            record[f"{kind}_avg_hops"] = nan_to_none(round(net.avg_hops, 4))
+            record[f"{kind}_utilization_percent"] = nan_to_none(
+                round(net.utilization_percent, 6)
             )
         out.append(record)
     return out

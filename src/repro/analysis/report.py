@@ -19,6 +19,7 @@ from ..metrics.summary import mpi_level_metrics
 from ..model.energy import EnergyModel
 from ..model.engine import analyze_network
 from ..topology.configs import config_for
+from ..util import fmt_float
 
 __all__ = ["WorkloadReport", "build_report", "render_report"]
 
@@ -107,8 +108,8 @@ def render_report(rows: list[WorkloadReport]) -> str:
     ]
     for r in rows:
         peers = str(r.peers) if r.peers else "N/A"
-        dist = f"{r.rank_distance:.1f}" if r.peers else "N/A"
-        sel = f"{r.selectivity:.1f}" if r.peers else "N/A"
+        dist = fmt_float(r.rank_distance, ".1f") if r.peers else "N/A"
+        sel = fmt_float(r.selectivity, ".1f") if r.peers else "N/A"
         lines.append(
             f"| {r.label} | {r.total_mb:.0f} | {100 * r.p2p_share:.1f} "
             f"| {peers} | {dist} | {sel} "

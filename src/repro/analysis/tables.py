@@ -19,6 +19,7 @@ from ..metrics.dimensionality import locality_by_dimension
 from ..metrics.summary import MPILevelMetrics, mpi_level_metrics
 from ..model.engine import NetworkAnalysis, analyze_network
 from ..topology.configs import TABLE2, TopologyConfig, config_for
+from ..util import fmt_float
 
 __all__ = [
     "Table1Row",
@@ -157,8 +158,9 @@ def render_table3(rows: list[Table3Row]) -> str:
         m = row.metrics
         if m.has_p2p:
             left = (
-                f"{m.label:<28} {m.peers:>6d} {m.rank_distance_90:>8.1f} "
-                f"{m.selectivity_90:>6.1f} |"
+                f"{m.label:<28} {m.peers:>6d} "
+                f"{fmt_float(m.rank_distance_90, '.1f'):>8} "
+                f"{fmt_float(m.selectivity_90, '.1f'):>6} |"
             )
         else:
             left = f"{m.label:<28} {'N/A':>6} {'N/A':>8} {'N/A':>6} |"
@@ -166,8 +168,9 @@ def render_table3(rows: list[Table3Row]) -> str:
         for kind in TOPOLOGY_ORDER:
             net = row.network[kind]
             cells += (
-                f" {net.packet_hops:>9.2e} {net.avg_hops:>5.2f} "
-                f"{net.utilization_percent:>8.4f} |"
+                f" {net.packet_hops:>9.2e} "
+                f"{fmt_float(net.avg_hops, '.2f'):>5} "
+                f"{fmt_float(net.utilization_percent, '.4f'):>8} |"
             )
         lines.append(left + cells)
     return "\n".join(lines)

@@ -40,6 +40,7 @@ consumes, so instrumented and plain runs share the same cached artifacts
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 import tempfile
@@ -115,6 +116,31 @@ class _LRU:
 
 
 _MISS = object()
+
+_log = logging.getLogger("repro.cache")
+
+
+def _evict_corrupt(path: Path, exc: Exception) -> None:
+    """Log and delete an unreadable disk entry so it is recomputed once.
+
+    Corruption here means any failure to load a file whose name matched the
+    current :data:`CACHE_VERSION` and key digest — truncation (killed
+    writer on a filesystem without atomic rename), foreign bytes, or a stale
+    class layout.  Version *mismatches* never reach this path: the version
+    is part of the filename, so other-version entries are simply never
+    opened.  Eviction keeps the corrupt file from being re-parsed (and
+    re-logged) on every later lookup.
+    """
+    _log.warning(
+        "evicting corrupt cache entry %s (%s: %s)",
+        path.name,
+        type(exc).__name__,
+        exc,
+    )
+    try:
+        path.unlink()
+    except OSError:
+        pass  # already gone, or read-only cache dir: stays a plain miss
 
 #: In-memory regions.  Incidences can be large (one row per packet-route
 #: link), so that region is kept smaller than the trace/matrix ones.
@@ -239,9 +265,10 @@ def _disk_load_pickle(path: Path | None) -> Any:
     try:
         with path.open("rb") as fh:
             return pickle.load(fh)
-    except Exception:
+    except Exception as exc:
         # Any unreadable entry (truncated, foreign bytes, stale class layout)
         # is a miss: pickle surfaces arbitrary exception types on bad input.
+        _evict_corrupt(path, exc)
         return _MISS
 
 
@@ -345,9 +372,10 @@ def _disk_load_trace_npz(path: Path | None) -> Any:
                         func_names=tuple(data[f"b{i}_func_names"].tolist()),
                     )
                 )
-    except Exception:
+    except Exception as exc:
         # Corrupt/foreign archives surface zipfile, key, or value errors;
         # all of them mean "miss" and the trace is regenerated.
+        _evict_corrupt(path, exc)
         return _MISS
     trace = Trace.from_blocks(meta, blocks, validate=False)
     if resolve_dtypes:
@@ -485,9 +513,10 @@ def cached_route_incidence(
             with np.load(path) as data:
                 value = RouteIncidence(data["pair_index"], data["link_id"])
             region.stats.disk_hits += 1
-        except Exception:
+        except Exception as exc:
             # np.load raises zipfile/pickle/value errors on corrupt archives;
             # treat any of them as a miss and recompute.
+            _evict_corrupt(path, exc)
             value = _MISS
     if value is _MISS:
         with timings.stage("routing"):

@@ -21,6 +21,8 @@ Usage::
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
     python -m repro compare [--max-ranks N]
     python -m repro validate [--max-ranks N]
+    python -m repro check   [--max-ranks N] [--strict] [--no-sim]
+    python -m repro fuzz    [--count N] [--offset K] [--no-shrink]
     python -m repro apps
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
     python -m repro bench routing [--pairs N] [--out PATH]
@@ -40,7 +42,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .util import fmt_float
+
 __all__ = ["main", "build_parser"]
+
+#: User-input errors that should print one line and exit 2 — never a
+#: traceback.  Every layer raises one of these for unknown names, missing
+#: files, and invalid parameter combinations.
+_USER_ERRORS = (ValueError, KeyError, FileNotFoundError, NotADirectoryError)
 
 #: Kept literal (matching repro.routing.ROUTINGS) so --help needs no imports.
 _ROUTING_CHOICES = ("minimal", "ecmp", "valiant", "dmodk", "ugal")
@@ -257,6 +266,67 @@ def build_parser() -> argparse.ArgumentParser:
     va = sub.add_parser("validate", help="self-validate the synthetic generators")
     va.add_argument("--max-ranks", type=int, default=None)
 
+    ck = sub.add_parser(
+        "check",
+        help="run the cross-layer invariant suite over the study grid",
+    )
+    ck.add_argument("--max-ranks", type=int, default=None)
+    ck.add_argument(
+        "--apps", default=None,
+        help="comma-separated application names to check (default: all)",
+    )
+    ck.add_argument(
+        "--topologies", default="torus3d,fattree,dragonfly",
+        help="comma-separated topology kinds to check",
+    )
+    ck.add_argument(
+        "--routings", default=None,
+        help=f"comma-separated routing policies (default: all of "
+        f"{', '.join(_ROUTING_CHOICES)})",
+    )
+    ck.add_argument(
+        "--no-sim", action="store_true",
+        help="skip the dynamic-simulation and telemetry invariants",
+    )
+    ck.add_argument(
+        "--target-packets", type=int, default=20_000,
+        help="volume-scale each simulation down to about this many packets",
+    )
+    ck.add_argument(
+        "--strict", action="store_true",
+        help="treat invariant warnings as failures",
+    )
+    ck.add_argument(
+        "--verbose", action="store_true",
+        help="list every scenario, not just violations",
+    )
+    ck.add_argument("--seed", type=int, default=0)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help="differential fuzz: random configs through every engine pair",
+    )
+    fz.add_argument(
+        "--count", type=int, default=8,
+        help="number of seeded cases to run (default: 8, the CI smoke set)",
+    )
+    fz.add_argument(
+        "--offset", type=int, default=0,
+        help="first seed (cases run seeds offset..offset+count-1)",
+    )
+    fz.add_argument(
+        "--max-ranks", type=int, default=64,
+        help="largest workload configuration a case may draw",
+    )
+    fz.add_argument(
+        "--target-packets", type=int, default=8_000,
+        help="volume-scale each simulation down to about this many packets",
+    )
+    fz.add_argument(
+        "--no-shrink", action="store_true",
+        help="report raw failing cases without minimizing them",
+    )
+
     sub.add_parser("apps", help="list applications and configurations")
 
     be = sub.add_parser("bench", help="measure pipeline/routing performance")
@@ -300,17 +370,24 @@ def main(argv: list[str] | None = None) -> int:
     from . import analysis, timings
     from .apps.registry import APPS, generate_trace
 
-    if args.cache_dir:
-        from . import cache
+    try:
+        if args.cache_dir:
+            from . import cache
 
-        cache.configure(disk_dir=args.cache_dir)
-    if args.timings:
-        timings.enable()
-        try:
-            return _run_command(args, analysis, APPS, generate_trace)
-        finally:
-            print(timings.summary(), file=sys.stderr)
-    return _run_command(args, analysis, APPS, generate_trace)
+            cache.configure(disk_dir=args.cache_dir)
+        if args.timings:
+            timings.enable()
+            try:
+                return _run_command(args, analysis, APPS, generate_trace)
+            finally:
+                print(timings.summary(), file=sys.stderr)
+        return _run_command(args, analysis, APPS, generate_trace)
+    except _USER_ERRORS as exc:
+        # KeyError carries its message as the single arg; str(exc) would
+        # wrap it in quotes.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
 
 
 def _run_command(args, analysis, APPS, generate_trace) -> int:
@@ -456,7 +533,10 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         print(f"packets simulated:           {dyn.packets_simulated}")
         print(f"congested packets:           {100 * dyn.congested_packet_share:.2f}%")
         print(f"mean queueing delay:         {dyn.mean_queue_delay:.3e} s")
-        print(f"makespan inflation:          {dyn.makespan_inflation:.3f}x")
+        print(
+            "makespan inflation:          "
+            f"{fmt_float(dyn.makespan_inflation, '.3f')}x"
+        )
     elif args.command == "telemetry":
         from .comm.matrix import matrix_from_trace
         from .sim.engine import simulate_network
@@ -504,7 +584,8 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             )
             for r in records:
                 print(
-                    f"{r['routing']:<10} {r['makespan_inflation']:>9.3f} "
+                    f"{r['routing']:<10} "
+                    f"{fmt_float(r['makespan_inflation'], '.3f'):>9} "
                     f"{r['peak_window_occupancy']:>9.3f} {r['num_regions']:>8} "
                     f"{r['peak_region_links']:>11} {r['longest_region_s']:>11.2e}"
                 )
@@ -558,7 +639,19 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             seed=args.seed,
             telemetry=args.telemetry,
         )
-        records = run_sweep(spec, workers=args.workers)
+        try:
+            records = run_sweep(spec, workers=args.workers)
+        except _USER_ERRORS:
+            raise
+        except Exception as exc:
+            # A worker process died or raised mid-grid-point; surface one
+            # line instead of the executor's traceback chain.
+            print(
+                f"error: sweep failed in a worker: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
         if getattr(args, "format", "text") == "text":
             header = (
                 f"{'topology':<10} {'mapping':<12} {'routing':<8} "
@@ -624,6 +717,35 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         result = validate_all(max_ranks=args.max_ranks)
         print(result.summary())
         return 0 if result.ok else 1
+    elif args.command == "check":
+        from .validation import run_check_suite
+
+        def split(value: str) -> tuple[str, ...]:
+            return tuple(s.strip() for s in value.split(",") if s.strip())
+
+        report = run_check_suite(
+            max_ranks=args.max_ranks,
+            apps=split(args.apps) if args.apps else None,
+            topologies=split(args.topologies),
+            routings=split(args.routings) if args.routings else None,
+            sim=not args.no_sim,
+            target_packets=args.target_packets,
+            seed=args.seed,
+        )
+        print(report.render(verbose=args.verbose))
+        return 0 if report.ok(strict=args.strict) else 1
+    elif args.command == "fuzz":
+        from .validation import run_fuzz
+
+        report = run_fuzz(
+            seeds=range(args.offset, args.offset + args.count),
+            max_ranks=args.max_ranks,
+            target_packets=args.target_packets,
+            shrink_failures=not args.no_shrink,
+            progress=lambda label: print(f"  {label}", file=sys.stderr),
+        )
+        print(report.render())
+        return 0 if report.ok else 1
     elif args.command == "apps":
         for name, app in APPS.items():
             configs = ", ".join(

@@ -7,6 +7,7 @@ from dataclasses import dataclass
 
 from ..comm.matrix import CommMatrix, matrix_from_trace
 from ..core.trace import Trace
+from ..util import fmt_float
 from .locality import rank_distance, rank_locality
 from .peers import peers
 from .selectivity import selectivity
@@ -40,12 +41,18 @@ class MPILevelMetrics:
         return f"{base}/{self.variant}" if self.variant else base
 
     def format_row(self) -> str:
-        """One aligned text row (N/A for all-collective workloads)."""
+        """One aligned text row (N/A for all-collective workloads).
+
+        Individual metrics can be NaN even with ``peers > 0`` (e.g. p2p
+        pairs that carry zero bytes); each cell renders independently so no
+        "nan" ever reaches the table.
+        """
         if not self.has_p2p:
             return f"{self.label:<28} {'N/A':>6} {'N/A':>10} {'N/A':>10}"
         return (
             f"{self.label:<28} {self.peers:>6d} "
-            f"{self.rank_distance_90:>10.1f} {self.selectivity_90:>10.1f}"
+            f"{fmt_float(self.rank_distance_90, '.1f'):>10} "
+            f"{fmt_float(self.selectivity_90, '.1f'):>10}"
         )
 
 

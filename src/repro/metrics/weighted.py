@@ -26,8 +26,10 @@ __all__ = ["weighted_quantile"]
 def weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> float:
     """Interpolated ``q``-quantile of ``values`` weighted by ``weights``.
 
-    Duplicate values are merged before interpolation.  For ``q`` at or below
-    the first value's coverage the first value is returned (clamped), and
+    Duplicate values are merged and zero-weight values are dropped before
+    interpolation — a value carrying no weight is outside the distribution's
+    support and must not bend the coverage curve.  For ``q`` at or below the
+    first value's coverage the first value is returned (clamped), and
     ``q = 1`` returns the maximum value.
 
     Raises ``ValueError`` on empty input, negative weights, non-positive
@@ -46,6 +48,10 @@ def weighted_quantile(values: np.ndarray, weights: np.ndarray, q: float) -> floa
     total = wts.sum()
     if total <= 0:
         raise ValueError("total weight must be positive")
+    supported = wts > 0
+    if not supported.all():
+        vals = vals[supported]
+        wts = wts[supported]
 
     unique, inverse = np.unique(vals, return_inverse=True)
     merged = np.zeros(len(unique), dtype=np.float64)

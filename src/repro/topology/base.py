@@ -117,6 +117,20 @@ class Topology(abc.ABC):
         """
         return None
 
+    def walk_hops_lower_bound(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """A true lower bound on the link count of *any* valid walk per pair.
+
+        For most topologies this is exactly :meth:`hops_array`.  It is kept
+        as a separate method because the two are not the same thing:
+        ``hops_array`` is the length of the topology's *deterministic
+        minimal route*, which non-minimal policies (Valiant, UGAL) may
+        legitimately undercut when the route graph offers a shorter walk
+        the minimal scheme cannot take (see the dragonfly override).
+        Validation code must bound routes with this method, never with
+        ``hops_array`` directly.
+        """
+        return self.hops_array(src, dst)
+
     def hops(self, src: int, dst: int) -> int:
         """Scalar hop count."""
         return int(

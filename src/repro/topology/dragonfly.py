@@ -122,6 +122,28 @@ class Dragonfly(Topology):
             hops[cross] = 3 + extra  # node + global + node (+ local detours)
         return hops
 
+    def walk_hops_lower_bound(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """True walk lower bound: ``min(hops_array, 4)`` for cross-group pairs.
+
+        On a dragonfly ``hops_array`` is the *direct minimal route* length —
+        forced through the single global link of the group pair, plus up to
+        two local detours — and that is **not** a graph-distance lower
+        bound.  A walk crossing two global links costs at least
+        ``node + global + global + node = 4`` hops, and when the gateway
+        routers of an intermediate group happen to align with the endpoint
+        routers, exactly 4 is achievable while the direct route needs 5.
+        Valiant draws such routes in practice.  Any cross-group walk uses
+        either the one direct global link (>= ``hops_array`` hops) or at
+        least two global links (>= 4 hops), so the elementwise minimum is a
+        tight true bound.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        bound = self.hops_array(src, dst)
+        cross = (src != dst) & (self.group_of(src) != self.group_of(dst))
+        bound[cross] = np.minimum(bound[cross], 4)
+        return bound
+
     # -- links ----------------------------------------------------------------------
 
     @property

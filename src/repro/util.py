@@ -1,0 +1,39 @@
+"""Small shared formatting helpers.
+
+The paper's tables report *N/A* for undefined cells (all-collective
+workloads have no rank distance; a simulation with no crossing traffic has
+no makespan inflation).  Internally those are NaN — the right arithmetic
+convention — but NaN must never leak into rendered output: tables, the
+markdown report, and CLI text all format through :func:`fmt_float`, and the
+CSV/JSON exporters map NaN to empty cells / ``null`` (see
+:mod:`repro.analysis.export`).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["NA", "fmt_float", "nan_to_none"]
+
+#: The rendered placeholder for undefined values.
+NA = "N/A"
+
+
+def fmt_float(value: float | None, spec: str = "", na: str = NA) -> str:
+    """Format ``value`` with ``spec``; NaN/None render as ``na``.
+
+    >>> fmt_float(3.7, ".1f")
+    '3.7'
+    >>> fmt_float(float("nan"), ".1f")
+    'N/A'
+    """
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return na
+    return format(value, spec)
+
+
+def nan_to_none(value):
+    """NaN (any float NaN) becomes ``None``; everything else passes through."""
+    if isinstance(value, float) and math.isnan(value):
+        return None
+    return value

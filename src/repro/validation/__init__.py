@@ -1,0 +1,70 @@
+"""Cross-layer validation: invariant checker and differential fuzz harness.
+
+The pipeline keeps four interchangeable implementations of almost every
+stage (per-event vs columnar traces, reference vs batched simulators, five
+routing policies, cached vs cold paths).  This package makes their
+correctness an always-on artifact instead of a test-time hope:
+
+- :mod:`.base` / :mod:`.invariants` — a registry of cheap conservation
+  checks runnable on any pipeline artifact (byte, hop, packet, and busy-
+  time conservation; Eq. 4/5 bounds; cache roundtrip identity);
+- :mod:`.suite` — runs the catalogue over the study grid
+  (``repro check``);
+- :mod:`.fuzz` / :mod:`.shrink` — seeded differential fuzzing across
+  every implementation pair, with minimal-reproducer shrinking
+  (``repro fuzz``).
+
+See ``docs/validation.md`` for the catalogue with references.
+"""
+
+from .base import (
+    REGISTRY,
+    CheckContext,
+    Invariant,
+    Violation,
+    all_invariants,
+    invariant,
+    run_invariants,
+)
+from .fuzz import (
+    CI_SEEDS,
+    FuzzCase,
+    FuzzOutcome,
+    FuzzReport,
+    draw_case,
+    run_case,
+    run_fuzz,
+)
+from .shrink import shrink_case
+from .suite import (
+    ScenarioResult,
+    SuiteReport,
+    attach_simulation,
+    build_static_context,
+    cache_roundtrip_context,
+    run_check_suite,
+)
+
+__all__ = [
+    "REGISTRY",
+    "CheckContext",
+    "Invariant",
+    "Violation",
+    "all_invariants",
+    "invariant",
+    "run_invariants",
+    "CI_SEEDS",
+    "FuzzCase",
+    "FuzzOutcome",
+    "FuzzReport",
+    "draw_case",
+    "run_case",
+    "run_fuzz",
+    "shrink_case",
+    "ScenarioResult",
+    "SuiteReport",
+    "attach_simulation",
+    "build_static_context",
+    "cache_roundtrip_context",
+    "run_check_suite",
+]

@@ -1,0 +1,180 @@
+"""Invariant-checker core: violations, the registry, and check contexts.
+
+Every pipeline artifact obeys a conservation law — bytes leaving ranks must
+reappear as matrix mass, link loads must account for every (byte, hop)
+pair, windowed occupancy can never exceed wall-clock capacity.  This module
+defines the vocabulary: an :class:`Invariant` is a named, referenced check
+function over a :class:`CheckContext` (one scenario's artifacts); a failed
+predicate yields :class:`Violation` records instead of raising, so one run
+reports *all* broken laws, not the first.
+
+Checks register themselves into :data:`REGISTRY` via the :func:`invariant`
+decorator (see :mod:`repro.validation.invariants`) and declare which
+context artifacts they need (``static``, ``sim``, ``telemetry``,
+``cache``), so a context built without a simulation simply skips the
+dynamic checks rather than erroring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "Violation",
+    "Invariant",
+    "CheckContext",
+    "REGISTRY",
+    "invariant",
+    "all_invariants",
+    "run_invariants",
+]
+
+#: Relative tolerance for float conservation sums (bincount reductions over
+#: exact int64 inputs agree to ~1 ulp per term; 1e-9 leaves headroom).
+REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant in one scenario.
+
+    ``severity`` is ``"error"`` (a conservation law failed — the artifact is
+    wrong) or ``"warning"`` (suspicious but possibly legitimate; promoted to
+    failure under ``--strict``).
+    """
+
+    invariant: str
+    severity: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.severity}] {self.invariant}: {self.message}"
+
+
+@dataclass(frozen=True)
+class Invariant:
+    """A registered check: metadata plus the predicate function.
+
+    ``reference`` cites the paper equation or repo module the law comes
+    from; ``requires`` names the context artifacts the check consumes.
+    """
+
+    name: str
+    summary: str
+    reference: str
+    requires: frozenset[str]
+    fn: Callable[["CheckContext"], Iterator[Violation]]
+
+    def applicable(self, ctx: "CheckContext") -> bool:
+        return self.requires <= ctx.available
+
+
+@dataclass
+class CheckContext:
+    """Artifacts of one (workload, topology, mapping, routing) scenario.
+
+    ``static`` artifacts (trace through route incidence) come from
+    :func:`repro.validation.suite.build_static_context`;
+    ``sim``/``telemetry`` are attached only when the scenario was
+    simulated, and ``cache`` marks that the cache-roundtrip artifacts (a
+    second, disk-roundtripped copy of the trace and matrices) are present.
+    A context may carry any subset — checks whose artifacts are missing
+    are skipped.  Node-pair aggregates (``pair_*``)
+    cover the *crossing* pairs only, in the same order the route incidence
+    indexes them.
+    """
+
+    label: str
+    trace: object = None
+    p2p_matrix: object = None  # CommMatrix, collectives excluded
+    full_matrix: object = None  # CommMatrix, collectives flattened in
+    topology: object = None
+    mapping: object = None  # Mapping (rank -> node)
+    routing: str = "minimal"
+    routing_seed: int = 0
+    analysis: object = None  # NetworkAnalysis of full_matrix
+    incidence: object = None  # RouteIncidence over crossing node pairs
+    pair_src: np.ndarray | None = None  # int64[crossing pairs]
+    pair_dst: np.ndarray | None = None
+    pair_bytes: np.ndarray | None = None
+    pair_packets: np.ndarray | None = None
+    sim: object = None  # SimulationResult
+    telemetry: object = None  # TelemetryReport
+    roundtrip: dict = field(default_factory=dict)  # cache-roundtrip copies
+
+    @property
+    def available(self) -> frozenset[str]:
+        tags = set()
+        if self.trace is not None and self.incidence is not None:
+            tags.add("static")
+        if self.sim is not None:
+            tags.add("sim")
+        if self.telemetry is not None:
+            tags.add("telemetry")
+        if self.roundtrip:
+            tags.add("cache")
+        return frozenset(tags)
+
+
+#: Name -> Invariant, in registration order (dicts preserve insertion).
+REGISTRY: dict[str, Invariant] = {}
+
+
+def invariant(
+    name: str,
+    summary: str,
+    reference: str,
+    requires: Iterable[str] = ("static",),
+):
+    """Register a check function under ``name`` (decorator)."""
+
+    def register(fn: Callable) -> Callable:
+        if name in REGISTRY:
+            raise ValueError(f"invariant {name!r} registered twice")
+        REGISTRY[name] = Invariant(
+            name=name,
+            summary=summary,
+            reference=reference,
+            requires=frozenset(requires),
+            fn=fn,
+        )
+        return fn
+
+    return register
+
+
+def all_invariants() -> list[Invariant]:
+    """Every registered invariant, in registration order."""
+    # Importing the catalogue registers it (idempotent thereafter).
+    from . import invariants  # noqa: F401
+
+    return list(REGISTRY.values())
+
+
+def run_invariants(
+    ctx: CheckContext, names: Iterable[str] | None = None
+) -> list[Violation]:
+    """Run every applicable registered check against one context.
+
+    ``names`` restricts to a subset; unknown names raise ``ValueError`` so
+    typos in CLI filters fail loudly.  Checks whose required artifacts are
+    absent from the context are skipped, not failed.
+    """
+    catalogue = all_invariants()
+    if names is not None:
+        wanted = list(names)
+        unknown = [n for n in wanted if n not in REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown invariant(s) {unknown}; known: {sorted(REGISTRY)}"
+            )
+        catalogue = [REGISTRY[n] for n in wanted]
+    violations: list[Violation] = []
+    for inv in catalogue:
+        if not inv.applicable(ctx):
+            continue
+        violations.extend(inv.fn(ctx))
+    return violations

@@ -1,0 +1,91 @@
+"""Shrinking reporter: reduce a failing fuzz case to a minimal reproducer.
+
+A raw failing seed can name a large workload under an adaptive policy with
+a shuffled mapping — too much surface to debug.  The shrinker greedily
+simplifies one dimension at a time (variant, mapping, routing, topology,
+seeds, then smaller configurations and finally smaller applications),
+keeping a simplification only if the case *still fails*, until no
+simplification survives.  The result's ``minimal_tuple`` —
+(app, ranks, topology, policy) — is the reproducer the fuzz report prints.
+
+Greedy one-dimensional descent is sound here because every probe re-runs
+the full differential harness (:func:`repro.validation.fuzz.run_case`):
+whatever subset of dimensions the bug actually needs, the shrinker can
+never land on a passing case.  Probes are bounded so shrinking a flaky or
+expensive failure cannot dominate the fuzz run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterator
+
+from .fuzz import FuzzCase, case_pool, run_case
+
+__all__ = ["shrink_case"]
+
+#: Upper bound on shrink probes (each probe is one full differential run).
+MAX_PROBES = 24
+
+
+def _candidates(case: FuzzCase) -> Iterator[FuzzCase]:
+    """Single-step simplifications of ``case``, most drastic last."""
+    if case.variant:
+        # Variants share the base pattern; drop to the plain configuration
+        # only if the app has one at this rank count.
+        if (case.app, case.ranks, "") in case_pool():
+            yield replace(case, variant="")
+    if case.mapping != "consecutive":
+        yield replace(case, mapping="consecutive")
+    if case.routing != "minimal":
+        yield replace(case, routing="minimal")
+    if case.topology != "torus3d":
+        yield replace(case, topology="torus3d")
+    for name in ("trace_seed", "routing_seed", "sim_seed"):
+        if getattr(case, name) != 0:
+            yield replace(case, **{name: 0})
+    # Smaller configurations of the same app (smallest first), then other
+    # apps with smaller configurations entirely.
+    pool = case_pool()
+    same_app = sorted(
+        r
+        for (a, r, v) in pool
+        if a == case.app and v == case.variant and r < case.ranks
+    )
+    for ranks in same_app:
+        yield replace(case, ranks=ranks)
+    others = sorted(
+        (r, a, v) for (a, r, v) in pool if a != case.app and r < case.ranks
+    )
+    for ranks, app, variant in others:
+        yield replace(case, app=app, ranks=ranks, variant=variant)
+
+
+def shrink_case(
+    case: FuzzCase,
+    target_packets: int = 8_000,
+    max_probes: int = MAX_PROBES,
+) -> FuzzCase:
+    """Greedily minimize ``case`` while it keeps failing.
+
+    Returns the simplest still-failing case found within the probe budget
+    (``case`` itself if nothing simpler fails).
+    """
+
+    def still_fails(candidate: FuzzCase) -> bool:
+        return not run_case(candidate, target_packets=target_packets).ok
+
+    current = case
+    probes = 0
+    progressed = True
+    while progressed and probes < max_probes:
+        progressed = False
+        for candidate in _candidates(current):
+            if probes >= max_probes:
+                break
+            probes += 1
+            if still_fails(candidate):
+                current = candidate
+                progressed = True
+                break
+    return current

@@ -297,3 +297,54 @@ class TestKeys:
         }
         assert len(prints) == 4
         assert None not in prints
+
+
+class TestCorruptionEviction:
+    """Corrupt disk entries are logged, deleted, and transparently rebuilt."""
+
+    def test_corrupt_pickle_logged_and_evicted(self, tmp_path, caplog):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        trace_file = next(iter(tmp_path.iterdir()))
+        trace_file.write_bytes(b"not a pickle")
+        cache.clear(memory=True)
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            trace = cached_trace("LULESH", 64)
+        assert trace.meta.num_ranks == 64
+        assert cache.stats()["trace"]["disk_hits"] == 0
+        assert any(
+            "evicting corrupt cache entry" in rec.message for rec in caplog.records
+        )
+        # the recompute rewrote a *good* entry over the evicted one
+        assert trace_file.read_bytes() != b"not a pickle"
+
+    def test_corrupt_npz_logged_and_evicted(self, tmp_path, caplog):
+        import numpy as np
+
+        cache.configure(disk_dir=tmp_path)
+        topo = Torus3D((2, 2, 2))
+        src = np.array([0, 1], dtype=np.int64)
+        dst = np.array([5, 6], dtype=np.int64)
+        cached_route_incidence(topo, src, dst)
+        bad = next(iter(tmp_path.iterdir()))
+        bad.write_bytes(b"\x00\x01garbage")
+        cache.clear(memory=True)
+        with caplog.at_level("WARNING", logger="repro.cache"):
+            cached_route_incidence(topo, src, dst)
+        assert cache.stats()["incidence"]["disk_hits"] == 0
+        assert any(
+            "evicting corrupt cache entry" in rec.message for rec in caplog.records
+        )
+        assert bad.read_bytes() != b"\x00\x01garbage"
+
+    def test_next_reload_hits_disk_again(self, tmp_path):
+        """After eviction the recompute rewrites a good entry."""
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        for f in tmp_path.iterdir():
+            f.write_bytes(b"junk")
+        cache.clear(memory=True)
+        cached_trace("LULESH", 64)  # evicts + recomputes + rewrites
+        cache.clear(memory=True)
+        cached_trace("LULESH", 64)
+        assert cache.stats()["trace"]["disk_hits"] == 1

@@ -83,3 +83,79 @@ class TestCommands:
         trace = load_trace(path)
         assert trace.meta.app == "CrystalRouter"
         assert trace.meta.num_ranks == 10
+
+
+class TestErrorPaths:
+    """User errors exit nonzero with a one-line message, never a traceback."""
+
+    def fail(self, capsys, *argv, code=2):
+        rc = main(list(argv))
+        captured = capsys.readouterr()
+        assert rc == code, captured.err
+        err_lines = [l for l in captured.err.splitlines() if l]
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("error: ")
+        assert "Traceback" not in captured.err
+        return err_lines[0]
+
+    def test_unknown_app(self, capsys):
+        msg = self.fail(capsys, "figure1", "--app", "Nope", "--ranks", "64")
+        assert "Nope" in msg
+
+    def test_unknown_topology_in_check(self, capsys):
+        msg = self.fail(capsys, "check", "--max-ranks", "8", "--topologies", "hypercube")
+        assert "hypercube" in msg
+
+    def test_unknown_routing_in_check(self, capsys):
+        msg = self.fail(capsys, "check", "--max-ranks", "8", "--routings", "bogus")
+        assert "bogus" in msg
+
+    def test_missing_convert_dir(self, capsys, tmp_path):
+        msg = self.fail(capsys, "convert", "--dir", str(tmp_path / "nope"), "--app", "X")
+        assert "error: " in msg
+
+
+class TestCheckCommand:
+    def test_check_passes_on_small_grid(self, capsys):
+        rc = main(
+            [
+                "check",
+                "--max-ranks",
+                "10",
+                "--topologies",
+                "torus3d",
+                "--routings",
+                "minimal",
+                "--no-sim",
+                "--strict",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_check_verbose_lists_scenarios(self, capsys):
+        rc = main(
+            [
+                "check",
+                "--max-ranks",
+                "10",
+                "--topologies",
+                "torus3d",
+                "--routings",
+                "minimal",
+                "--no-sim",
+                "--verbose",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "ok (" in out
+
+
+class TestFuzzCommand:
+    def test_fuzz_smoke_seed(self, capsys):
+        rc = main(["fuzz", "--count", "1", "--target-packets", "2000"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "0 failure(s)" in captured.out

@@ -1,0 +1,108 @@
+"""NaN and empty-traffic rendering: "N/A" everywhere, "nan" nowhere.
+
+The paper prints N/A for all-collective workloads (no p2p traffic); the
+same convention must hold for *any* NaN metric in every output surface —
+aligned text tables, the report command, and JSON/CSV exports (where the
+value becomes ``null``/empty instead).  Zero-volume inputs must render,
+not raise.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from helpers import make_trace
+
+from repro.analysis.export import rows_to_csv, rows_to_json, table3_records
+from repro.analysis.tables import build_table3_row, render_table3
+from repro.metrics.summary import MPILevelMetrics, mpi_level_metrics
+from repro.util import NA, fmt_float, nan_to_none
+
+
+class TestUtil:
+    def test_fmt_float_nan(self):
+        assert fmt_float(math.nan) == NA
+        assert fmt_float(math.nan, ".2f") == NA
+
+    def test_fmt_float_none(self):
+        assert fmt_float(None) == NA
+
+    def test_fmt_float_value(self):
+        assert fmt_float(1.25, ".1f") == "1.2"
+        assert fmt_float(3, "d") == "3"
+
+    def test_nan_to_none(self):
+        assert nan_to_none(math.nan) is None
+        assert nan_to_none(None) is None
+        assert nan_to_none(2.5) == 2.5
+
+
+class TestSummaryRow:
+    def test_no_p2p_renders_na(self):
+        metrics = mpi_level_metrics(make_trace(4))
+        assert metrics.peers == 0
+        row = metrics.format_row()
+        assert "N/A" in row and "nan" not in row.lower()
+
+    def test_nan_cell_with_p2p_renders_na(self):
+        # peers > 0 but a NaN metric: each cell renders independently
+        metrics = MPILevelMetrics(
+            app="X",
+            variant="",
+            num_ranks=4,
+            peers=2,
+            rank_distance_90=math.nan,
+            rank_locality_90=math.nan,
+            selectivity_90=1.5,
+        )
+        row = metrics.format_row()
+        assert "N/A" in row and "1.5" in row
+        assert "nan" not in row.lower()
+
+
+class TestZeroVolumePipeline:
+    """An empty (all-collective-free, zero-byte) trace flows through the
+    whole Table-3 pipeline without raising and without leaking "nan"."""
+
+    def _row(self):
+        return build_table3_row(make_trace(8))
+
+    def test_render_table3(self):
+        text = render_table3([self._row()])
+        assert "N/A" in text
+        assert "nan" not in text.lower()
+
+    def test_json_export_uses_null(self):
+        records = table3_records([self._row()])
+        payload = rows_to_json(records)
+        assert "nan" not in payload.lower() or "null" in payload
+        decoded = json.loads(payload)  # must be strict-JSON parseable
+        assert decoded[0]["peers"] is None
+        assert decoded[0]["rank_distance_90"] is None
+
+    def test_csv_export_has_no_nan(self):
+        records = table3_records([self._row()])
+        csv_text = rows_to_csv(records)
+        assert "nan" not in csv_text.lower()
+
+
+class TestExportNanScrubbing:
+    def test_nan_metric_becomes_null(self):
+        row = self._row_with_nan_distance()
+        record = table3_records([row])[0]
+        assert record["rank_distance_90"] is None
+        assert record["selectivity_90"] == 2.0
+
+    @staticmethod
+    def _row_with_nan_distance():
+        import dataclasses
+
+        row = build_table3_row(make_trace(8))
+        metrics = dataclasses.replace(
+            row.metrics,
+            peers=3,
+            rank_distance_90=math.nan,
+            selectivity_90=2.0,
+        )
+        return dataclasses.replace(row, metrics=metrics)

@@ -543,3 +543,77 @@ class TestCli:
         )
         records = json.loads(out)
         assert "peak_window_occupancy" in records[0]
+
+
+# ---------------------------------------------------------------- boundaries
+
+
+class TestWindowBoundaries:
+    """Occupancy attribution at exact window edges (synthetic services).
+
+    The collector splits each service's busy time across the windows it
+    overlaps; these tests pin the edge conventions — a service beginning
+    exactly on a boundary belongs wholly to the window it opens, straddling
+    services split exactly, and the last window absorbs the rounding tail.
+    """
+
+    @staticmethod
+    def _finalize(begins, *, service=1.0, makespan=4.0, windows=4):
+        from types import SimpleNamespace
+
+        begins = np.asarray(begins, dtype=np.float64)
+        setup = SimpleNamespace(
+            num_links=2,
+            service=service,
+            link_ids=np.array([5, 9], dtype=np.int64),
+            pair_src=np.array([0, 1], dtype=np.int64),
+            pair_dst=np.array([1, 0], dtype=np.int64),
+            inject_pair=np.zeros(1, dtype=np.int64),
+            inject_time=np.zeros(1, dtype=np.float64),
+        )
+        result = SimpleNamespace(makespan=makespan)
+        collector = WindowedCollector(TelemetryConfig(windows=windows))
+        collector.record_services(
+            np.zeros(len(begins), dtype=np.int64),
+            begins,
+            np.zeros(len(begins), dtype=np.float64),
+        )
+        return collector.finalize(setup, result, np.array([makespan / 2]))
+
+    def test_begin_exactly_on_boundary(self):
+        r = self._finalize([1.0])
+        assert r.serve_series[0].tolist() == [0, 1, 0, 0]
+        assert r.occupancy[0].tolist() == [0.0, 1.0, 0.0, 0.0]
+
+    def test_service_ending_exactly_on_boundary_does_not_spill(self):
+        r = self._finalize([0.0])
+        assert r.occupancy[0].tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_straddling_service_splits_exactly(self):
+        r = self._finalize([0.5])
+        assert r.serve_series[0].tolist() == [1, 0, 0, 0]
+        assert r.occupancy[0].tolist() == [0.5, 0.5, 0.0, 0.0]
+
+    def test_near_boundary_split_conserves_total(self):
+        r = self._finalize([0.9, 2.25])
+        assert r.occupancy[0].tolist() == pytest.approx([0.1, 0.9, 0.75, 0.25])
+        assert float(r.occupancy.sum()) == pytest.approx(2.0)
+
+    def test_last_window_absorbs_tail(self):
+        # ends at 4.5, past the 4.0 span: the tail stays in window 3
+        r = self._finalize([3.5])
+        assert r.occupancy[0].tolist() == pytest.approx([0.0, 0.0, 0.0, 1.0])
+
+    def test_zero_span_collapses_to_window_zero(self):
+        r = self._finalize([0.0, 0.0], makespan=0.0)
+        assert r.window_dt == 0.0
+        assert int(r.serve_series[0].sum()) == 2
+        assert float(r.occupancy.sum()) == pytest.approx(2.0)
+
+    def test_occupancy_invariant_holds_on_boundary_reports(self):
+        from repro.validation import CheckContext, run_invariants
+
+        for begins in ([1.0], [0.0], [0.5], [0.9, 2.25], [3.0]):
+            report = self._finalize(begins)
+            ctx = CheckContext(label="synthetic", telemetry=report)
+            assert run_invariants(ctx) == []

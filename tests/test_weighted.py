@@ -74,6 +74,77 @@ class TestValidation:
             weighted_quantile(np.array([1.0, 2.0]), np.array([1.0]), 0.5)
 
 
+class TestDegenerateInputs:
+    """Zero-weight entries must not distort the quantile (regression: a
+    zero-weight value used to anchor the interpolation span and pull the
+    result below every supported value)."""
+
+    def test_zero_weight_values_ignored(self):
+        v = weighted_quantile(
+            np.array([1.0, 2.0, 3.0]), np.array([0.0, 0.0, 5.0]), 0.9
+        )
+        assert v == 3.0
+
+    def test_zero_weight_minimum_does_not_anchor(self):
+        # Without the support filter this returned ~2.9 (interpolating from
+        # the weightless 1.0) instead of the only supported value.
+        v = weighted_quantile(
+            np.array([1.0, 3.0]), np.array([0.0, 10.0]), 0.5
+        )
+        assert v == 3.0
+
+    def test_extremes_over_supported_values_only(self):
+        vals = np.array([-50.0, 2.0, 4.0, 99.0])
+        wts = np.array([0.0, 1.0, 1.0, 0.0])
+        assert weighted_quantile(vals, wts, 0.0) == 2.0
+        assert weighted_quantile(vals, wts, 1.0) == 4.0
+
+    def test_single_supported_value_any_quantile(self):
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert (
+                weighted_quantile(
+                    np.array([7.0, 1.0]), np.array([3.0, 0.0]), q
+                )
+                == 7.0
+            )
+
+    def test_all_equal_values(self):
+        vals = np.full(9, 4.25)
+        wts = np.arange(9, dtype=float) + 1
+        for q in (0.0, 0.5, 1.0):
+            assert weighted_quantile(vals, wts, q) == 4.25
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(0, 10, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ).filter(lambda ps: any(w > 0 for _, w in ps)),
+        st.floats(0, 1),
+    )
+    def test_result_within_supported_range(self, pairs, q):
+        vals = np.array([v for v, _ in pairs])
+        wts = np.array([w for _, w in pairs])
+        supported = vals[wts > 0]
+        result = weighted_quantile(vals, wts, q)
+        assert supported.min() - 1e-9 <= result <= supported.max() + 1e-9
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=30),
+        st.floats(0, 1),
+    )
+    def test_zero_weight_padding_is_inert(self, vals, q):
+        values = np.array(vals)
+        weights = np.ones(len(vals))
+        base = weighted_quantile(values, weights, q)
+        padded_vals = np.concatenate([values, values * 7 + 1000])
+        padded_wts = np.concatenate([weights, np.zeros(len(vals))])
+        assert weighted_quantile(padded_vals, padded_wts, q) == base
+
+
 @given(
     st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=60),
     st.floats(0, 1),
