@@ -26,10 +26,9 @@ so each worker's process-local cache still gets within-app hits.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from functools import partial
-from typing import Any
+from typing import Any, Callable
 
 from ..cache import cached_matrix, cached_trace
 from ..mapping.base import Mapping
@@ -220,25 +219,56 @@ def _telemetry_fields(
     return fields
 
 
-def run_sweep(spec: SweepSpec, workers: int = 1) -> list[dict[str, Any]]:
+def _eval_chunk(
+    spec: SweepSpec, chunk: list[tuple[str, int, int, str, str, str]]
+) -> list[list[dict[str, Any]]]:
+    """Evaluate a contiguous run of grid points in one worker process."""
+    return [_eval_point(spec, point) for point in chunk]
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workers: int = 1,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[dict[str, Any]]:
     """Evaluate every sweep point; one flat record per (point, bandwidth).
 
-    ``workers`` > 1 distributes grid points over that many processes.
+    ``workers`` > 1 distributes grid points over that many processes — one
+    future per contiguous *chunk* of cells rather than one per cell, so the
+    executor schedules ``workers`` tasks instead of thousands and same-app
+    cells land on one worker whose process-local trace/matrix caches hit.
     Results are deterministic: the record order and every value are
     identical for any worker count (each point is a pure function of the
-    spec, and records are reassembled in grid order).
+    spec, and chunks are reassembled in grid order).
+
+    ``progress`` is called as ``progress(done, total)`` in cells — after
+    every cell sequentially, after every finished chunk in parallel runs.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     points = spec.points()
-    if workers == 1 or len(points) <= 1:
-        per_point = [_eval_point(spec, point) for point in points]
+    total = len(points)
+    if workers == 1 or total <= 1:
+        per_point = []
+        for i, point in enumerate(points):
+            per_point.append(_eval_point(spec, point))
+            if progress is not None:
+                progress(i + 1, total)
     else:
-        # Contiguous chunks keep same-app points on the same worker, so the
-        # process-local trace/matrix caches hit within a chunk.
-        chunksize = max(1, -(-len(points) // workers))
+        chunksize = max(1, -(-total // workers))
+        chunks = [points[i : i + chunksize] for i in range(0, total, chunksize)]
+        results: list[list[list[dict[str, Any]]] | None] = [None] * len(chunks)
+        done = 0
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            per_point = list(
-                pool.map(partial(_eval_point, spec), points, chunksize=chunksize)
-            )
+            futures = {
+                pool.submit(_eval_chunk, spec, chunk): i
+                for i, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                i = futures[future]
+                results[i] = future.result()
+                done += len(chunks[i])
+                if progress is not None:
+                    progress(done, total)
+        per_point = [cell for chunk_result in results for cell in chunk_result]
     return [record for records in per_point for record in records]

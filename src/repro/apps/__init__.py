@@ -7,7 +7,15 @@ from .base import (
     CollectivePhase,
     SyntheticApp,
 )
-from .registry import APPS, app_names, generate_trace, get_app, iter_configurations
+from .registry import (
+    APPS,
+    SCALE_APPS,
+    app_names,
+    generate_trace,
+    get_app,
+    iter_configurations,
+    stream_trace,
+)
 from .validation import ValidationIssue, ValidationResult, validate_all, validate_app
 
 __all__ = [
@@ -17,10 +25,12 @@ __all__ = [
     "CollectivePhase",
     "SyntheticApp",
     "APPS",
+    "SCALE_APPS",
     "app_names",
     "generate_trace",
     "get_app",
     "iter_configurations",
+    "stream_trace",
     "ValidationIssue",
     "ValidationResult",
     "validate_all",

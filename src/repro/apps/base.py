@@ -38,6 +38,7 @@ from ..core.blocks import (
     EventBlock,
 )
 from ..core.events import CollectiveEvent, CollectiveOp, Direction, P2PEvent
+from ..core.stream import DEFAULT_CHUNK_BYTES, BlockStream, rows_per_chunk
 from ..core.trace import Trace, TraceMetadata
 
 __all__ = [
@@ -251,6 +252,60 @@ class SyntheticApp(abc.ABC):
         suite pins this), so the flag exists only for comparison and
         benchmarking.
         """
+        meta, p2p_plan, phases = self._plan(ranks, variant, seed)
+        if columnar:
+            return Trace.from_blocks(
+                meta, list(self._iter_plan_blocks(meta, p2p_plan, phases, emit_receives))
+            )
+        return self._emit_events(meta, p2p_plan, phases, emit_receives)
+
+    def iter_blocks(
+        self,
+        ranks: int,
+        variant: str = "",
+        seed: int = 0,
+        emit_receives: bool = False,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ):
+        """Yield the trace as bounded-size :class:`EventBlock` chunks.
+
+        Each chunk holds at most ``chunk_bytes`` worth of event rows (at
+        least one row), so arbitrarily large configurations stream through
+        a fixed working set.  Concatenating the chunks reproduces
+        :meth:`generate` row-for-row — timestamps are a pure function of
+        the global emission slot, not of chunk boundaries.  With
+        ``emit_receives`` the chunk size is rounded to whole send/recv
+        pairs so a matched pair never splits across chunks.
+        """
+        meta, p2p_plan, phases = self._plan(ranks, variant, seed)
+        max_rows = rows_per_chunk(chunk_bytes)
+        yield from self._iter_plan_blocks(meta, p2p_plan, phases, emit_receives, max_rows)
+
+    def stream(
+        self,
+        ranks: int,
+        variant: str = "",
+        seed: int = 0,
+        emit_receives: bool = False,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> BlockStream:
+        """Re-iterable chunked view of one configuration (see :meth:`iter_blocks`).
+
+        The calibration plan (per-channel arrays) is built once and shared
+        across iterations; only the per-chunk columns are materialized per
+        pass, so peak memory is ``O(channels + chunk)``, never the full
+        trace.
+        """
+        meta, p2p_plan, phases = self._plan(ranks, variant, seed)
+        max_rows = rows_per_chunk(chunk_bytes)
+
+        def blocks_factory():
+            return self._iter_plan_blocks(meta, p2p_plan, phases, emit_receives, max_rows)
+
+        return BlockStream(meta, blocks_factory)
+
+    def _plan(self, ranks: int, variant: str, seed: int):
+        """Calibration plan for one configuration: metadata + emission arrays."""
         point = self.calibration_for(ranks, variant)
         # Stable across processes (unlike hash()): apps get distinct streams.
         name_key = zlib.crc32(self.name.encode()) & 0xFFFF
@@ -266,9 +321,7 @@ class SyntheticApp(abc.ABC):
         )
         p2p_plan = self._plan_p2p(pat, point)
         phases = self._plan_collectives(pat, point, ranks)
-        if columnar:
-            return self._emit_blocks(meta, p2p_plan, phases, emit_receives)
-        return self._emit_events(meta, p2p_plan, phases, emit_receives)
+        return meta, p2p_plan, phases
 
     # -- calibration planning (shared by both emitters) ---------------------
 
@@ -328,47 +381,67 @@ class SyntheticApp(abc.ABC):
 
     # -- emitters ------------------------------------------------------------
 
-    def _emit_blocks(
-        self, meta: TraceMetadata, p2p_plan, phases, emit_receives: bool
-    ) -> Trace:
-        """Columnar emission: one block for p2p channels, one for collectives.
+    def _iter_plan_blocks(
+        self,
+        meta: TraceMetadata,
+        p2p_plan,
+        phases,
+        emit_receives: bool,
+        max_rows: int | None = None,
+    ):
+        """Columnar emission as a block generator.
 
-        Timestamps reproduce :class:`_TimeCursor` slot-for-slot (one slot
-        per p2p channel, one per collective record), so the materialized
-        event view is bit-identical to the legacy emitter's output.
+        With ``max_rows=None`` this yields exactly one block for the p2p
+        channels and one for the collectives (the historical in-memory
+        layout).  With a row cap it yields bounded slices instead.  Either
+        way the concatenated rows are bit-identical: timestamps reproduce
+        :class:`_TimeCursor` slot-for-slot (one slot per p2p channel, one
+        per collective record), and every chunked column is computed from
+        the *global* slot index, so values never depend on where a chunk
+        boundary falls.
         """
         ranks = meta.num_ranks
         dtype = self.dtype_name
         step = meta.execution_time / _TIME_SLOTS
-        blocks: list[EventBlock] = []
         slot = 0
 
         if p2p_plan is not None:
             src, dst, bytes_per_msg, calls = p2p_plan
             k = len(src)
-            t0 = np.arange(k, dtype=np.float64) * step
-            t1 = t0 + 0.5 * step
-            if emit_receives:
-                caller = np.empty(2 * k, dtype=np.int64)
-                peer = np.empty(2 * k, dtype=np.int64)
-                caller[0::2], caller[1::2] = src, dst
-                peer[0::2], peer[1::2] = dst, src
-                kind = np.empty(2 * k, dtype=np.uint8)
-                kind[0::2], kind[1::2] = KIND_P2P_SEND, KIND_P2P_RECV
-                func_id = np.empty(2 * k, dtype=np.int16)
-                func_id[0::2], func_id[1::2] = 0, 1
-                count = np.repeat(bytes_per_msg, 2)
-                repeat = np.repeat(calls, 2)
-                t0, t1 = np.repeat(t0, 2), np.repeat(t1, 2)
-                func_names = ("MPI_Isend", "MPI_Irecv")
+            if max_rows is None:
+                per_chunk = max(k, 1)
+            elif emit_receives:
+                # Whole send/recv pairs per chunk, so a matched pair
+                # never splits across a chunk boundary.
+                per_chunk = max(1, max_rows // 2)
             else:
-                caller, peer, count, repeat = src, dst, bytes_per_msg, calls
-                kind = np.full(k, KIND_P2P_SEND, dtype=np.uint8)
-                func_id = np.zeros(k, dtype=np.int16)
-                func_names = ("MPI_Isend",)
-            rows = len(caller)
-            blocks.append(
-                EventBlock(
+                per_chunk = max_rows
+            for a in range(0, k, per_chunk):
+                b = min(a + per_chunk, k)
+                t0 = np.arange(a, b, dtype=np.float64) * step
+                t1 = t0 + 0.5 * step
+                n = b - a
+                if emit_receives:
+                    caller = np.empty(2 * n, dtype=np.int64)
+                    peer = np.empty(2 * n, dtype=np.int64)
+                    caller[0::2], caller[1::2] = src[a:b], dst[a:b]
+                    peer[0::2], peer[1::2] = dst[a:b], src[a:b]
+                    kind = np.empty(2 * n, dtype=np.uint8)
+                    kind[0::2], kind[1::2] = KIND_P2P_SEND, KIND_P2P_RECV
+                    func_id = np.empty(2 * n, dtype=np.int16)
+                    func_id[0::2], func_id[1::2] = 0, 1
+                    count = np.repeat(bytes_per_msg[a:b], 2)
+                    repeat = np.repeat(calls[a:b], 2)
+                    t0, t1 = np.repeat(t0, 2), np.repeat(t1, 2)
+                    func_names = ("MPI_Isend", "MPI_Irecv")
+                else:
+                    caller, peer = src[a:b], dst[a:b]
+                    count, repeat = bytes_per_msg[a:b], calls[a:b]
+                    kind = np.full(n, KIND_P2P_SEND, dtype=np.uint8)
+                    func_id = np.zeros(n, dtype=np.int16)
+                    func_names = ("MPI_Isend",)
+                rows = len(caller)
+                yield EventBlock(
                     kind=kind,
                     caller=caller,
                     peer=peer,
@@ -385,47 +458,38 @@ class SyntheticApp(abc.ABC):
                     dtype_names=(dtype,),
                     func_names=func_names,
                 )
-            )
             slot = k
 
         if phases:
             m = len(phases)
             rows = m * ranks
-            caller = np.tile(np.arange(ranks, dtype=np.int64), m)
-            op = np.repeat(
-                np.array([OP_CODE[op] for op, _, _, _ in phases], dtype=np.int16),
-                ranks,
-            )
-            root = np.repeat(
-                np.array([root for _, root, _, _ in phases], dtype=np.int64), ranks
-            )
-            count = np.repeat(
-                np.array([count for _, _, count, _ in phases], dtype=np.int64), ranks
-            )
-            repeat = np.repeat(
-                np.array([pc for _, _, _, pc in phases], dtype=np.int64), ranks
-            )
-            t0 = (slot + np.arange(rows, dtype=np.int64)) * step
-            blocks.append(
-                EventBlock(
-                    kind=np.full(rows, KIND_COLLECTIVE, dtype=np.uint8),
-                    caller=caller,
-                    peer=np.full(rows, -1, dtype=np.int64),
-                    count=count,
-                    dtype_id=np.zeros(rows, dtype=np.int32),
-                    op=op,
-                    root=root,
-                    comm_id=np.zeros(rows, dtype=np.int32),
-                    tag=np.zeros(rows, dtype=np.int64),
-                    func_id=np.full(rows, -1, dtype=np.int16),
-                    repeat=repeat,
+            op_arr = np.array([OP_CODE[op] for op, _, _, _ in phases], dtype=np.int16)
+            root_arr = np.array([root for _, root, _, _ in phases], dtype=np.int64)
+            count_arr = np.array([count for _, _, count, _ in phases], dtype=np.int64)
+            calls_arr = np.array([pc for _, _, _, pc in phases], dtype=np.int64)
+            per_chunk = rows if max_rows is None else max_rows
+            for a in range(0, rows, per_chunk):
+                b = min(a + per_chunk, rows)
+                idx = np.arange(a, b, dtype=np.int64)
+                phase_i = idx // ranks
+                t0 = (slot + idx) * step
+                n = b - a
+                yield EventBlock(
+                    kind=np.full(n, KIND_COLLECTIVE, dtype=np.uint8),
+                    caller=idx % ranks,
+                    peer=np.full(n, -1, dtype=np.int64),
+                    count=count_arr[phase_i],
+                    dtype_id=np.zeros(n, dtype=np.int32),
+                    op=op_arr[phase_i],
+                    root=root_arr[phase_i],
+                    comm_id=np.zeros(n, dtype=np.int32),
+                    tag=np.zeros(n, dtype=np.int64),
+                    func_id=np.full(n, -1, dtype=np.int16),
+                    repeat=calls_arr[phase_i],
                     t_enter=t0,
                     t_leave=t0 + 0.5 * step,
                     dtype_names=(dtype,),
                 )
-            )
-
-        return Trace.from_blocks(meta, blocks)
 
     def _emit_events(
         self, meta: TraceMetadata, p2p_plan, phases, emit_receives: bool

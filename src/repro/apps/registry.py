@@ -21,13 +21,16 @@ from .crystal_router import CrystalRouter
 from .exmatex import CMC2D, LULESH
 from .minife import MiniFE
 from .multigrid_c import MultiGridC
+from .scalehalo import ScaleHalo3D
 from .transport import PARTISN, SNAP
 
 __all__ = [
     "APPS",
+    "SCALE_APPS",
     "app_names",
     "get_app",
     "generate_trace",
+    "stream_trace",
     "iter_configurations",
 ]
 
@@ -53,6 +56,13 @@ APPS: dict[str, SyntheticApp] = {
     )
 }
 
+#: Scaling workloads calibrated out of band from Table 1: resolvable via
+#: :func:`get_app` but excluded from :func:`iter_configurations`, so the
+#: paper-facing tables and claims never sweep them.
+SCALE_APPS: dict[str, SyntheticApp] = {
+    app.name: app for app in (ScaleHalo3D(),)
+}
+
 
 def app_names() -> list[str]:
     """All application names, Table-1 order."""
@@ -63,7 +73,12 @@ def get_app(name: str) -> SyntheticApp:
     try:
         return APPS[name]
     except KeyError:
-        raise KeyError(f"unknown application {name!r}; known: {app_names()}") from None
+        pass
+    try:
+        return SCALE_APPS[name]
+    except KeyError:
+        known = app_names() + list(SCALE_APPS)
+        raise KeyError(f"unknown application {name!r}; known: {known}") from None
 
 
 def generate_trace(
@@ -77,6 +92,32 @@ def generate_trace(
     with timings.stage("trace"):
         return get_app(name).generate(
             ranks, variant=variant, seed=seed, emit_receives=emit_receives
+        )
+
+
+def stream_trace(
+    name: str,
+    ranks: int,
+    variant: str = "",
+    seed: int = 0,
+    emit_receives: bool = False,
+    chunk_bytes: int | None = None,
+):
+    """Chunked, re-iterable view of one calibrated synthetic trace.
+
+    Returns a :class:`~repro.core.stream.BlockStream` whose chunks
+    concatenate bit-identically to :func:`generate_trace`'s blocks; peak
+    memory is bounded by the calibration plan plus one chunk.
+    """
+    from ..core.stream import DEFAULT_CHUNK_BYTES
+
+    with timings.stage("trace"):
+        return get_app(name).stream(
+            ranks,
+            variant=variant,
+            seed=seed,
+            emit_receives=emit_receives,
+            chunk_bytes=DEFAULT_CHUNK_BYTES if chunk_bytes is None else chunk_bytes,
         )
 
 

@@ -1,0 +1,48 @@
+"""ScaleHalo3D — synthetic scaling workload for the out-of-core pipeline.
+
+The paper's workloads stop at 1,728 ranks; the streaming front-end targets
+the 10^5–10^6-rank regime where networks actually hurt.  ScaleHalo3D is a
+deliberately simple stand-in for that regime: a face-only 6-point halo
+exchange on a 3-D Cartesian decomposition (the communication skeleton
+shared by most of the Table-1 stencil apps) plus a tiny allreduce phase for
+residual norms.  Channel count grows as ``6 * ranks``, so the 262,144-rank
+configuration exercises a ~1.6M-channel trace — large enough to make an
+in-memory build uncomfortable, structured enough that locality metrics
+stay meaningful.
+
+It is calibrated out of band from Table 1 and therefore lives in the
+registry's :data:`~repro.apps.registry.SCALE_APPS` tier: resolvable by
+name, excluded from the paper-facing configuration sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.events import CollectiveOp
+from ..metrics.dimensionality import grid_shape
+from .base import AppPattern, CalibrationPoint, CollectivePhase, SyntheticApp
+from .patterns import halo_channels
+
+__all__ = ["ScaleHalo3D"]
+
+
+class ScaleHalo3D(SyntheticApp):
+    name = "ScaleHalo3D"
+    #: ~2 MB of halo traffic per rank per configuration, ten solver
+    #: iterations; message sizes land in the tens-of-KB range typical of
+    #: production stencil halos.
+    calibration = (
+        CalibrationPoint(4_096, 10.0, 8_192.0, 0.97, iterations=10),
+        CalibrationPoint(32_768, 10.0, 65_536.0, 0.97, iterations=10),
+        CalibrationPoint(262_144, 10.0, 524_288.0, 0.97, iterations=10),
+        CalibrationPoint(1_048_576, 10.0, 2_097_152.0, 0.97, iterations=10),
+    )
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        shape = grid_shape(ranks, 3)
+        channels = halo_channels(shape, face_weight=1.0)
+        return AppPattern(
+            channels=channels,
+            collectives=[CollectivePhase(CollectiveOp.ALLREDUCE, 1.0)],
+        )

@@ -23,6 +23,16 @@ memoization speedup of re-querying one batch through
 :func:`repro.cache.cached_route_incidence`.  Again only ratios are asserted
 (``benchmarks/test_perf_routing.py``): each policy's slowdown relative to
 minimal routing on the same machine, and the cache's warm/cold ratio.
+
+``repro bench scale`` (:func:`run_scale_bench`, recorded in
+``BENCH_scale.json``) gates the out-of-core streaming pipeline: a
+262,144-rank ``ScaleHalo3D`` trace is streamed through
+:func:`repro.comm.matrix.matrix_from_stream` and the §4.1.1 locality
+metrics in a *fresh subprocess* (``ru_maxrss`` is a process-lifetime
+high-water mark), and the asserted quantity
+(``benchmarks/test_perf_scale.py``) is measured peak RSS over the fixed
+:data:`SCALE_RSS_BUDGET_MB` budget — a memory ratio, stable across
+machines in a way wall times are not.
 """
 
 from __future__ import annotations
@@ -46,6 +56,10 @@ __all__ = [
     "run_telemetry_bench",
     "write_telemetry_bench",
     "render_telemetry_bench",
+    "run_scale_pipeline",
+    "run_scale_bench",
+    "write_scale_bench",
+    "render_scale_bench",
 ]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
@@ -62,6 +76,12 @@ CACHE_SPEEDUP_TARGET = 5.0
 #: must stay a small fraction of the batched kernel's runtime.
 TELEMETRY_NULL_OVERHEAD_CEILING = 1.05
 TELEMETRY_WINDOWED_OVERHEAD_CEILING = 1.20
+
+#: ``repro bench scale``: the default rank count and the hard peak-RSS
+#: budget the streaming pipeline must fit in at that scale.  The asserted
+#: gate is ``peak_rss_mb / SCALE_RSS_BUDGET_MB <= 1.0``.
+SCALE_RANKS = 262_144
+SCALE_RSS_BUDGET_MB = 2048.0
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -463,3 +483,196 @@ def render_pipeline_bench(data: dict[str, Any]) -> str:
             f"refine {m['refine_speedup']}x vs reference"
         )
     return "\n".join(lines)
+
+
+def run_scale_pipeline(
+    app: str = "ScaleHalo3D",
+    ranks: int = SCALE_RANKS,
+    chunk_bytes: int | None = None,
+) -> dict[str, Any]:
+    """Streaming trace -> matrix -> locality pipeline in the current process.
+
+    The trace is never materialized: the generator's plan is emitted in
+    bounded :class:`~repro.core.blocks.EventBlock` chunks, collectives are
+    expanded chunk by chunk, and the traffic matrix accumulates with
+    periodic compaction.  The returned ``peak_rss_mb`` is this process's
+    *lifetime* high-water mark, so it only measures the pipeline when
+    nothing heavier ran first — :func:`run_scale_bench` therefore calls
+    this through a fresh subprocess.
+    """
+    from .apps import stream_trace
+    from .comm.matrix import matrix_from_stream
+    from .core.stream import DEFAULT_CHUNK_BYTES, BlockStream
+    from .metrics.locality import rank_distance, rank_locality
+    from .metrics.peers import peers_per_rank
+
+    if chunk_bytes is None:
+        chunk_bytes = DEFAULT_CHUNK_BYTES
+    counts = {"rows": 0, "chunks": 0}
+
+    t0 = time.perf_counter()
+    stream = stream_trace(app, ranks, chunk_bytes=chunk_bytes)
+
+    def counted():
+        for block in stream:
+            counts["rows"] += len(block)
+            counts["chunks"] += 1
+            yield block
+
+    matrix = matrix_from_stream(
+        BlockStream(
+            stream.meta,
+            counted,
+            datatypes=stream.datatypes,
+            communicators=stream.communicators,
+        )
+    )
+    front_end_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    distance = rank_distance(matrix)
+    locality = rank_locality(matrix)
+    avg_peers = float(peers_per_rank(matrix).mean())
+    locality_s = time.perf_counter() - t0
+
+    peak = timings.peak_rss_bytes()
+    return {
+        "app": app,
+        "ranks": ranks,
+        "chunk_bytes": int(chunk_bytes),
+        "rows": counts["rows"],
+        "chunks": counts["chunks"],
+        "pairs": matrix.num_pairs,
+        "front_end_s": round(front_end_s, 4),
+        "locality_s": round(locality_s, 4),
+        "rank_distance_90": round(float(distance), 4),
+        "rank_locality": round(float(locality), 6),
+        "avg_peers": round(avg_peers, 4),
+        "peak_rss_mb": (
+            round(peak / (1024 * 1024), 1) if peak is not None else None
+        ),
+    }
+
+
+def run_scale_bench(
+    ranks: int = SCALE_RANKS,
+    chunk_mb: float = 8.0,
+    budget_mb: float = SCALE_RSS_BUDGET_MB,
+    rlimit_gb: float | None = None,
+    app: str = "ScaleHalo3D",
+) -> dict[str, Any]:
+    """Measure the streaming pipeline's peak RSS in a fresh subprocess.
+
+    ``ru_maxrss`` never goes down, so a clean measurement needs an
+    interpreter that has run nothing but the pipeline.  ``rlimit_gb``
+    additionally applies a hard ``RLIMIT_AS`` cap inside the child (the CI
+    ``scale-smoke`` job uses this), so a memory regression aborts loudly
+    instead of silently paging.  The asserted, machine-portable quantity
+    is ``rss_ratio`` — measured peak RSS over the fixed budget.
+    """
+    import os
+    import subprocess
+    import sys
+
+    from .apps import get_app
+
+    # Fail eagerly (KeyError -> the CLI's one-line user-error path) rather
+    # than as a subprocess traceback.
+    get_app(app).calibration_for(ranks)
+    cfg = {"app": app, "ranks": ranks, "chunk_bytes": int(chunk_mb * 1024 * 1024)}
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p
+        for p in (str(Path(__file__).resolve().parents[1]), env.get("PYTHONPATH"))
+        if p
+    )
+    preamble = ""
+    if rlimit_gb is not None:
+        lim = int(rlimit_gb * (1 << 30))
+        preamble = (
+            "import resource\n"
+            f"resource.setrlimit(resource.RLIMIT_AS, ({lim}, {lim}))\n"
+        )
+    code = (
+        "import json, sys\n"
+        + preamble
+        + "from repro.bench import run_scale_pipeline\n"
+        "json.dump(run_scale_pipeline(**json.loads(sys.argv[1])), sys.stdout)\n"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code, json.dumps(cfg)],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    if proc.returncode != 0:
+        tail = proc.stderr.strip().splitlines()[-8:]
+        raise RuntimeError(
+            f"scale pipeline subprocess failed (exit {proc.returncode}"
+            + (f", RLIMIT_AS {rlimit_gb} GB" if rlimit_gb is not None else "")
+            + "):\n" + "\n".join(tail)
+        )
+    child = json.loads(proc.stdout)
+    peak = child["peak_rss_mb"]
+    return {
+        "scale": child,
+        "summary": {
+            "ranks": ranks,
+            "chunk_mb": chunk_mb,
+            "budget_mb": budget_mb,
+            "rlimit_gb": rlimit_gb,
+            "peak_rss_mb": peak,
+            "rss_ratio": (
+                round(peak / budget_mb, 4) if peak is not None else None
+            ),
+            "rss_ratio_ceiling": 1.0,
+            "rows_per_s": (
+                round(child["rows"] / child["front_end_s"])
+                if child["front_end_s"]
+                else None
+            ),
+        },
+    }
+
+
+def write_scale_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_scale_bench(data: dict[str, Any]) -> str:
+    s = data["scale"]
+    summary = data["summary"]
+    chunk_mb = s["chunk_bytes"] / (1024 * 1024)
+    rlimit = (
+        f"RLIMIT_AS {summary['rlimit_gb']} GB"
+        if summary["rlimit_gb"] is not None
+        else "none"
+    )
+    peak = (
+        f"{summary['peak_rss_mb']:.1f} MB"
+        if summary["peak_rss_mb"] is not None
+        else "n/a"
+    )
+    ratio = (
+        f"{summary['rss_ratio']:.3f}"
+        if summary["rss_ratio"] is not None
+        else "n/a"
+    )
+    return "\n".join(
+        [
+            f"streaming scale pipeline: {s['app']}@{s['ranks']} "
+            f"(chunks of {chunk_mb:.1f} MB, rlimit {rlimit})",
+            f"  rows streamed: {s['rows']:,} in {s['chunks']} chunks "
+            f"({summary['rows_per_s']:,} rows/s)".replace(",", " "),
+            f"  matrix pairs:  {s['pairs']:,}".replace(",", " "),
+            f"  front end:     {s['front_end_s']:.3f}s   "
+            f"locality: {s['locality_s']:.3f}s",
+            f"  rank distance (90%): {s['rank_distance_90']}   "
+            f"locality: {s['rank_locality']}   "
+            f"avg peers: {s['avg_peers']:.2f}",
+            f"  peak RSS:      {peak} of {summary['budget_mb']:.0f} MB budget "
+            f"(ratio {ratio}, ceiling {summary['rss_ratio_ceiling']})",
+        ]
+    )

@@ -20,10 +20,11 @@ module gives the three hot producers a shared cache:
 
 Two tiers: a per-process in-memory LRU (always on) and an optional on-disk
 cache enabled with :func:`configure` or the ``REPRO_CACHE_DIR`` environment
-variable / ``repro --cache-dir``.  Traces persist as ``.npz`` archives of
-their columnar event blocks (loading is array reads, no per-event object
-reconstruction; traces that cannot be expressed that way fall back to
-pickle), matrices as pickle, incidences as ``.npz``.  Keys are pure content
+variable / ``repro --cache-dir``.  Traces persist as chunked spill
+directories of per-column ``.npy`` segments (warm hits memory-map the
+segments, so a cached trace costs address space rather than RSS; traces
+that cannot be expressed that way fall back to pickle), matrices as
+pickle, incidences as ``.npz``.  Keys are pure content
 keys, so the disk cache never needs invalidation for same-version runs; bump
 :data:`CACHE_VERSION` when a generator or routing algorithm changes
 semantics.
@@ -71,7 +72,10 @@ __all__ = [
 #: v2: traces store columnar event blocks as ``.npz`` instead of pickle.
 #: v3: route-incidence keys carry the routing policy token (name + seed for
 #: randomized policies), so pluggable routing never aliases minimal entries.
-CACHE_VERSION = 3
+#: v4: traces persist as chunked spill directories (per-chunk per-column
+#: ``.npy`` segments + manifest) that warm hits memory-map instead of
+#: loading, so a cached trace costs address space, not RSS.
+CACHE_VERSION = 4
 
 
 @dataclass
@@ -138,7 +142,12 @@ def _evict_corrupt(path: Path, exc: Exception) -> None:
         exc,
     )
     try:
-        path.unlink()
+        if path.is_dir():
+            import shutil
+
+            shutil.rmtree(path, ignore_errors=True)
+        else:
+            path.unlink()
     except OSError:
         pass  # already gone, or read-only cache dir: stays a plain miss
 
@@ -188,7 +197,12 @@ def clear(memory: bool = True, disk: bool = False) -> None:
             region.clear()
     if disk and _disk_dir is not None and _disk_dir.is_dir():
         for path in _disk_dir.glob(f"v{CACHE_VERSION}-*"):
-            path.unlink(missing_ok=True)
+            if path.is_dir():  # spill-directory trace entries
+                import shutil
+
+                shutil.rmtree(path, ignore_errors=True)
+            else:
+                path.unlink(missing_ok=True)
 
 
 def stats() -> dict[str, dict[str, int]]:
@@ -278,111 +292,44 @@ def _disk_store_pickle(path: Path | None, value: Any) -> None:
     _atomic_write(path, lambda fh: pickle.dump(value, fh, pickle.HIGHEST_PROTOCOL))
 
 
-# ----------------------------------------------------- trace <-> npz archives
+# ------------------------------------------------ trace <-> spill directories
 
 
-def _trace_reconstruction_context(trace):
-    """How an npz load would rebuild (datatypes, communicators), or ``None``.
+def _disk_store_trace_spill(path: Path | None, trace) -> bool:
+    """Persist a block-native trace as a chunked spill directory.
 
-    The archive stores only block columns and name tables; the communicator
-    table is assumed to be the plain world table, and the datatype registry
-    is either left fresh (generators that never touch it — block dtype
-    names resolve lazily downstream, exactly as on the original trace) or
-    eagerly re-resolved from the block dtype names (traces that already
-    resolved them).  A trace is npz-representable iff one of those two
-    recipes reproduces its registry and table exactly — anything else
-    (committed derived layouts, sub-communicators) falls back to pickle.
-    Returns the ``resolve_dtypes`` flag recorded in the archive.
+    Delegates to :func:`repro.core.stream.write_spill` after re-slicing the
+    trace's blocks to the default chunk budget, so every segment file stays
+    bounded regardless of trace size.  Returns ``False`` when the trace is
+    not spill-representable (event-object traces, committed derived
+    layouts, sub-communicators — the caller falls back to pickle).
     """
-    from .core.communicator import CommunicatorTable
-    from .core.datatypes import DatatypeRegistry
-
-    if not trace.has_native_blocks:
-        return None
-    if CommunicatorTable.for_world(trace.meta.num_ranks) != trace.communicators:
-        return None
-    if DatatypeRegistry() == trace.datatypes:
-        return {"resolve_dtypes": False}
-    registry = DatatypeRegistry()
-    for block in trace.blocks():
-        for name in block.dtype_names:
-            registry.resolve(name)
-    if registry == trace.datatypes:
-        return {"resolve_dtypes": True}
-    return None
-
-
-def _disk_store_trace_npz(path: Path | None, trace) -> bool:
-    """Persist a block-native trace as an ``.npz`` archive; False if not
-    representable (caller falls back to pickle)."""
-    if path is None:
+    if path is None or not trace.has_native_blocks:
         return False
-    context = _trace_reconstruction_context(trace)
-    if context is None:
-        return False
-    from .core.blocks import EventBlock
+    from .core.stream import BlockStream, write_spill
 
-    meta = trace.meta
-    payload: dict[str, np.ndarray] = {
-        "meta_app": np.array(meta.app),
-        "meta_variant": np.array(meta.variant),
-        "meta_num_ranks": np.array(meta.num_ranks, dtype=np.int64),
-        "meta_execution_time": np.array(meta.execution_time, dtype=np.float64),
-        "meta_uses_derived_types": np.array(meta.uses_derived_types),
-        "resolve_dtypes": np.array(context["resolve_dtypes"]),
-        "num_blocks": np.array(len(trace.blocks()), dtype=np.int64),
-    }
-    for i, block in enumerate(trace.blocks()):
-        for column in EventBlock._COLUMN_DTYPES:
-            payload[f"b{i}_{column}"] = getattr(block, column)
-        payload[f"b{i}_dtype_names"] = np.array(block.dtype_names, dtype=np.str_)
-        payload[f"b{i}_comm_names"] = np.array(block.comm_names, dtype=np.str_)
-        payload[f"b{i}_func_names"] = np.array(block.func_names, dtype=np.str_)
-    _atomic_write(path, lambda fh: np.savez(fh, **payload))
-    return True
+    stream = BlockStream.from_trace(trace).rechunk()
+    return write_spill(stream, path) is not None
 
 
-def _disk_load_trace_npz(path: Path | None) -> Any:
-    if path is None or not path.is_file():
+def _disk_load_trace_spill(path: Path | None) -> Any:
+    """Load a spilled trace with memory-mapped columns (miss if absent).
+
+    Warm hits map the segment files instead of reading them: the returned
+    trace's column arrays are paged in on demand and reclaimable under
+    memory pressure, so a warm cache never charges trace-sized RSS.
+    """
+    if path is None or not path.is_dir():
         return _MISS
-    from .core.blocks import EventBlock
-    from .core.trace import Trace, TraceMetadata
+    from .core.stream import load_spill_trace
 
     try:
-        with np.load(path, allow_pickle=False) as data:
-            meta = TraceMetadata(
-                app=str(data["meta_app"]),
-                num_ranks=int(data["meta_num_ranks"]),
-                execution_time=float(data["meta_execution_time"]),
-                variant=str(data["meta_variant"]),
-                uses_derived_types=bool(data["meta_uses_derived_types"]),
-            )
-            resolve_dtypes = bool(data["resolve_dtypes"])
-            blocks = []
-            for i in range(int(data["num_blocks"])):
-                columns = {
-                    column: data[f"b{i}_{column}"]
-                    for column in EventBlock._COLUMN_DTYPES
-                }
-                blocks.append(
-                    EventBlock(
-                        **columns,
-                        dtype_names=tuple(data[f"b{i}_dtype_names"].tolist()),
-                        comm_names=tuple(data[f"b{i}_comm_names"].tolist()),
-                        func_names=tuple(data[f"b{i}_func_names"].tolist()),
-                    )
-                )
+        return load_spill_trace(path, mmap=True)
     except Exception as exc:
-        # Corrupt/foreign archives surface zipfile, key, or value errors;
-        # all of them mean "miss" and the trace is regenerated.
+        # Corrupt/foreign spills surface JSON, key, or value errors; all of
+        # them mean "miss" and the trace is regenerated.
         _evict_corrupt(path, exc)
         return _MISS
-    trace = Trace.from_blocks(meta, blocks, validate=False)
-    if resolve_dtypes:
-        for block in blocks:
-            for name in block.dtype_names:
-                trace.datatypes.resolve(name)
-    return trace
 
 
 # ------------------------------------------------------------------ producers
@@ -403,9 +350,9 @@ def cached_trace(
     value = region.get(key)
     if value is not _MISS:
         return value
-    npz_path = _disk_path("trace", key, ".npz")
+    spill_path = _disk_path("trace", key, ".spill")
     pkl_path = _disk_path("trace", key, ".pkl")
-    value = _disk_load_trace_npz(npz_path)
+    value = _disk_load_trace_spill(spill_path)
     if value is _MISS:
         value = _disk_load_pickle(pkl_path)
     if value is not _MISS:
@@ -415,7 +362,7 @@ def cached_trace(
             name, ranks, variant=variant, seed=seed, emit_receives=emit_receives
         )
         value._repro_cache_key = key  # provenance: makes trace_content_key free
-        if not _disk_store_trace_npz(npz_path, value):
+        if not _disk_store_trace_spill(spill_path, value):
             _disk_store_pickle(pkl_path, value)
     if getattr(value, "_repro_cache_key", None) is None:
         value._repro_cache_key = key

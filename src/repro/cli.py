@@ -27,6 +27,7 @@ Usage::
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
     python -m repro bench routing [--pairs N] [--out PATH]
     python -m repro bench telemetry [--out PATH]
+    python -m repro bench scale [--ranks N] [--chunk-mb M] [--rlimit-gb G]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -329,13 +330,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("apps", help="list applications and configurations")
 
-    be = sub.add_parser("bench", help="measure pipeline/routing performance")
+    be = sub.add_parser(
+        "bench", help="measure pipeline/routing performance and memory"
+    )
     be.add_argument(
         "target",
-        choices=["pipeline", "routing", "telemetry"],
+        choices=["pipeline", "routing", "telemetry", "scale"],
         help="pipeline: legacy vs columnar front-end; "
         "routing: per-policy route-construction throughput; "
-        "telemetry: collector overhead and congestion comparison",
+        "telemetry: collector overhead and congestion comparison; "
+        "scale: peak RSS of the out-of-core streaming pipeline",
     )
     be.add_argument(
         "--min-ranks",
@@ -353,6 +357,33 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=100_000,
         help="(routing) node pairs routed per policy (default: 100000)",
+    )
+    be.add_argument(
+        "--ranks",
+        type=int,
+        default=None,
+        help="(scale) rank count for the streaming pipeline "
+        "(default: 262144)",
+    )
+    be.add_argument(
+        "--chunk-mb",
+        type=float,
+        default=8.0,
+        help="(scale) per-chunk byte budget in MB (default: 8)",
+    )
+    be.add_argument(
+        "--budget-mb",
+        type=float,
+        default=None,
+        help="(scale) peak-RSS budget the ratio gate divides by "
+        "(default: 2048)",
+    )
+    be.add_argument(
+        "--rlimit-gb",
+        type=float,
+        default=None,
+        help="(scale) hard RLIMIT_AS cap applied inside the measured "
+        "subprocess (default: no cap)",
     )
     be.add_argument(
         "--out",
@@ -639,8 +670,13 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             seed=args.seed,
             telemetry=args.telemetry,
         )
+        def cells_done(done: int, total: int) -> None:
+            print(f"  {done}/{total} cells done", file=sys.stderr)
+
         try:
-            records = run_sweep(spec, workers=args.workers)
+            records = run_sweep(
+                spec, workers=args.workers, progress=cells_done
+            )
         except _USER_ERRORS:
             raise
         except Exception as exc:
@@ -778,6 +814,23 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             data = run_telemetry_bench()
             print(render_telemetry_bench(data))
             path = write_telemetry_bench(out, data)
+        elif args.target == "scale":
+            from .bench import (
+                SCALE_RANKS,
+                SCALE_RSS_BUDGET_MB,
+                render_scale_bench,
+                run_scale_bench,
+                write_scale_bench,
+            )
+
+            data = run_scale_bench(
+                ranks=args.ranks or SCALE_RANKS,
+                chunk_mb=args.chunk_mb,
+                budget_mb=args.budget_mb or SCALE_RSS_BUDGET_MB,
+                rlimit_gb=args.rlimit_gb,
+            )
+            print(render_scale_bench(data))
+            path = write_scale_bench(out, data)
         else:
             from .bench import (
                 render_routing_bench,

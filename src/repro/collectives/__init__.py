@@ -14,6 +14,7 @@ from .translate import (
     collective_volume,
     iter_send_batches,
     iter_send_groups,
+    iter_stream_send_batches,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "collective_volume",
     "iter_send_batches",
     "iter_send_groups",
+    "iter_stream_send_batches",
 ]

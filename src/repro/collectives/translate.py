@@ -34,6 +34,7 @@ __all__ = [
     "SendBatch",
     "iter_send_groups",
     "iter_send_batches",
+    "iter_stream_send_batches",
     "collective_volume",
 ]
 
@@ -135,13 +136,22 @@ def iter_send_groups(
 
 
 def _block_batches(
-    trace: Trace,
+    datatypes,
+    communicators,
     block: EventBlock,
     include_p2p: bool,
     include_collectives: bool,
 ) -> Iterator[SendBatch]:
+    """Expand one block's rows against explicit datatype/communicator tables.
+
+    Taking the tables instead of a :class:`Trace` lets the same expansion
+    serve both whole traces and :class:`~repro.core.stream.BlockStream`
+    chunks; each block is self-contained (its name tables intern everything
+    its rows reference), so expansion is chunk-local and the translated
+    message multiset is independent of where chunk boundaries fall.
+    """
     sizes = np.array(
-        [trace.datatypes.size_of(name) for name in block.dtype_names],
+        [datatypes.size_of(name) for name in block.dtype_names],
         dtype=np.int64,
     )
     if include_p2p:
@@ -164,13 +174,13 @@ def _block_batches(
         calls = block.repeat[mask]
         ops = block.op[mask].astype(np.int64)
         comm_ids = block.comm_id[mask].astype(np.int64)
-        assert trace.communicators is not None
+        assert communicators is not None
         # one expansion per distinct (op, communicator) pair in the block
         group_key = ops * len(block.comm_names) + comm_ids
         for key in np.unique(group_key):
             sel = group_key == key
             op = OPS[int(key) // len(block.comm_names)]
-            comm = trace.communicators.get(
+            comm = communicators.get(
                 block.comm_names[int(key) % len(block.comm_names)]
             )
             for src, dst, bpm, cls in expand_collective_batch(
@@ -192,7 +202,28 @@ def iter_send_batches(
     """
     assert trace.communicators is not None
     for block in trace.blocks():
-        yield from _block_batches(trace, block, include_p2p, include_collectives)
+        yield from _block_batches(
+            trace.datatypes, trace.communicators, block, include_p2p, include_collectives
+        )
+
+
+def iter_stream_send_batches(
+    stream,
+    include_p2p: bool = True,
+    include_collectives: bool = True,
+) -> Iterator[SendBatch]:
+    """Chunked collective expansion over a :class:`~repro.core.stream.BlockStream`.
+
+    One chunk is expanded at a time, so peak memory is bounded by the chunk
+    size plus its fan-out, never the whole trace.  Yields the same message
+    multiset as :func:`iter_send_batches` over the materialized trace
+    (collective expansion is per-caller-row independent, so a phase
+    spanning a chunk boundary expands identically).
+    """
+    for block in stream:
+        yield from _block_batches(
+            stream.datatypes, stream.communicators, block, include_p2p, include_collectives
+        )
 
 
 def collective_volume(trace: Trace) -> int:

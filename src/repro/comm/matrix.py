@@ -21,11 +21,26 @@ import numpy as np
 
 from .. import timings
 from ..collectives.patterns import SendGroup
-from ..collectives.translate import SendBatch, iter_send_batches, iter_send_groups
+from ..collectives.translate import (
+    SendBatch,
+    iter_send_batches,
+    iter_send_groups,
+    iter_stream_send_batches,
+)
 from ..core.packets import MAX_PAYLOAD_BYTES, packets_for_bytes_array
 from ..core.trace import Trace
 
-__all__ = ["CommMatrix", "CommMatrixBuilder", "matrix_from_trace"]
+__all__ = [
+    "CommMatrix",
+    "CommMatrixBuilder",
+    "matrix_from_trace",
+    "matrix_from_stream",
+    "DEFAULT_COMPACT_ROWS",
+]
+
+#: Pending-row threshold at which the streaming builder folds duplicates
+#: (~2M rows of five int64 columns ≈ 80 MB of working set).
+DEFAULT_COMPACT_ROWS = 1 << 21
 
 
 @dataclass(frozen=True)
@@ -177,6 +192,12 @@ class CommMatrixBuilder:
         self._nbytes: list[np.ndarray] = []
         self._messages: list[np.ndarray] = []
         self._packets: list[np.ndarray] = []
+        self._rows = 0
+
+    @property
+    def pending_rows(self) -> int:
+        """Unmerged accumulated rows (bounds the builder's working set)."""
+        return self._rows
 
     def add_group(self, group: SendGroup) -> None:
         """Add one fan-out: ``calls`` messages of ``bytes_per_msg[i]`` to ``dsts[i]``."""
@@ -185,11 +206,13 @@ class CommMatrixBuilder:
             return
         calls = group.calls
         pkts_per_msg = packets_for_bytes_array(group.bytes_per_msg, self.payload)
-        self._src.append(np.full(k, group.src, dtype=np.int64))
-        self._dst.append(group.dsts.astype(np.int64, copy=False))
-        self._nbytes.append(group.bytes_per_msg * calls)
-        self._messages.append(np.full(k, calls, dtype=np.int64))
-        self._packets.append(pkts_per_msg * calls)
+        self.add_arrays(
+            np.full(k, group.src, dtype=np.int64),
+            group.dsts,
+            group.bytes_per_msg * calls,
+            np.full(k, calls, dtype=np.int64),
+            pkts_per_msg * calls,
+        )
 
     def add_arrays(
         self,
@@ -205,6 +228,7 @@ class CommMatrixBuilder:
         self._nbytes.append(np.asarray(nbytes, dtype=np.int64))
         self._messages.append(np.asarray(messages, dtype=np.int64))
         self._packets.append(np.asarray(packets, dtype=np.int64))
+        self._rows += len(self._src[-1])
 
     def add_batch(self, batch: SendBatch) -> None:
         """Add a columnar message batch (one row = one message shape)."""
@@ -229,10 +253,27 @@ class CommMatrixBuilder:
         )
         self.add_group(group)
 
-    def finalize(self) -> CommMatrix:
-        """Merge all accumulated chunks, summing duplicate pairs."""
+    def compact(self) -> None:
+        """Fold pending rows in place, summing duplicate pairs.
+
+        Per-pair int64 sums are associative, so compacting mid-build can
+        never change the finalized matrix — it only bounds the pending
+        working set near the distinct-pair count.  The streaming matrix
+        build calls this whenever :attr:`pending_rows` crosses its
+        threshold.
+        """
         if not self._src:
-            return CommMatrix.empty(self.num_ranks)
+            return
+        unique_keys, out_bytes, out_msgs, out_pkts = self._merged_columns()
+        self._src = [unique_keys // self.num_ranks]
+        self._dst = [unique_keys % self.num_ranks]
+        self._nbytes = [out_bytes]
+        self._messages = [out_msgs]
+        self._packets = [out_pkts]
+        self._rows = len(unique_keys)
+
+    def _merged_columns(self):
+        """Merge pending chunks into sorted-unique keyed columns."""
         src = np.concatenate(self._src)
         dst = np.concatenate(self._dst)
         if len(src) and (src.max() >= self.num_ranks or dst.max() >= self.num_ranks):
@@ -271,6 +312,13 @@ class CommMatrixBuilder:
             np.add.at(out_msgs, inverse, messages)
             np.add.at(out_pkts, inverse, packets)
 
+        return unique_keys, out_bytes, out_msgs, out_pkts
+
+    def finalize(self) -> CommMatrix:
+        """Merge all accumulated chunks, summing duplicate pairs."""
+        if not self._src:
+            return CommMatrix.empty(self.num_ranks)
+        unique_keys, out_bytes, out_msgs, out_pkts = self._merged_columns()
         return CommMatrix(
             self.num_ranks,
             unique_keys // self.num_ranks,
@@ -332,4 +380,34 @@ def matrix_from_trace(
         if include_collectives:
             for classified in iter_send_groups(trace, include_p2p=False):
                 builder.add_group(classified.group)
+        return builder.finalize()
+
+
+def matrix_from_stream(
+    stream,
+    include_p2p: bool = True,
+    include_collectives: bool = True,
+    payload: int = MAX_PAYLOAD_BYTES,
+    compact_rows: int = DEFAULT_COMPACT_ROWS,
+) -> CommMatrix:
+    """Build a traffic matrix incrementally from a :class:`BlockStream`.
+
+    Chunks are expanded and accumulated one at a time; whenever the pending
+    row count crosses ``compact_rows`` the builder folds duplicates in
+    place, so peak memory is bounded by ``O(chunk + distinct pairs)``
+    rather than the total translated message count.  Compaction is an
+    exact int64 fold, so the result is bit-identical to
+    :func:`matrix_from_trace` over the materialized trace.
+    """
+    with timings.stage("matrix"):
+        builder = CommMatrixBuilder(stream.meta.num_ranks, payload=payload)
+        # Re-arm above the post-compact row count so a matrix whose
+        # distinct-pair count exceeds the threshold still amortizes
+        # (never recompacts until the pending set doubles).
+        next_compact = compact_rows
+        for batch in iter_stream_send_batches(stream, include_p2p, include_collectives):
+            builder.add_batch(batch)
+            if builder.pending_rows >= next_compact:
+                builder.compact()
+                next_compact = max(compact_rows, 2 * builder.pending_rows)
         return builder.finalize()

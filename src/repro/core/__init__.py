@@ -26,6 +26,16 @@ from .events import (
     VECTOR_OPS,
 )
 from .packets import MAX_PAYLOAD_BYTES, packets_for_bytes, packets_for_bytes_array
+from .stream import (
+    DEFAULT_CHUNK_BYTES,
+    ROW_BYTES,
+    BlockStream,
+    load_spill_trace,
+    open_spill,
+    rechunk_blocks,
+    slice_block,
+    write_spill,
+)
 from .trace import Trace, TraceMetadata
 
 __all__ = [
@@ -53,6 +63,14 @@ __all__ = [
     "MAX_PAYLOAD_BYTES",
     "packets_for_bytes",
     "packets_for_bytes_array",
+    "BlockStream",
+    "DEFAULT_CHUNK_BYTES",
+    "ROW_BYTES",
+    "load_spill_trace",
+    "open_spill",
+    "rechunk_blocks",
+    "slice_block",
+    "write_spill",
     "Trace",
     "TraceMetadata",
 ]

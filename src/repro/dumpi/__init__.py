@@ -5,6 +5,7 @@ from .ascii_dumpi import (
     load_dumpi2ascii_dir,
     load_rank_file,
     parse_rank_stream,
+    stream_dumpi2ascii_dir,
 )
 from .format import FORMAT_VERSION, MAGIC
 from .parser import ParseError, load_trace, loads_trace, read_trace
@@ -16,6 +17,7 @@ __all__ = [
     "load_dumpi2ascii_dir",
     "load_rank_file",
     "parse_rank_stream",
+    "stream_dumpi2ascii_dir",
     "FORMAT_VERSION",
     "MAGIC",
     "ParseError",

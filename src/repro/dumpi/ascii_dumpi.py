@@ -56,6 +56,7 @@ __all__ = [
     "parse_rank_stream",
     "load_rank_file",
     "load_dumpi2ascii_dir",
+    "stream_dumpi2ascii_dir",
     "RANK_FILE_PATTERN",
 ]
 
@@ -322,6 +323,32 @@ def load_rank_file(path: str | Path, rank: int, strict: bool = True):
         return parse_rank_stream(fh, rank, strict)
 
 
+def _rank_files(directory: Path) -> dict[int, Path]:
+    """Discover and validate the ``<prefix>-<rank>.txt`` per-rank files."""
+    rank_files: dict[int, Path] = {}
+    for path in sorted(directory.glob("*.txt")):
+        match = RANK_FILE_PATTERN.search(path.name)
+        if match:
+            rank_files[int(match.group(1))] = path
+    if not rank_files:
+        raise FileNotFoundError(
+            f"no dumpi2ascii rank files (*-NNNN.txt) under {directory}"
+        )
+    num_ranks = max(rank_files) + 1
+    if set(rank_files) != set(range(num_ranks)):
+        missing = sorted(set(range(num_ranks)) - set(rank_files))
+        raise ValueError(f"missing rank files for ranks {missing[:10]}")
+    return rank_files
+
+
+def _parse_rank(path: Path, strict: bool) -> tuple[_Columns, float, float]:
+    """Decode one rank file into fresh columns (file-local name tables)."""
+    columns = _Columns(_Interner(), _Interner())
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        lo, hi = _parse_columns(fh, columns, strict)
+    return columns, lo, hi
+
+
 def load_dumpi2ascii_dir(
     directory: str | Path,
     app: str,
@@ -336,19 +363,8 @@ def load_dumpi2ascii_dir(
     and normalized to start at walltime zero.
     """
     directory = Path(directory)
-    rank_files: dict[int, Path] = {}
-    for path in sorted(directory.glob("*.txt")):
-        match = RANK_FILE_PATTERN.search(path.name)
-        if match:
-            rank_files[int(match.group(1))] = path
-    if not rank_files:
-        raise FileNotFoundError(
-            f"no dumpi2ascii rank files (*-NNNN.txt) under {directory}"
-        )
-    num_ranks = max(rank_files) + 1
-    if set(rank_files) != set(range(num_ranks)):
-        missing = sorted(set(range(num_ranks)) - set(rank_files))
-        raise ValueError(f"missing rank files for ranks {missing[:10]}")
+    rank_files = _rank_files(directory)
+    num_ranks = len(rank_files)
 
     dtypes = _Interner()
     funcs = _Interner()
@@ -411,3 +427,66 @@ def load_dumpi2ascii_dir(
         func_names=merged.func_names,
     )
     return Trace.from_blocks(meta, [sorted_block])
+
+
+def stream_dumpi2ascii_dir(
+    directory: str | Path,
+    app: str,
+    strict: bool = True,
+    chunk_bytes: int | None = None,
+):
+    """Chunked, re-iterable variant of :func:`load_dumpi2ascii_dir`.
+
+    Returns a :class:`~repro.core.stream.BlockStream` that parses one rank
+    file at a time and emits its records as byte-bounded chunks, so peak
+    memory is one rank's decoded columns plus one chunk — the
+    whole-directory trace is never materialized.  The directory is parsed
+    twice: once up front for the walltime extent the metadata needs, and
+    once more per consuming pass.
+
+    The one intentional difference from the in-memory loader: records are
+    *not* globally time-sorted — they arrive rank-major, chronological
+    within each rank, with walltimes normalized to the same global zero.
+    The event *multiset* is identical, so every order-insensitive consumer
+    (traffic matrices, locality metrics, simulation feeds) produces
+    bit-identical results on either path; tests pin the matrix equality.
+    """
+    from ..core.stream import DEFAULT_CHUNK_BYTES, BlockStream, rechunk_blocks
+
+    if chunk_bytes is None:
+        chunk_bytes = DEFAULT_CHUNK_BYTES
+    directory = Path(directory)
+    rank_files = _rank_files(directory)
+    num_ranks = len(rank_files)
+
+    t_min = float("inf")
+    t_max = float("-inf")
+    for rank in range(num_ranks):
+        columns, lo, hi = _parse_rank(rank_files[rank], strict)
+        if len(columns):
+            t_min = min(t_min, lo)
+            t_max = max(t_max, hi)
+    duration = max(t_max - t_min, 1e-9) if t_min <= t_max else 1e-9
+    offset = t_min if t_min <= t_max else 0.0
+    meta = TraceMetadata(app=app, num_ranks=num_ranks, execution_time=duration)
+
+    def rank_blocks():
+        for rank in range(num_ranks):
+            columns, _, _ = _parse_rank(rank_files[rank], strict)
+            if not len(columns):
+                continue
+            block = columns.to_block(rank)
+            yield EventBlock(
+                **{
+                    name: getattr(block, name)
+                    for name in EventBlock._COLUMN_DTYPES
+                    if name not in ("t_enter", "t_leave")
+                },
+                t_enter=block.t_enter - offset,
+                t_leave=block.t_leave - offset,
+                dtype_names=block.dtype_names,
+                comm_names=block.comm_names,
+                func_names=block.func_names,
+            )
+
+    return BlockStream(meta, lambda: rechunk_blocks(rank_blocks(), chunk_bytes))

@@ -6,7 +6,7 @@ Two bit-identical engines: the batched NumPy kernel behind
 """
 
 from .common import SimSetup, prepare_simulation
-from .engine import SimulationResult, run_batched, simulate_network
+from .engine import SimulationResult, run_batched, simulate_network, simulate_stream
 from .reference import run_reference, simulate_network_reference
 
 __all__ = [
@@ -16,5 +16,6 @@ __all__ = [
     "run_batched",
     "run_reference",
     "simulate_network",
+    "simulate_stream",
     "simulate_network_reference",
 ]

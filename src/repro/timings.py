@@ -14,11 +14,21 @@ boolean check per instrumented call when off.
 
 from __future__ import annotations
 
+import sys
 import time
 from contextlib import contextmanager
 from typing import Iterator
 
-__all__ = ["enable", "disable", "enabled", "reset", "stage", "as_dict", "summary"]
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+    "stage",
+    "as_dict",
+    "summary",
+    "peak_rss_bytes",
+]
 
 _enabled = False
 _totals: dict[str, float] = {}
@@ -65,6 +75,26 @@ def stage(name: str) -> Iterator[None]:
         _counts[name] = _counts.get(name, 0) + 1
 
 
+def peak_rss_bytes() -> int | None:
+    """Lifetime peak resident-set size of this process, in bytes.
+
+    Reads ``resource.getrusage``'s ``ru_maxrss``, which the kernel reports
+    in kilobytes on Linux and bytes on macOS.  The counter is a
+    process-lifetime high-water mark (it never goes down), so a clean
+    measurement of one workload needs a fresh process — the scale bench
+    runs its pipeline in a subprocess for exactly that reason.  Returns
+    ``None`` on platforms without the ``resource`` module.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - Linux CI
+        return int(maxrss)
+    return int(maxrss) * 1024
+
+
 def as_dict() -> dict[str, dict[str, float]]:
     """Per-stage totals: ``{stage: {"seconds": ..., "calls": ...}}``."""
     return {
@@ -95,4 +125,7 @@ def summary() -> str:
         lines.append(
             f"{name:<12} {calls:>7d} {secs:>10.3f} {1e3 * secs / calls:>10.3f}"
         )
+    peak = peak_rss_bytes()
+    if peak is not None:
+        lines.append(f"peak RSS: {peak / (1024 * 1024):.1f} MB (process lifetime)")
     return "\n".join(lines)

@@ -453,3 +453,77 @@ def check_cache_roundtrip(ctx: CheckContext) -> Iterator[Violation]:
                 f"{kind} changed across a disk-cache roundtrip for "
                 f"{ctx.label}",
             )
+
+
+# ------------------------------------------------------------ streaming checks
+
+#: Deliberately tiny chunk budget (~850 rows) so every seed-scale trace
+#: splits into many chunks, and a small compaction threshold so the
+#: incremental merge path runs several times per matrix.
+STREAM_CHUNK_BYTES = 1 << 16
+STREAM_COMPACT_ROWS = 512
+#: Packet bound for the differential simulation leg.
+STREAM_SIM_PACKETS = 4_000
+
+
+@invariant(
+    "streaming-equivalence",
+    "Chunked streaming replay reproduces the in-memory matrices and sim",
+    "out-of-core streaming; repro.core.stream, repro.comm.matrix",
+)
+def check_streaming_equivalence(ctx: CheckContext) -> Iterator[Violation]:
+    name = "streaming-equivalence"
+    from ..comm.matrix import matrix_from_stream
+    from ..core.stream import BlockStream
+
+    stream = BlockStream.from_trace(ctx.trace).rechunk(STREAM_CHUNK_BYTES)
+    diverged = False
+    for label, expected, include in (
+        ("p2p", ctx.p2p_matrix, False),
+        ("full", ctx.full_matrix, True),
+    ):
+        streamed = matrix_from_stream(
+            stream,
+            include_collectives=include,
+            compact_rows=STREAM_COMPACT_ROWS,
+        )
+        if not matrices_identical(streamed, expected):
+            diverged = True
+            yield _err(
+                name,
+                f"streamed {label} matrix diverges from the in-memory build "
+                f"({STREAM_CHUNK_BYTES}-byte chunks, compaction every "
+                f"{STREAM_COMPACT_ROWS} rows)",
+            )
+    if ctx.sim is None or diverged:
+        return
+    # Matrix identity makes the two sim feeds carry the same packet
+    # population; one bounded differential run still exercises the
+    # simulate_stream wiring end to end.
+    from ..sim.engine import simulate_network, simulate_stream
+
+    total = int(ctx.full_matrix.packets.sum())
+    scale = (
+        float(-(-total // STREAM_SIM_PACKETS))
+        if total > STREAM_SIM_PACKETS
+        else 1.0
+    )
+    kwargs = dict(
+        mapping=ctx.mapping,
+        execution_time=ctx.trace.meta.execution_time,
+        volume_scale=scale,
+        seed=ctx.routing_seed,
+        routing=ctx.routing,
+        routing_seed=ctx.routing_seed,
+    )
+    streamed_sim = simulate_stream(stream, ctx.topology, **kwargs)
+    direct_sim = simulate_network(ctx.full_matrix, ctx.topology, **kwargs)
+    if streamed_sim != direct_sim or not np.array_equal(
+        streamed_sim.link_serve_counts, direct_sim.link_serve_counts
+    ):
+        yield _err(
+            name,
+            f"streamed simulation diverges from the in-memory feed "
+            f"(volume scale {scale}, makespan {streamed_sim.makespan} "
+            f"vs {direct_sim.makespan})",
+        )

@@ -19,6 +19,15 @@ from repro.topology.fattree import FatTree
 from repro.topology.torus import Torus3D
 
 
+def _corrupt_entries(root, junk: bytes) -> None:
+    """Overwrite every disk entry with junk (spill dirs via their manifest)."""
+    for f in root.iterdir():
+        if f.is_dir():
+            (f / "manifest.json").write_bytes(junk)
+        else:
+            f.write_bytes(junk)
+
+
 @pytest.fixture(autouse=True)
 def isolated_cache():
     """Every test starts with empty in-memory regions and no disk tier."""
@@ -104,15 +113,25 @@ class TestDiskTier:
         assert warm.meta.execution_time == cold.meta.execution_time
         assert cache.stats()["trace"]["disk_hits"] == 1
 
-    def test_trace_persists_as_npz(self, tmp_path):
+    def test_trace_persists_as_spill_directory(self, tmp_path):
         cache.configure(disk_dir=tmp_path)
         cached_trace("LULESH", 64)
-        names = [f.name for f in tmp_path.iterdir()]
-        assert names and all(n.endswith(".npz") for n in names)
+        entries = list(tmp_path.iterdir())
+        assert entries and all(e.name.endswith(".spill") for e in entries)
+        assert all(e.is_dir() and (e / "manifest.json").is_file() for e in entries)
+
+    def test_warm_trace_columns_are_memory_mapped(self, tmp_path):
+        cache.configure(disk_dir=tmp_path)
+        cached_trace("LULESH", 64)
+        cache.clear(memory=True)
+        warm = cached_trace("LULESH", 64)
+        assert cache.stats()["trace"]["disk_hits"] == 1
+        block = warm.blocks()[0]
+        assert isinstance(block.caller.base, np.memmap)
 
     @pytest.mark.parametrize("app", ["LULESH", "Boxlib_CNS"])
-    def test_trace_npz_round_trip_bit_identical(self, tmp_path, app):
-        """npz reload is exact — including derived-dtype apps whose block
+    def test_trace_spill_round_trip_bit_identical(self, tmp_path, app):
+        """Spill reload is exact — including derived-dtype apps whose block
         dtype names are absent from the (lazily populated) registry."""
         cache.configure(disk_dir=tmp_path)
         cold = cached_trace(app, 64)
@@ -169,8 +188,7 @@ class TestDiskTier:
     def test_corrupt_disk_entry_recomputed(self, tmp_path, junk):
         cache.configure(disk_dir=tmp_path)
         cached_trace("LULESH", 64)
-        for f in tmp_path.iterdir():
-            f.write_bytes(junk)
+        _corrupt_entries(tmp_path, junk)
         cache.clear(memory=True)
         trace = cached_trace("LULESH", 64)  # falls back to regeneration
         assert trace.meta.num_ranks == 64
@@ -230,9 +248,9 @@ class TestKeys:
             "disk_hits": 0,
         }
 
-    def test_cache_version_is_3(self):
-        """v3 added the routing-policy token to incidence keys."""
-        assert cache.CACHE_VERSION == 3
+    def test_cache_version_is_4(self):
+        """v4 switched traces to chunked, memory-mappable spill directories."""
+        assert cache.CACHE_VERSION == 4
 
     def test_policies_never_share_entries(self):
         """Different routing policies must never alias one cache entry —
@@ -302,11 +320,11 @@ class TestKeys:
 class TestCorruptionEviction:
     """Corrupt disk entries are logged, deleted, and transparently rebuilt."""
 
-    def test_corrupt_pickle_logged_and_evicted(self, tmp_path, caplog):
+    def test_corrupt_spill_logged_and_evicted(self, tmp_path, caplog):
         cache.configure(disk_dir=tmp_path)
         cached_trace("LULESH", 64)
-        trace_file = next(iter(tmp_path.iterdir()))
-        trace_file.write_bytes(b"not a pickle")
+        trace_entry = next(iter(tmp_path.iterdir()))
+        (trace_entry / "manifest.json").write_bytes(b"not a manifest")
         cache.clear(memory=True)
         with caplog.at_level("WARNING", logger="repro.cache"):
             trace = cached_trace("LULESH", 64)
@@ -316,7 +334,7 @@ class TestCorruptionEviction:
             "evicting corrupt cache entry" in rec.message for rec in caplog.records
         )
         # the recompute rewrote a *good* entry over the evicted one
-        assert trace_file.read_bytes() != b"not a pickle"
+        assert (trace_entry / "manifest.json").read_bytes() != b"not a manifest"
 
     def test_corrupt_npz_logged_and_evicted(self, tmp_path, caplog):
         import numpy as np
@@ -341,8 +359,7 @@ class TestCorruptionEviction:
         """After eviction the recompute rewrites a good entry."""
         cache.configure(disk_dir=tmp_path)
         cached_trace("LULESH", 64)
-        for f in tmp_path.iterdir():
-            f.write_bytes(b"junk")
+        _corrupt_entries(tmp_path, b"junk")
         cache.clear(memory=True)
         cached_trace("LULESH", 64)  # evicts + recomputes + rewrites
         cache.clear(memory=True)

@@ -51,6 +51,7 @@ EXPECTED_INVARIANTS = {
     "telemetry-occupancy",
     "telemetry-flow",
     "cache-roundtrip",
+    "streaming-equivalence",
 }
 
 

@@ -76,6 +76,32 @@ class TestParallelIdentity:
         with pytest.raises(ValueError, match="routing"):
             SweepSpec(routings=("minimal", "shortest"))
 
+    def test_progress_sequential_counts_every_cell(self):
+        spec = SweepSpec(
+            apps=(("LULESH", 64),), topologies=("torus3d", "fattree")
+        )
+        calls: list[tuple[int, int]] = []
+        run_sweep(spec, workers=1, progress=lambda d, t: calls.append((d, t)))
+        total = len(spec.points())
+        assert calls == [(i + 1, total) for i in range(total)]
+
+    def test_progress_parallel_monotonic_to_total(self):
+        spec = SweepSpec(
+            apps=(("LULESH", 64),),
+            topologies=("torus3d", "fattree", "dragonfly"),
+            mappings=("consecutive", "random"),
+        )
+        calls: list[tuple[int, int]] = []
+        records = run_sweep(
+            spec, workers=3, progress=lambda d, t: calls.append((d, t))
+        )
+        total = len(spec.points())
+        done = [d for d, _ in calls]
+        assert all(t == total for _, t in calls)
+        assert done == sorted(done)
+        assert done[-1] == total
+        assert records == run_sweep(spec, workers=1)
+
     def test_bandwidth_only_affects_utilization(self, sequential):
         by_key: dict[tuple, list[dict]] = {}
         for r in sequential:
