@@ -26,18 +26,20 @@ so each worker's process-local cache still gets within-app hits.
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..cache import cached_matrix, cached_trace
+from ..cache import cached_mapping, cached_matrix, cached_trace
 from ..mapping.base import Mapping
-from ..mapping.optimized import optimize_mapping
 from ..model.engine import BANDWIDTH_BYTES_PER_S, analyze_network
 from ..routing import ROUTINGS
 from ..topology.configs import config_for
 
-__all__ = ["SweepSpec", "run_sweep"]
+__all__ = ["SweepSpec", "run_sweep", "unique_points"]
+
+_log = logging.getLogger("repro.sweep")
 
 _TOPOLOGY_BUILDERS = {
     "torus3d": lambda cfg: cfg.build_torus(),
@@ -119,10 +121,51 @@ class SweepSpec:
         ]
 
 
+def unique_points(
+    spec: SweepSpec,
+) -> tuple[list[tuple[str, int, int, str, str, str]], int]:
+    """The grid with duplicate cells collapsed, plus the collapsed count.
+
+    Duplicate axis values (``apps=(("LULESH", 64), ("LULESH", 64))``) used
+    to evaluate — and record — the same cell twice.  Every consumer
+    (:func:`run_sweep` and the job service) expands through this helper, so
+    each distinct cell is computed and recorded exactly once, in first-
+    occurrence order.
+    """
+    seen: set[tuple] = set()
+    points = []
+    for point in spec.points():
+        if point in seen:
+            continue
+        seen.add(point)
+        points.append(point)
+    return points, len(spec.points()) - len(points)
+
+
+def _warn_collapsed(spec: SweepSpec, collapsed: int) -> None:
+    if collapsed:
+        unique = len(spec.points()) - collapsed
+        _log.warning(
+            "sweep: collapsed %d duplicate grid cells (%d unique of %d)",
+            collapsed,
+            unique,
+            unique + collapsed,
+        )
+
+
 def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
     if method == "random":
-        return Mapping.random(matrix.num_ranks, topology.num_nodes, seed=seed)
-    return optimize_mapping(matrix, topology, method=method, seed=seed)
+        mapping = Mapping.random(
+            matrix.num_ranks, topology.num_nodes, seed=seed
+        )
+        # Seed-deterministic, so it can carry provenance like cached ones.
+        object.__setattr__(
+            mapping,
+            "_repro_cache_key",
+            ("mapping-random", matrix.num_ranks, topology.num_nodes, seed),
+        )
+        return mapping
+    return cached_mapping(matrix, topology, method=method, seed=seed)
 
 
 def _eval_point(
@@ -233,6 +276,10 @@ def run_sweep(
 ) -> list[dict[str, Any]]:
     """Evaluate every sweep point; one flat record per (point, bandwidth).
 
+    Duplicate cells within the spec (repeated axis values) are collapsed
+    before evaluation — each distinct cell is computed and recorded once,
+    with a one-line warning giving the collapsed count.
+
     ``workers`` > 1 distributes grid points over that many processes — one
     future per contiguous *chunk* of cells rather than one per cell, so the
     executor schedules ``workers`` tasks instead of thousands and same-app
@@ -246,7 +293,8 @@ def run_sweep(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    points = spec.points()
+    points, collapsed = unique_points(spec)
+    _warn_collapsed(spec, collapsed)
     total = len(points)
     if workers == 1 or total <= 1:
         per_point = []

@@ -11,6 +11,11 @@ module gives the three hot producers a shared cache:
   domain of :func:`repro.apps.registry.generate_trace`);
 - :func:`cached_matrix` — traffic matrices, keyed on the trace's content
   key plus ``(include_p2p, include_collectives, payload)``;
+- :func:`cached_mapping` — optimized rank→node mappings, keyed on the
+  matrix content key, the topology fingerprint, and ``(method, seed)``
+  (a sweep evaluates the same mapping against several routings and
+  bandwidths; spectral/bisection optimization dwarfs everything else at
+  scale, so recomputing it per cell dominated sweep time);
 - :func:`cached_route_incidence` — route incidences, keyed on the topology
   fingerprint (:meth:`repro.topology.base.Topology.fingerprint`), the
   routing policy's :meth:`~repro.routing.base.RoutingPolicy.cache_token`
@@ -62,8 +67,12 @@ __all__ = [
     "stats",
     "cached_trace",
     "cached_matrix",
+    "cached_mapping",
+    "cached_node_pairs",
+    "cached_pair_hops",
     "cached_route_incidence",
     "trace_content_key",
+    "matrix_content_key",
     "array_digest",
 ]
 
@@ -75,7 +84,10 @@ __all__ = [
 #: v4: traces persist as chunked spill directories (per-chunk per-column
 #: ``.npy`` segments + manifest) that warm hits memory-map instead of
 #: loading, so a cached trace costs address space, not RSS.
-CACHE_VERSION = 4
+#: v5: mappings join the disk cache (node-pair aggregates join the memory
+#: tier only — they are matrix-sized, so spilling them costs more than the
+#: argsort they save).
+CACHE_VERSION = 5
 
 
 @dataclass
@@ -153,7 +165,15 @@ def _evict_corrupt(path: Path, exc: Exception) -> None:
 
 #: In-memory regions.  Incidences can be large (one row per packet-route
 #: link), so that region is kept smaller than the trace/matrix ones.
-_DEFAULT_SIZES = {"trace": 64, "matrix": 128, "incidence": 32}
+_DEFAULT_SIZES = {
+    "trace": 64,
+    "matrix": 128,
+    "incidence": 128,
+    "mapping": 256,
+    "pairs": 64,
+    "hops": 128,
+    "digests": 1024,
+}
 _regions: dict[str, _LRU] = {
     name: _LRU(size) for name, size in _DEFAULT_SIZES.items()
 }
@@ -243,6 +263,23 @@ def trace_content_key(trace: Any) -> tuple:
     return ("trace-content", meta.app, meta.num_ranks, meta.variant, digest)
 
 
+def matrix_content_key(matrix: Any) -> tuple:
+    """A stable content key for a traffic matrix.
+
+    Matrices produced by :func:`cached_matrix` carry their generation key as
+    provenance (``_repro_cache_key``), making this free.  Foreign matrices
+    fall back to a digest of the five parallel pair columns — exact but
+    O(pairs).
+    """
+    key = getattr(matrix, "_repro_cache_key", None)
+    if key is not None:
+        return key
+    digest = array_digest(
+        matrix.src, matrix.dst, matrix.nbytes, matrix.messages, matrix.packets
+    )
+    return ("matrix-content", matrix.num_ranks, digest)
+
+
 def _key_digest(key: tuple) -> str:
     raw = repr((CACHE_VERSION, key)).encode()
     return hashlib.blake2b(raw, digest_size=16).hexdigest()
@@ -258,12 +295,24 @@ def _disk_path(region: str, key: tuple, suffix: str) -> Path | None:
 
 
 def _atomic_write(path: Path, write_fn) -> None:
-    """Write via a temp file + rename so readers never see partial files."""
+    """Write via a temp file + fsync + rename so readers never see a torn entry.
+
+    Concurrent writers of the same key are safe: each writes its own
+    ``mkstemp`` file and the ``os.replace`` is atomic, so readers observe
+    either a complete entry or a miss, never a partial file — last rename
+    wins, and both writers produced identical bytes for a content key.  The
+    ``fsync`` before the rename closes the power-loss window where the
+    rename is durable but the data is not (the classic torn-entry source on
+    journaled filesystems); ``tests/test_cache_concurrency.py`` hammers one
+    key from eight processes to pin the concurrent-writer behaviour down.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
     try:
         with os.fdopen(fd, "wb") as fh:
             write_fn(fh)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -405,6 +454,112 @@ def cached_matrix(
             payload=payload,
         )
         _disk_store_pickle(path, value)
+    if getattr(value, "_repro_cache_key", None) is None:
+        # CommMatrix is frozen; provenance rides outside the dataclass fields.
+        object.__setattr__(value, "_repro_cache_key", key)
+    region.put(key, value)
+    return value
+
+
+def cached_mapping(matrix, topology, method: str = "greedy", seed: int = 0):
+    """Memoized :func:`repro.mapping.optimized.optimize_mapping`.
+
+    A sweep grid evaluates one (matrix, topology, method) mapping against
+    every routing policy and bandwidth, and optimization (greedy refinement,
+    spectral, recursive bisection) is the single most expensive per-cell
+    stage at scale — so unlike the other producers this one is hot even
+    *within* a single sweep.  ``consecutive`` mappings are returned directly
+    (an ``arange`` is cheaper than a cache probe); topologies without a
+    structural fingerprint bypass the cache like route incidences do.
+    """
+    from .mapping.optimized import optimize_mapping
+
+    if method == "consecutive":
+        value = optimize_mapping(matrix, topology, method=method, seed=seed)
+        # Deterministic by construction — provenance needs no digest.
+        _set_provenance(
+            value,
+            ("mapping-consecutive", matrix.num_ranks, topology.num_nodes),
+        )
+        return value
+    fingerprint = topology.fingerprint()
+    if fingerprint is None:
+        with timings.stage("mapping"):
+            return optimize_mapping(matrix, topology, method=method, seed=seed)
+    key = ("mapping", matrix_content_key(matrix), fingerprint, method, seed)
+    region = _regions["mapping"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    path = _disk_path("mapping", key, ".pkl")
+    value = _disk_load_pickle(path)
+    if value is not _MISS:
+        region.stats.disk_hits += 1
+    else:
+        with timings.stage("mapping"):
+            value = optimize_mapping(matrix, topology, method=method, seed=seed)
+        _disk_store_pickle(path, value)
+    _set_provenance(value, key)
+    region.put(key, value)
+    return value
+
+
+def _set_provenance(value, key) -> None:
+    """Attach a content key to a (frozen) artifact for derived-cache keys."""
+    if getattr(value, "_repro_cache_key", None) is None:
+        object.__setattr__(value, "_repro_cache_key", key)
+
+
+def cached_node_pairs(matrix, mapping):
+    """Memoized node-pair traffic aggregate of ``(matrix, mapping)``.
+
+    :func:`repro.model.engine.analyze_network` starts every run by folding
+    the rank-pair matrix onto node pairs — an argsort-and-reduce over the
+    whole matrix that a sweep repeats identically for every routing policy
+    and bandwidth sharing one placement.  When both inputs carry provenance
+    content keys (i.e. came from :func:`cached_matrix` /
+    :func:`cached_mapping`), the aggregate is memoized under them; ad-hoc
+    matrices or mappings fall through to a plain computation.
+
+    Memory-only by design: at one rank per node the aggregate is the size
+    of the matrix itself, so spilling it to disk costs more in fsync'd I/O
+    than the argsort it saves — recompute is the cheaper miss path.
+    """
+    from .model.engine import _node_pair_aggregate
+
+    matrix_key = getattr(matrix, "_repro_cache_key", None)
+    mapping_key = getattr(mapping, "_repro_cache_key", None)
+    if matrix_key is None or mapping_key is None:
+        return _node_pair_aggregate(matrix, mapping)
+    key = ("pairs", matrix_key, mapping_key)
+    region = _regions["pairs"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    value = _node_pair_aggregate(matrix, mapping)
+    region.put(key, value)
+    return value
+
+
+def cached_pair_hops(topology, src, dst, matrix=None, mapping=None):
+    """Memoized closed-form hop counts of a node-pair batch.
+
+    The minimal-routing analysis path recomputes ``topology.hops_array``
+    for every (bandwidth, payload, policy-variant) cell sharing one
+    placement; with provenance-carrying inputs the result is a pure
+    function of ``(topology, matrix, mapping)`` and is memoized in memory.
+    """
+    fingerprint = topology.fingerprint()
+    matrix_key = getattr(matrix, "_repro_cache_key", None)
+    mapping_key = getattr(mapping, "_repro_cache_key", None)
+    if fingerprint is None or matrix_key is None or mapping_key is None:
+        return topology.hops_array(src, dst)
+    key = ("hops", fingerprint, matrix_key, mapping_key)
+    region = _regions["hops"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    value = topology.hops_array(src, dst)
     region.put(key, value)
     return value
 
@@ -416,6 +571,7 @@ def cached_route_incidence(
     routing="minimal",
     seed: int = 0,
     pair_weights: np.ndarray | None = None,
+    content_token: tuple | None = None,
 ):
     """Memoized route incidence under any :mod:`repro.routing` policy.
 
@@ -430,6 +586,20 @@ def cached_route_incidence(
 
     Topologies without a structural fingerprint (custom subclasses that do
     not override :meth:`fingerprint`) bypass the cache.
+
+    Keys carry a content digest of the query arrays rather than any
+    provenance token deliberately: the digest aliases identical queries
+    that arrive under different provenances (e.g. two payloads share one
+    matrix sparsity pattern, so their crossing pair arrays — and their
+    incidence — are the same entry), which roughly halves the incidence
+    working set of a payload-crossed sweep grid.
+
+    ``content_token`` is an optional *digest memo* key, not an entry key: a
+    provenance tuple that uniquely determines ``(src, dst, pair_weights)``
+    (the engine passes its matrix/mapping provenance pair).  When supplied,
+    the BLAKE2 digest of the query arrays — the dominant warm-lookup cost
+    for million-pair batches — is remembered under it, while cache entries
+    stay digest-keyed so the cross-provenance aliasing above is preserved.
     """
     from .routing import get_policy
     from .topology.base import RouteIncidence
@@ -444,11 +614,22 @@ def cached_route_incidence(
 
     src = np.asarray(src, dtype=np.int64)
     dst = np.asarray(dst, dtype=np.int64)
-    if policy.load_aware and pair_weights is not None:
-        weights = np.asarray(pair_weights, dtype=np.float64)
-        digest = array_digest(src, dst, weights)
-    else:
-        digest = array_digest(src, dst)
+    load_aware = policy.load_aware and pair_weights is not None
+    digest = None
+    token_key = None
+    if content_token is not None:
+        token_key = ("incidence-digest", content_token, load_aware)
+        memo = _regions["digests"].get(token_key)
+        if memo is not _MISS:
+            digest = memo
+    if digest is None:
+        if load_aware:
+            weights = np.asarray(pair_weights, dtype=np.float64)
+            digest = array_digest(src, dst, weights)
+        else:
+            digest = array_digest(src, dst)
+        if token_key is not None:
+            _regions["digests"].put(token_key, digest)
     key = ("incidence", fingerprint, policy.cache_token(), digest)
     region = _regions["incidence"]
     value = region.get(key)

@@ -17,6 +17,10 @@ Usage::
     python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
     python -m repro telemetry --app BigFFT --ranks 100 [--windows N] [--compare minimal,ugal]
     python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal]
+    python -m repro serve   --state DIR [--workers N] [--scheduler affinity|random]
+    python -m repro submit  --state DIR --app LULESH --ranks 64 [--wait]
+    python -m repro jobs    --state DIR [--stats | --cancel JOB | --shutdown]
+    python -m repro attach  --state DIR JOB [--results]
     python -m repro trace   --app LULESH --ranks 64 [--out PATH]
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
     python -m repro compare [--max-ranks N]
@@ -28,6 +32,7 @@ Usage::
     python -m repro bench routing [--pairs N] [--out PATH]
     python -m repro bench telemetry [--out PATH]
     python -m repro bench scale [--ranks N] [--chunk-mb M] [--rlimit-gb G]
+    python -m repro bench sweep [--workers N] [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -245,6 +250,91 @@ def build_parser() -> argparse.ArgumentParser:
     sw.add_argument("--seed", type=int, default=0)
     add_format(sw)
 
+    def add_service(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--state", required=True, metavar="DIR",
+            help="service state directory (jobs, journals, shared cache)",
+        )
+        p.add_argument(
+            "--socket", default=None, metavar="PATH",
+            help="unix socket path (default: <state>/service.sock)",
+        )
+
+    sv = sub.add_parser(
+        "serve", help="run the persistent sharded sweep job service"
+    )
+    add_service(sv)
+    sv.add_argument(
+        "--workers", type=int, default=2,
+        help="persistent worker processes (default: 2)",
+    )
+    sv.add_argument(
+        "--scheduler", choices=("affinity", "random"), default="affinity",
+        help="cell placement: cache-affinity (default) or random hashing",
+    )
+    sv.add_argument(
+        "--journal-batch", type=int, default=16,
+        help="journal appends per fsync (1 = fsync every cell)",
+    )
+
+    sb = sub.add_parser(
+        "submit", help="submit a sweep grid to a running service"
+    )
+    add_service(sb)
+    sb.add_argument("--app", default="LULESH")
+    sb.add_argument("--ranks", type=int, default=64)
+    sb.add_argument(
+        "--apps", default=None, metavar="NAME:RANKS,...",
+        help="multi-app grid, e.g. LULESH:64,AMG:216 (overrides --app/--ranks)",
+    )
+    sb.add_argument(
+        "--topologies", default="torus3d,fattree,dragonfly",
+        help="comma-separated topology kinds",
+    )
+    sb.add_argument(
+        "--mappings", default="consecutive",
+        help="comma-separated mapping methods",
+    )
+    sb.add_argument(
+        "--routings", default="minimal",
+        help=f"comma-separated routing policies ({', '.join(_ROUTING_CHOICES)})",
+    )
+    sb.add_argument(
+        "--payloads", default="4096", help="comma-separated packet payloads"
+    )
+    sb.add_argument("--seed", type=int, default=0)
+    sb.add_argument(
+        "--wait", action="store_true",
+        help="stream progress until done, then print the records",
+    )
+    add_format(sb)
+
+    jb = sub.add_parser(
+        "jobs", help="list service jobs (or stats / cancel / shutdown)"
+    )
+    add_service(jb)
+    jb.add_argument(
+        "--stats", action="store_true",
+        help="print pool-wide service stats as JSON instead",
+    )
+    jb.add_argument(
+        "--cancel", default=None, metavar="JOB", help="cancel one job"
+    )
+    jb.add_argument(
+        "--shutdown", action="store_true", help="stop the service"
+    )
+
+    at = sub.add_parser(
+        "attach", help="stream a job's progress until it finishes"
+    )
+    add_service(at)
+    at.add_argument("job", metavar="JOB")
+    at.add_argument(
+        "--results", action="store_true",
+        help="print the job's records once it is done",
+    )
+    add_format(at)
+
     cv = sub.add_parser(
         "convert", help="convert real dumpi2ascii output to repro-dumpi"
     )
@@ -335,11 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument(
         "target",
-        choices=["pipeline", "routing", "telemetry", "scale"],
+        choices=["pipeline", "routing", "telemetry", "scale", "sweep"],
         help="pipeline: legacy vs columnar front-end; "
         "routing: per-policy route-construction throughput; "
         "telemetry: collector overhead and congestion comparison; "
-        "scale: peak RSS of the out-of-core streaming pipeline",
+        "scale: peak RSS of the out-of-core streaming pipeline; "
+        "sweep: cold serial vs warm sharded sweep service",
     )
     be.add_argument(
         "--min-ranks",
@@ -384,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="(scale) hard RLIMIT_AS cap applied inside the measured "
         "subprocess (default: no cap)",
+    )
+    be.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="(sweep) persistent workers per service run (default: 2)",
     )
     be.add_argument(
         "--out",
@@ -703,6 +800,22 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
                 )
         else:
             emit(records, "")
+    elif args.command == "serve":
+        from pathlib import Path
+
+        from .service.server import run_server
+
+        socket_path = args.socket or str(Path(args.state) / "service.sock")
+        return run_server(
+            args.state,
+            socket_path,
+            workers=args.workers,
+            scheduler=args.scheduler,
+            journal_batch=args.journal_batch,
+            cache_dir=args.cache_dir,
+        )
+    elif args.command in ("submit", "jobs", "attach"):
+        return _run_service_client(args, analysis)
     elif args.command == "convert":
         from .dumpi.ascii_dumpi import load_dumpi2ascii_dir
         from .dumpi.writer import dump_trace, dumps_trace
@@ -831,6 +944,17 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             )
             print(render_scale_bench(data))
             path = write_scale_bench(out, data)
+        elif args.target == "sweep":
+            from .bench import (
+                SWEEP_WORKERS,
+                render_sweep_bench,
+                run_sweep_bench,
+                write_sweep_bench,
+            )
+
+            data = run_sweep_bench(workers=args.workers or SWEEP_WORKERS)
+            print(render_sweep_bench(data))
+            path = write_sweep_bench(out, data)
         else:
             from .bench import (
                 render_routing_bench,
@@ -844,6 +968,149 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         print(f"wrote {path}")
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command}")
+    return 0
+
+
+def _print_job_records(args, analysis, records) -> None:
+    fmt = getattr(args, "format", "text")
+    if fmt == "csv":
+        sys.stdout.write(analysis.rows_to_csv(records))
+    elif fmt == "json":
+        print(analysis.rows_to_json(records))
+    else:
+        print(
+            f"{'app':<12} {'ranks':>6} {'topology':<10} {'mapping':<12} "
+            f"{'routing':<8} {'payload':>7} {'avg hops':>9} {'util %':>10} "
+            f"{'links':>7}"
+        )
+        for r in records:
+            print(
+                f"{r['app']:<12} {r['ranks']:>6} {r['topology']:<10} "
+                f"{r['mapping']:<12} {r['routing']:<8} {r['payload']:>7} "
+                f"{r['avg_hops']:>9.3f} {r['utilization_percent']:>10.5f} "
+                f"{r['used_links']:>7}"
+            )
+
+
+def _stream_job(args, analysis, client, job: str, want_results: bool) -> int:
+    """Follow one job's event stream; optionally print its records."""
+    for event in client.attach(job):
+        kind = event.get("event")
+        if kind == "cell":
+            replay = " (replayed)" if event.get("replayed") else ""
+            print(
+                f"  {event['done']}/{event['total']} cells done{replay}",
+                file=sys.stderr,
+            )
+        elif kind == "end":
+            status = event.get("status")
+            if status != "done":
+                error = event.get("error")
+                suffix = f": {error}" if error else ""
+                print(f"error: job {job} {status}{suffix}", file=sys.stderr)
+                return 1
+    if want_results:
+        _print_job_records(args, analysis, client.results(job))
+    else:
+        print(f"{job}: done")
+    return 0
+
+
+def _run_service_client(args, analysis) -> int:
+    """The ``submit`` / ``jobs`` / ``attach`` client commands."""
+    from pathlib import Path
+
+    from .service.client import ServiceError, SweepClient
+
+    socket_path = args.socket or str(Path(args.state) / "service.sock")
+    client = SweepClient(socket_path)
+
+    def split(value: str) -> tuple[str, ...]:
+        return tuple(s.strip() for s in value.split(",") if s.strip())
+
+    try:
+        if args.command == "submit":
+            from .analysis.sweep import SweepSpec
+            from .service.cells import spec_to_dict
+
+            if args.apps:
+                apps = []
+                for part in split(args.apps):
+                    name, _, ranks = part.partition(":")
+                    if not name or not ranks.isdigit():
+                        raise ValueError(
+                            f"--apps entries are NAME:RANKS, got {part!r}"
+                        )
+                    apps.append((name, int(ranks)))
+                app_axis = tuple(apps)
+            else:
+                app_axis = ((args.app, args.ranks),)
+            spec = SweepSpec(
+                apps=app_axis,
+                topologies=split(args.topologies),
+                mappings=split(args.mappings),
+                routings=split(args.routings),
+                payloads=tuple(int(p) for p in split(args.payloads)),
+                seed=args.seed,
+            )
+            resp = client.submit(spec_to_dict(spec))
+            print(
+                f"{resp['job']}: {resp['cells']} cells "
+                f"({resp['collapsed']} collapsed)",
+                file=sys.stderr if args.wait else sys.stdout,
+            )
+            if args.wait:
+                return _stream_job(
+                    args, analysis, client, resp["job"], want_results=True
+                )
+        elif args.command == "attach":
+            return _stream_job(
+                args, analysis, client, args.job, want_results=args.results
+            )
+        elif args.shutdown:
+            client.shutdown()
+            print("service stopping")
+        elif args.cancel:
+            summary = client.cancel(args.cancel)
+            print(f"{summary['job']}: {summary['status']}")
+        elif args.stats:
+            import json as _json
+
+            stats = client.stats()
+            stats.pop("ok", None)
+            print(_json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            jobs = client.jobs()
+            if not jobs:
+                print("no jobs")
+            for j in jobs:
+                counts = j.get("counts", {})
+                dedup = counts.get("dedup_warm", 0) + counts.get(
+                    "dedup_inflight", 0
+                )
+                print(
+                    f"{j['job']:<10} {j['status']:<10} "
+                    f"{j['cells_done']:>5}/{j['cells_total']:<5} "
+                    f"restored {counts.get('restored', 0):<4} "
+                    f"dedup {dedup}"
+                )
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # stdout closed early (e.g. piped through `head`) — not a failure.
+        # Point stdout at devnull so the interpreter's exit-time flush of
+        # the dead pipe doesn't print a spurious traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except OSError as exc:
+        print(
+            f"error: cannot reach sweep service at {socket_path}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 

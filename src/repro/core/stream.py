@@ -273,9 +273,13 @@ def write_spill(stream: BlockStream, directory: str | os.PathLike) -> Path | Non
             "resolve_dtypes": context["resolve_dtypes"],
             "chunks": chunks,
         }
-        (tmp / SPILL_MANIFEST).write_text(
-            json.dumps(manifest, indent=1, sort_keys=True) + "\n"
-        )
+        # fsync the manifest before the rename: without it a system crash
+        # can persist the rename but not the data, leaving a torn spill
+        # that every later reader would evict and recompute.
+        with (tmp / SPILL_MANIFEST).open("w") as fh:
+            fh.write(json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
         try:
             os.replace(tmp, directory)
         except OSError:

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from .. import timings
-from ..cache import cached_route_incidence
+from ..cache import cached_node_pairs, cached_pair_hops, cached_route_incidence
 from ..comm.matrix import CommMatrix
 from ..core.packets import MAX_PAYLOAD_BYTES
 from ..mapping.base import Mapping
@@ -164,7 +164,7 @@ def analyze_network(
 
     policy = get_policy(routing, seed=routing_seed)
     with timings.stage("analysis"):
-        src_n, dst_n, nbytes, packets = _node_pair_aggregate(matrix, mapping)
+        src_n, dst_n, nbytes, packets = cached_node_pairs(matrix, mapping)
 
         total_packets = int(packets.sum())
         crossing = src_n != dst_n
@@ -174,19 +174,27 @@ def analyze_network(
         else:
             wire_bytes = network_bytes
 
+        matrix_key = getattr(matrix, "_repro_cache_key", None)
+        mapping_key = getattr(mapping, "_repro_cache_key", None)
+        content_token = (
+            (matrix_key, mapping_key)
+            if matrix_key is not None and mapping_key is not None
+            else None
+        )
         incidence = cached_route_incidence(
             topology,
             src_n[crossing],
             dst_n[crossing],
             routing=policy,
             pair_weights=nbytes[crossing],
+            content_token=content_token,
         )
         used_links = len(incidence.used_links())
 
         if policy.name == "minimal":
             # Closed-form hop counts — the paper-faithful fast path, kept
             # bit-identical to the pre-routing-subsystem engine.
-            hops = topology.hops_array(src_n, dst_n)
+            hops = cached_pair_hops(topology, src_n, dst_n, matrix, mapping)
         else:
             # Under any other policy hop counts follow the chosen routes:
             # each pair's hops = its incidence row count (0 for self pairs).

@@ -1,0 +1,166 @@
+"""Cell identity: content keys, affinity tokens, and spec serialization.
+
+A **cell** is one grid point of a :class:`~repro.analysis.sweep.SweepSpec`
+together with every spec-level field that influences its records (seed,
+collectives mode, bandwidths, telemetry configuration).  Its ``key`` is a
+BLAKE2 digest of exactly those fields, so two cells with equal keys produce
+bit-identical records no matter which job, worker, or server lifetime
+computes them — the property the journal, the in-flight dedup table, and
+the record cache all rest on.
+
+The **affinity token** is the coarser grouping the scheduler routes on: the
+subset of the key that selects the expensive cached artifacts (the trace
+and its matrices).  Cells sharing a token want to land on the same worker,
+where the first one pays the deserialization and the rest hit that
+process's warm memory LRU.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..analysis.sweep import SweepSpec, unique_points
+
+__all__ = [
+    "CELL_KEY_VERSION",
+    "Cell",
+    "spec_to_dict",
+    "spec_from_dict",
+    "cell_key",
+    "affinity_token",
+    "expand_cells",
+]
+
+#: Bump when record semantics change (new record fields, changed rounding,
+#: changed cell evaluation) — journals and record caches never mix versions.
+CELL_KEY_VERSION = 1
+
+#: Grid-point axes in canonical order (matches ``SweepSpec.points()`` rows).
+_POINT_FIELDS = ("app", "ranks", "payload", "topology", "mapping", "routing")
+
+#: Spec-level fields that shape every cell's records.
+_SHARED_FIELDS = (
+    "bandwidths",
+    "include_collectives",
+    "seed",
+    "telemetry",
+    "telemetry_windows",
+    "telemetry_threshold",
+    "sim_volume_scale",
+)
+
+
+def spec_to_dict(spec: SweepSpec) -> dict[str, Any]:
+    """A JSON-safe dict that :func:`spec_from_dict` inverts exactly."""
+    return {
+        "apps": [[name, ranks] for name, ranks in spec.apps],
+        "topologies": list(spec.topologies),
+        "mappings": list(spec.mappings),
+        "payloads": list(spec.payloads),
+        "bandwidths": list(spec.bandwidths),
+        "routings": list(spec.routings),
+        "include_collectives": spec.include_collectives,
+        "seed": spec.seed,
+        "telemetry": spec.telemetry,
+        "telemetry_windows": spec.telemetry_windows,
+        "telemetry_threshold": spec.telemetry_threshold,
+        "sim_volume_scale": spec.sim_volume_scale,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> SweepSpec:
+    """Rebuild a :class:`SweepSpec` from :func:`spec_to_dict` output.
+
+    Validation happens in ``SweepSpec.__post_init__``; unknown keys raise
+    so a stale client cannot silently submit fields the server ignores.
+    """
+    data = dict(data)
+    apps = data.pop("apps", None)
+    if not apps:
+        raise ValueError("sweep spec needs a non-empty 'apps' list")
+    kwargs: dict[str, Any] = {
+        "apps": tuple((str(name), int(ranks)) for name, ranks in apps)
+    }
+    for field, convert in (
+        ("topologies", str),
+        ("mappings", str),
+        ("routings", str),
+        ("payloads", int),
+        ("bandwidths", float),
+    ):
+        if field in data:
+            kwargs[field] = tuple(convert(v) for v in data.pop(field))
+    for field in (
+        "include_collectives",
+        "seed",
+        "telemetry",
+        "telemetry_windows",
+        "telemetry_threshold",
+        "sim_volume_scale",
+    ):
+        if field in data:
+            kwargs[field] = data.pop(field)
+    if data:
+        raise ValueError(f"unknown sweep spec fields {sorted(data)}")
+    return SweepSpec(**kwargs)
+
+
+def _shared_fields(spec: SweepSpec) -> dict[str, Any]:
+    fields = spec_to_dict(spec)
+    return {name: fields[name] for name in _SHARED_FIELDS}
+
+
+def cell_key(spec: SweepSpec, point: tuple) -> str:
+    """Content key of one cell: a hex digest over (point, shared fields)."""
+    payload = {
+        "v": CELL_KEY_VERSION,
+        "point": dict(zip(_POINT_FIELDS, point)),
+        "shared": _shared_fields(spec),
+    }
+    raw = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.blake2b(raw.encode(), digest_size=16).hexdigest()
+
+
+def affinity_token(spec: SweepSpec, point: tuple) -> str:
+    """The cache-affinity group of a cell.
+
+    ``(app, ranks, seed)`` selects the trace — the heaviest artifact a
+    worker deserializes — and through it every matrix the cell's payloads
+    derive.  Cells of one token therefore share a worker so the trace is
+    paged in once per pool, not once per worker.
+    """
+    app, ranks = point[0], point[1]
+    return f"{app}:{ranks}:{spec.seed}"
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One schedulable unit: a grid point plus its identity keys."""
+
+    index: int  # position in the spec's canonical deduplicated order
+    point: tuple  # (app, ranks, payload, topology, mapping, routing)
+    key: str  # content key (journal / dedup identity)
+    token: str  # cache-affinity group
+
+
+def expand_cells(spec: SweepSpec) -> tuple[list[Cell], int]:
+    """Expand a spec into deduplicated cells, plus the collapsed count.
+
+    Shares :func:`repro.analysis.sweep.unique_points` with ``run_sweep``,
+    so the service's record order (cells in index order, bandwidths inside)
+    is bit-identical to the library path for the same spec.
+    """
+    points, collapsed = unique_points(spec)
+    cells = [
+        Cell(
+            index=i,
+            point=point,
+            key=cell_key(spec, point),
+            token=affinity_token(spec, point),
+        )
+        for i, point in enumerate(points)
+    ]
+    return cells, collapsed

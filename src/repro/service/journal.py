@@ -1,0 +1,136 @@
+"""Append-only, crash-resumable journal of completed sweep cells.
+
+One journal per job, one JSON line per completed cell::
+
+    {"v": 1, "cell": "<hex content key>", "records": [...]}
+
+Appends are buffered and fsync'd in batches (``batch`` lines), so the
+steady-state cost is one ``write``+``fsync`` per batch rather than per
+cell; a crash loses at most ``batch - 1`` cells, which the server simply
+recomputes.  :meth:`JobJournal.replay` tolerates a torn tail — a partial
+last line from a writer killed mid-append — by truncating the file back to
+the last complete, parseable line before appending resumes, so a journal
+can never poison itself across restarts.
+
+Records round-trip exactly: they are plain int/float/str dicts (the same
+objects ``run_sweep`` returns), and JSON float serialization is
+shortest-round-trip, so journaled records compare equal bit-for-bit with a
+clean recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["JOURNAL_VERSION", "JobJournal"]
+
+JOURNAL_VERSION = 1
+
+
+class JobJournal:
+    """Batched-fsync append log of ``(cell_key, records)`` completions."""
+
+    def __init__(self, path: str | os.PathLike, batch: int = 16) -> None:
+        if batch < 1:
+            raise ValueError("journal batch must be >= 1")
+        self.path = Path(path)
+        self.batch = batch
+        self._fh = None
+        self._pending = 0
+        #: Cells appended over this instance's lifetime (not the replay).
+        self.appended = 0
+
+    # -- replay -------------------------------------------------------------
+
+    @classmethod
+    def replay(cls, path: str | os.PathLike) -> tuple[dict[str, list], int]:
+        """Load completed cells from a journal, tolerating a torn tail.
+
+        Returns ``(entries, good_end)``: ``entries`` maps cell key to its
+        record list (first occurrence wins — duplicates can only arise from
+        a crash between compute and dedup bookkeeping, and carry identical
+        content), and ``good_end`` is the byte offset just past the last
+        complete line, which :meth:`open` truncates to before appending.
+        A missing file is an empty journal.
+        """
+        path = Path(path)
+        entries: dict[str, list] = {}
+        good_end = 0
+        if not path.is_file():
+            return entries, good_end
+        with path.open("rb") as fh:
+            data = fh.read()
+        offset = 0
+        while offset < len(data):
+            newline = data.find(b"\n", offset)
+            if newline < 0:
+                break  # torn tail: no terminator, writer died mid-append
+            line = data[offset:newline]
+            try:
+                entry = json.loads(line)
+                key = entry["cell"]
+                records = entry["records"]
+                if entry.get("v") != JOURNAL_VERSION or not isinstance(
+                    records, list
+                ):
+                    raise ValueError("unsupported journal line")
+            except (ValueError, KeyError, TypeError):
+                break  # torn or foreign line: everything after is suspect
+            entries.setdefault(key, records)
+            offset = newline + 1
+            good_end = offset
+        return entries, good_end
+
+    # -- appending ----------------------------------------------------------
+
+    def open(self, truncate_to: int | None = None) -> None:
+        """Open for appending, optionally truncating a torn tail first."""
+        if self._fh is not None:
+            raise RuntimeError("journal already open")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("ab")
+        if truncate_to is not None and self._fh.tell() > truncate_to:
+            self._fh.truncate(truncate_to)
+            self._fh.seek(truncate_to)
+        self._pending = 0
+
+    def append(self, cell_key: str, records: list[dict[str, Any]]) -> None:
+        """Append one completed cell; flushes+fsyncs every ``batch`` lines."""
+        if self._fh is None:
+            raise RuntimeError("journal is not open")
+        line = json.dumps(
+            {"v": JOURNAL_VERSION, "cell": cell_key, "records": records},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        self._fh.write(line.encode() + b"\n")
+        self._pending += 1
+        self.appended += 1
+        if self._pending >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        """Push buffered lines to disk (write + fsync); safe when empty."""
+        if self._fh is None or self._pending == 0:
+            return
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._pending = 0
+
+    def close(self) -> None:
+        if self._fh is None:
+            return
+        self.flush()
+        self._fh.close()
+        self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        if self._fh is None:
+            self.open()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -26,6 +26,8 @@ __all__ = [
     "reset",
     "stage",
     "as_dict",
+    "snapshot",
+    "since",
     "summary",
     "peak_rss_bytes",
 ]
@@ -35,7 +37,7 @@ _totals: dict[str, float] = {}
 _counts: dict[str, int] = {}
 
 #: Canonical stage order for the summary (unknown stages append after).
-_STAGE_ORDER = ("trace", "matrix", "routing", "analysis", "sim")
+_STAGE_ORDER = ("trace", "matrix", "mapping", "routing", "analysis", "sim")
 
 
 def enable(reset_counters: bool = True) -> None:
@@ -73,6 +75,26 @@ def stage(name: str) -> Iterator[None]:
         dt = time.perf_counter() - t0
         _totals[name] = _totals.get(name, 0.0) + dt
         _counts[name] = _counts.get(name, 0) + 1
+
+
+def snapshot() -> dict[str, float]:
+    """The current per-stage totals, for later differencing with :func:`since`."""
+    return dict(_totals)
+
+
+def since(snap: dict[str, float]) -> dict[str, float]:
+    """Per-stage seconds accumulated after ``snap`` (zero-delta stages omitted).
+
+    The sweep-service workers wrap each cell evaluation in a
+    snapshot/since pair, so the server can attribute aggregate time to
+    trace/matrix/mapping/routing/analysis stages across all worker
+    processes without any extra instrumentation in the library.
+    """
+    return {
+        name: total - snap.get(name, 0.0)
+        for name, total in _totals.items()
+        if total - snap.get(name, 0.0) > 0.0
+    }
 
 
 def peak_rss_bytes() -> int | None:

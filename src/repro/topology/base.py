@@ -51,15 +51,30 @@ class RouteIncidence:
         return len(self.link_id)
 
     def used_links(self) -> np.ndarray:
-        """Sorted unique link IDs appearing in any route."""
-        return np.unique(self.link_id)
+        """Sorted unique link IDs appearing in any route.
+
+        Memoized on the instance: incidences are shared via
+        :func:`repro.cache.cached_route_incidence`, and the ``np.unique``
+        over millions of incidence rows dominated warm sweep cells.
+        Incidence arrays are treated as immutable repo-wide.
+        """
+        cached = getattr(self, "_used_links", None)
+        if cached is None:
+            cached = np.unique(self.link_id)
+            object.__setattr__(self, "_used_links", cached)
+        return cached
 
     def link_loads(self, pair_weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Aggregate a per-pair weight (bytes, packets, ...) onto links.
 
         Returns ``(link_ids, loads)`` with link_ids sorted unique.
         """
-        ids, inverse = np.unique(self.link_id, return_inverse=True)
+        cached = getattr(self, "_link_inverse", None)
+        if cached is None:
+            cached = np.unique(self.link_id, return_inverse=True)
+            object.__setattr__(self, "_used_links", cached[0])
+            object.__setattr__(self, "_link_inverse", cached)
+        ids, inverse = cached
         # bincount beats np.add.at by ~10x at these shapes (see
         # benchmarks/test_perf_sim.py) and accumulates in the same input
         # order, so the float sums are bit-identical.

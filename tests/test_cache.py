@@ -248,9 +248,9 @@ class TestKeys:
             "disk_hits": 0,
         }
 
-    def test_cache_version_is_4(self):
-        """v4 switched traces to chunked, memory-mappable spill directories."""
-        assert cache.CACHE_VERSION == 4
+    def test_cache_version_is_5(self):
+        """v5 added mappings to the disk tier (v4: chunked trace spills)."""
+        assert cache.CACHE_VERSION == 5
 
     def test_policies_never_share_entries(self):
         """Different routing policies must never alias one cache entry —
