@@ -130,7 +130,9 @@ def unique_points(
     to evaluate — and record — the same cell twice.  Every consumer
     (:func:`run_sweep` and the job service) expands through this helper, so
     each distinct cell is computed and recorded exactly once, in first-
-    occurrence order.
+    occurrence order.  Collapsing emits one warning here — the single
+    shared site — so the direct API and the service path (``repro
+    submit`` via ``expand_cells``) both surface it.
     """
     seen: set[tuple] = set()
     points = []
@@ -139,18 +141,15 @@ def unique_points(
             continue
         seen.add(point)
         points.append(point)
-    return points, len(spec.points()) - len(points)
-
-
-def _warn_collapsed(spec: SweepSpec, collapsed: int) -> None:
+    collapsed = len(spec.points()) - len(points)
     if collapsed:
-        unique = len(spec.points()) - collapsed
         _log.warning(
             "sweep: collapsed %d duplicate grid cells (%d unique of %d)",
             collapsed,
-            unique,
-            unique + collapsed,
+            len(points),
+            len(points) + collapsed,
         )
+    return points, collapsed
 
 
 def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
@@ -293,8 +292,7 @@ def run_sweep(
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
-    points, collapsed = unique_points(spec)
-    _warn_collapsed(spec, collapsed)
+    points, _collapsed = unique_points(spec)
     total = len(points)
     if workers == 1 or total <= 1:
         per_point = []

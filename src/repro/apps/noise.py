@@ -1,0 +1,150 @@
+"""Background-noise aggressor traffic generators.
+
+Co-scheduling studies (Jha et al., PAPERS.md) characterise interference
+with two canonical aggressor shapes: *uniform* background chatter that
+raises the noise floor everywhere, and a *hot-spot* incast that funnels
+many sources into a few targets and saturates the links in between.
+Both are modeled here as :class:`~repro.apps.base.SyntheticApp`
+subclasses, so the multi-tenant composer (:mod:`repro.tenancy.compose`)
+treats them exactly like the Table-1 mini-apps.
+
+Noise apps differ from the calibrated apps in one way: they synthesize a
+:class:`~repro.apps.base.CalibrationPoint` for **any** rank count from
+constructor parameters (total volume, duration, iteration count) instead
+of carrying a fixed Table-1 row, and they publish no sweepable
+configurations — ``scales()``/``configurations()`` are empty so the
+paper-facing tables and sweeps never see them.  Default instances are
+registered in :data:`repro.apps.registry.NOISE_APPS`; custom-tuned
+instances can be passed directly to
+:class:`~repro.tenancy.compose.TenantSpec`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import AppPattern, CalibrationPoint, Channels, SyntheticApp
+
+__all__ = ["NoiseApp", "UniformNoise", "HotspotNoise"]
+
+
+class NoiseApp(SyntheticApp):
+    """Base for background-noise generators: pure p2p, any rank count."""
+
+    def __init__(
+        self,
+        volume_mb: float = 64.0,
+        time_s: float = 1.0,
+        iterations: int = 10,
+    ) -> None:
+        if volume_mb < 0:
+            raise ValueError("volume_mb must be >= 0")
+        if time_s <= 0:
+            raise ValueError("time_s must be positive")
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        self.volume_mb = float(volume_mb)
+        self.time_s = float(time_s)
+        self.iterations = int(iterations)
+
+    # Noise apps are not calibrated against Table 1: any rank count >= 2 is
+    # valid and the aggregates come from the constructor.
+    def calibration_for(self, ranks: int, variant: str = "") -> CalibrationPoint:
+        if variant:
+            raise KeyError(
+                f"{self.name} has no variants (requested variant={variant!r})"
+            )
+        if ranks < 2:
+            raise KeyError(f"{self.name} needs at least 2 ranks, got {ranks}")
+        return CalibrationPoint(
+            ranks,
+            self.time_s,
+            self.volume_mb,
+            1.0,  # pure p2p — noise carries no collectives
+            iterations=self.iterations,
+        )
+
+    def scales(self) -> list[int]:
+        return []
+
+    def configurations(self) -> list[CalibrationPoint]:
+        return []
+
+
+class UniformNoise(NoiseApp):
+    """Uniform background chatter: each rank sends to ``fanout`` random peers.
+
+    Destination offsets are drawn uniformly from ``1..ranks-1`` (self-sends
+    excluded), so the aggregate load spreads over the whole allocation with
+    no structure for routing to exploit — the classic noise floor.
+    """
+
+    name = "UniformNoise"
+
+    def __init__(
+        self,
+        fanout: int = 4,
+        volume_mb: float = 64.0,
+        time_s: float = 1.0,
+        iterations: int = 10,
+    ) -> None:
+        super().__init__(volume_mb, time_s, iterations)
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        self.fanout = int(fanout)
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        fanout = min(self.fanout, ranks - 1)
+        src = np.repeat(np.arange(ranks, dtype=np.int64), fanout)
+        offsets = rng.integers(1, ranks, size=len(src), dtype=np.int64)
+        dst = (src + offsets) % ranks
+        weight = np.ones(len(src), dtype=np.float64)
+        return AppPattern(channels=Channels(src, dst, weight))
+
+
+class HotspotNoise(NoiseApp):
+    """Hot-spot incast: ``src_ranks`` sources flood ``hot_ranks`` targets.
+
+    Targets are the job's lowest local ranks (``0..hot_ranks-1``), sources
+    the next ``src_ranks`` ranks; any further ranks in the allocation stay
+    idle.  Under a locality-preserving placement the flood concentrates on
+    the few links toward the targets' nodes, which is exactly the
+    adversarial shape the ``interference_aware`` routing policy and the
+    congestion-attribution report are demonstrated against.
+    """
+
+    name = "HotspotNoise"
+
+    def __init__(
+        self,
+        hot_ranks: int = 8,
+        src_ranks: int | None = None,
+        volume_mb: float = 256.0,
+        time_s: float = 1.0,
+        iterations: int = 10,
+    ) -> None:
+        super().__init__(volume_mb, time_s, iterations)
+        if hot_ranks < 1:
+            raise ValueError("hot_ranks must be >= 1")
+        if src_ranks is not None and src_ranks < 1:
+            raise ValueError("src_ranks must be >= 1 when given")
+        self.hot_ranks = int(hot_ranks)
+        self.src_ranks = None if src_ranks is None else int(src_ranks)
+
+    def pattern(self, ranks: int, rng: np.random.Generator) -> AppPattern:
+        hot = min(self.hot_ranks, ranks - 1)
+        first_src = hot
+        if self.src_ranks is None:
+            last_src = ranks
+        else:
+            last_src = min(first_src + self.src_ranks, ranks)
+        sources = np.arange(first_src, last_src, dtype=np.int64)
+        if not len(sources):
+            raise ValueError(
+                f"{self.name}: no source ranks left after {hot} hot targets "
+                f"in a {ranks}-rank allocation"
+            )
+        src = np.repeat(sources, hot)
+        dst = np.tile(np.arange(hot, dtype=np.int64), len(sources))
+        weight = np.ones(len(src), dtype=np.float64)
+        return AppPattern(channels=Channels(src, dst, weight))

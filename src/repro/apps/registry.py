@@ -21,12 +21,14 @@ from .crystal_router import CrystalRouter
 from .exmatex import CMC2D, LULESH
 from .minife import MiniFE
 from .multigrid_c import MultiGridC
+from .noise import HotspotNoise, UniformNoise
 from .scalehalo import ScaleHalo3D
 from .transport import PARTISN, SNAP
 
 __all__ = [
     "APPS",
     "SCALE_APPS",
+    "NOISE_APPS",
     "app_names",
     "get_app",
     "generate_trace",
@@ -63,6 +65,15 @@ SCALE_APPS: dict[str, SyntheticApp] = {
     app.name: app for app in (ScaleHalo3D(),)
 }
 
+#: Background-noise aggressors for multi-tenant composition
+#: (:mod:`repro.tenancy`): default-tuned instances resolvable via
+#: :func:`get_app`, excluded from :func:`iter_configurations` like the
+#: scale tier.  Custom-tuned instances go straight into a
+#: :class:`~repro.tenancy.compose.TenantSpec` without registration.
+NOISE_APPS: dict[str, SyntheticApp] = {
+    app.name: app for app in (UniformNoise(), HotspotNoise())
+}
+
 
 def app_names() -> list[str]:
     """All application names, Table-1 order."""
@@ -77,7 +88,11 @@ def get_app(name: str) -> SyntheticApp:
     try:
         return SCALE_APPS[name]
     except KeyError:
-        known = app_names() + list(SCALE_APPS)
+        pass
+    try:
+        return NOISE_APPS[name]
+    except KeyError:
+        known = app_names() + list(SCALE_APPS) + list(NOISE_APPS)
         raise KeyError(f"unknown application {name!r}; known: {known}") from None
 
 

@@ -64,6 +64,9 @@ __all__ = [
     "run_sweep_bench",
     "write_sweep_bench",
     "render_sweep_bench",
+    "run_tenancy_bench",
+    "write_tenancy_bench",
+    "render_tenancy_bench",
 ]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
@@ -107,6 +110,16 @@ SWEEP_BENCH_APPS = (
     ("CMC_2D", 256),
     ("MOCFE", 256),
 )
+
+#: ``repro bench tenancy`` (benchmarks/test_perf_tenancy.py): the asserted
+#: floor on how much ``interference_aware`` routing must cut the victim's
+#: peak link load versus minimal routing under a hot-spot aggressor, plus
+#: the hard requirement that a composed single-job/no-noise run stays
+#: bit-identical to the solo run on both engines.  The reduction is a
+#: structural (route-count) ratio — deterministic, no wall times involved.
+TENANCY_VICTIM_LOAD_REDUCTION_TARGET = 2.0
+TENANCY_VOLUME_SCALE = 64.0
+TENANCY_MAX_PACKETS = 5_000_000
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -955,3 +968,153 @@ def render_scale_bench(data: dict[str, Any]) -> str:
             f"(ratio {ratio}, ceiling {summary['rss_ratio_ceiling']})",
         ]
     )
+
+def run_tenancy_bench() -> dict[str, Any]:
+    """Multi-tenant gates: interference-aware routing and solo identity.
+
+    Gate 1 (victim-load reduction): a LULESH victim shares a dragonfly
+    with a deliberately hostile :class:`~repro.apps.noise.HotspotNoise`
+    aggressor flooding 16 targets.  The victim's peak exposed link load
+    (max total services over links its routes traverse) is measured under
+    minimal routing and under ``interference_aware`` routing primed with
+    the victim's own structural loads.  Asserted
+    (``benchmarks/test_perf_tenancy.py``):
+    ``baseline / aware >= TENANCY_VICTIM_LOAD_REDUCTION_TARGET``.  Both
+    numbers are structural route counts — deterministic on every machine.
+
+    Gate 2 (solo identity): composing a single job with zero noise must be
+    bit-identical to the solo run — the trace itself, every compared
+    simulation observable, per-link serve counts, and the windowed
+    telemetry report, on both engines.
+    """
+    from .apps.noise import HotspotNoise
+    from .apps.registry import generate_trace
+    from .comm.matrix import matrix_from_trace
+    from .routing import InterferenceAwareRouting, victim_link_loads
+    from .sim.common import prepare_simulation
+    from .sim.engine import simulate_network
+    from .telemetry import TelemetryConfig
+    from .telemetry.collector import reports_equal
+    from .tenancy import TenantSpec, compose_workload, victim_peak_link_load
+    from .topology.dragonfly import Dragonfly
+    from .topology.configs import config_for
+    from .validation.invariants import traces_identical
+
+    # --- gate 1: hot-spot aggressor on a dragonfly --------------------
+    topo = Dragonfly(8, 4, 4)
+    aggressor = HotspotNoise(hot_ranks=16, src_ranks=16, volume_mb=16384.0)
+    t0 = time.perf_counter()
+    workload = compose_workload(
+        [TenantSpec("LULESH", 512)],
+        noise=[TenantSpec(aggressor, topo.num_nodes - 512)],
+        allocation="round_robin",
+    )
+    victim = workload.app_job_ids()[0]
+    matrix = matrix_from_trace(workload.trace)
+    common = dict(
+        execution_time=workload.trace.meta.execution_time,
+        volume_scale=TENANCY_VOLUME_SCALE,
+        max_packets=TENANCY_MAX_PACKETS,
+        job_of_rank=workload.job_of_rank,
+    )
+    base = prepare_simulation(matrix, topo, routing="minimal", **common)
+    baseline_peak = victim_peak_link_load(base, victim)
+    prior = victim_link_loads(
+        workload.job_matrix(matrix, victim),
+        topo,
+        volume_scale=TENANCY_VOLUME_SCALE,
+    )
+    aware = prepare_simulation(
+        matrix,
+        topo,
+        routing=InterferenceAwareRouting(victim_loads=prior),
+        **common,
+    )
+    aware_peak = victim_peak_link_load(aware, victim)
+    gate1_s = time.perf_counter() - t0
+    reduction = baseline_peak / aware_peak if aware_peak > 0 else float("inf")
+
+    # --- gate 2: composed single job == solo run, both engines --------
+    t0 = time.perf_counter()
+    solo_trace = generate_trace("LULESH", 64)
+    composed = compose_workload([TenantSpec("LULESH", 64)])
+    trace_identical = traces_identical(composed.trace, solo_trace)
+    torus = config_for(64).build_torus()
+    solo_matrix = matrix_from_trace(solo_trace)
+    composed_matrix = matrix_from_trace(composed.trace)
+    engines = {}
+    for engine in ("batched", "reference"):
+        # volume_scale keeps the reference engine's event loop tractable;
+        # identity must hold at every scale, so checking one is enough.
+        kwargs = dict(
+            execution_time=solo_trace.meta.execution_time,
+            volume_scale=32.0,
+            telemetry=TelemetryConfig(windows=16),
+            engine=engine,
+        )
+        solo = simulate_network(solo_matrix, torus, **kwargs)
+        both = simulate_network(
+            composed_matrix, torus, job_of_rank=composed.job_of_rank, **kwargs
+        )
+        engines[engine] = {
+            "results_equal": bool(solo == both),
+            "serve_counts_equal": bool(
+                np.array_equal(solo.link_serve_counts, both.link_serve_counts)
+            ),
+            "telemetry_equal": bool(
+                reports_equal(solo.telemetry, both.telemetry)
+            ),
+            "packets": solo.packets_simulated,
+        }
+    gate2_s = time.perf_counter() - t0
+    identical = trace_identical and all(
+        e["results_equal"] and e["serve_counts_equal"] and e["telemetry_equal"]
+        for e in engines.values()
+    )
+
+    return {
+        "scenario": {
+            "topology": repr(topo),
+            "victim": "LULESH@512",
+            "aggressor": f"HotspotNoise@{topo.num_nodes - 512} "
+            "(hot_ranks=16, src_ranks=16, volume_mb=16384)",
+            "allocation": "round_robin",
+            "volume_scale": TENANCY_VOLUME_SCALE,
+            "packets": base.total_packets,
+            "gate1_seconds": round(gate1_s, 3),
+            "gate2_seconds": round(gate2_s, 3),
+        },
+        "identity": {"trace_identical": trace_identical, "engines": engines},
+        "summary": {
+            "victim_peak_load_minimal": baseline_peak,
+            "victim_peak_load_aware": aware_peak,
+            "victim_load_reduction": round(reduction, 2),
+            "victim_load_reduction_target": TENANCY_VICTIM_LOAD_REDUCTION_TARGET,
+            "reduction_ok": reduction >= TENANCY_VICTIM_LOAD_REDUCTION_TARGET,
+            "solo_identity_ok": identical,
+        },
+    }
+
+
+def write_tenancy_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_tenancy_bench(data: dict[str, Any]) -> str:
+    s = data["summary"]
+    sc = data["scenario"]
+    lines = [
+        f"multi-tenant gates: {sc['victim']} vs {sc['aggressor']}",
+        f"  topology {sc['topology']} ({sc['allocation']} allocation, "
+        f"{sc['packets']} scaled packets)",
+        f"  victim peak link load:  minimal {s['victim_peak_load_minimal']:.0f}"
+        f"   interference_aware {s['victim_peak_load_aware']:.0f}",
+        f"  reduction: {s['victim_load_reduction']}x "
+        f"(target >= {s['victim_load_reduction_target']}x)   "
+        f"ok: {s['reduction_ok']}",
+        f"  solo identity (1 job, no noise, both engines): "
+        f"{s['solo_identity_ok']}",
+    ]
+    return "\n".join(lines)

@@ -87,7 +87,11 @@ __all__ = [
 #: v5: mappings join the disk cache (node-pair aggregates join the memory
 #: tier only — they are matrix-sized, so spilling them costs more than the
 #: argsort they save).
-CACHE_VERSION = 5
+#: v6: multi-tenant composition (repro.tenancy) — composite traces carry
+#: per-job prefixed sub-communicators and the ``interference_aware``
+#: routing token embeds a victim-load digest; cold-start once so no v5
+#: entry can alias a composed-era key.
+CACHE_VERSION = 6
 
 
 @dataclass

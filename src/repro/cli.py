@@ -16,6 +16,7 @@ Usage::
     python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d] [--routing ugal]
     python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
     python -m repro telemetry --app BigFFT --ranks 100 [--windows N] [--compare minimal,ugal]
+    python -m repro compose --jobs LULESH:64,CMC_2D:64 [--noise HotspotNoise:64] [--allocation round_robin]
     python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal]
     python -m repro serve   --state DIR [--workers N] [--scheduler affinity|random]
     python -m repro submit  --state DIR --app LULESH --ranks 64 [--wait]
@@ -25,7 +26,7 @@ Usage::
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
     python -m repro compare [--max-ranks N]
     python -m repro validate [--max-ranks N]
-    python -m repro check   [--max-ranks N] [--strict] [--no-sim]
+    python -m repro check   [--max-ranks N] [--strict] [--no-sim] [--composed]
     python -m repro fuzz    [--count N] [--offset K] [--no-shrink]
     python -m repro apps
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
@@ -33,6 +34,7 @@ Usage::
     python -m repro bench telemetry [--out PATH]
     python -m repro bench scale [--ranks N] [--chunk-mb M] [--rlimit-gb G]
     python -m repro bench sweep [--workers N] [--out PATH]
+    python -m repro bench tenancy [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -58,7 +60,9 @@ __all__ = ["main", "build_parser"]
 _USER_ERRORS = (ValueError, KeyError, FileNotFoundError, NotADirectoryError)
 
 #: Kept literal (matching repro.routing.ROUTINGS) so --help needs no imports.
-_ROUTING_CHOICES = ("minimal", "ecmp", "valiant", "dmodk", "ugal")
+_ROUTING_CHOICES = (
+    "minimal", "ecmp", "valiant", "dmodk", "ugal", "interference_aware"
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -217,6 +221,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full report to PATH (.npz exact, .json summary)",
     )
     add_routing(tm)
+
+    cm = sub.add_parser(
+        "compose",
+        help="co-schedule jobs on one machine and attribute interference",
+    )
+    cm.add_argument(
+        "--jobs", required=True, metavar="APP:RANKS,...",
+        help="tenant applications, e.g. LULESH:64,CMC_2D:64",
+    )
+    cm.add_argument(
+        "--noise", default=None, metavar="APP:RANKS,...",
+        help="background aggressors, e.g. HotspotNoise:64 or UniformNoise:32",
+    )
+    cm.add_argument(
+        "--allocation", default="contiguous",
+        choices=("contiguous", "round_robin", "random"),
+        help="rank-allocation policy placing jobs on the machine",
+    )
+    cm.add_argument(
+        "--alloc-seed", type=int, default=0,
+        help="seed for the random allocation policy",
+    )
+    cm.add_argument(
+        "--topology", default="torus3d",
+        choices=("torus3d", "fattree", "dragonfly"),
+    )
+    cm.add_argument(
+        "--windows", type=int, default=48,
+        help="telemetry windows for congestion-region detection (default: 48)",
+    )
+    cm.add_argument(
+        "--threshold", type=float, default=0.7,
+        help="hot-link occupancy fraction for region detection (default: 0.7)",
+    )
+    cm.add_argument(
+        "--volume-scale", type=float, default=1.0,
+        help="simulate 1/k of the volume at 1/k bandwidth (for big traces)",
+    )
+    cm.add_argument(
+        "--engine", default="auto", choices=("auto", "batched", "reference"),
+        help="simulation kernel (all bit-identical; default picks by load)",
+    )
+    cm.add_argument(
+        "--seed", type=int, default=0,
+        help="trace-generation seed shared by every tenant",
+    )
+    add_routing(cm)
 
     sw = sub.add_parser(
         "sweep", help="cross a custom parameter grid (incl. routing policies)"
@@ -380,6 +431,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the dynamic-simulation and telemetry invariants",
     )
     ck.add_argument(
+        "--composed", action="store_true",
+        help="also check multi-tenant composed-workload scenarios",
+    )
+    ck.add_argument(
         "--target-packets", type=int, default=20_000,
         help="volume-scale each simulation down to about this many packets",
     )
@@ -425,12 +480,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument(
         "target",
-        choices=["pipeline", "routing", "telemetry", "scale", "sweep"],
+        choices=["pipeline", "routing", "telemetry", "scale", "sweep", "tenancy"],
         help="pipeline: legacy vs columnar front-end; "
         "routing: per-policy route-construction throughput; "
         "telemetry: collector overhead and congestion comparison; "
         "scale: peak RSS of the out-of-core streaming pipeline; "
-        "sweep: cold serial vs warm sharded sweep service",
+        "sweep: cold serial vs warm sharded sweep service; "
+        "tenancy: interference-aware routing gate and solo bit-identity",
     )
     be.add_argument(
         "--min-ranks",
@@ -752,6 +808,67 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             else:
                 save_report_npz(report, out)
             print(f"\nwrote report to {out}")
+    elif args.command == "compose":
+        from .telemetry import TelemetryConfig
+        from .tenancy import (
+            TenantSpec,
+            compose_workload,
+            interference_report,
+            render_interference_report,
+        )
+        from .topology.configs import config_for
+
+        def parse_specs(value: str) -> list:
+            specs = []
+            for item in (s.strip() for s in value.split(",")):
+                if not item:
+                    continue
+                name, sep, ranks = item.rpartition(":")
+                if not sep or not ranks.isdigit():
+                    raise ValueError(
+                        f"bad job spec {item!r}: expected APP:RANKS"
+                    )
+                specs.append(TenantSpec(name, int(ranks), seed=args.seed))
+            return specs
+
+        jobs = parse_specs(args.jobs)
+        noise = parse_specs(args.noise) if args.noise else []
+        workload = compose_workload(
+            jobs,
+            noise=noise,
+            allocation=args.allocation,
+            alloc_seed=args.alloc_seed,
+        )
+        cfg = config_for(workload.num_ranks)
+        topo = {
+            "torus3d": cfg.build_torus,
+            "fattree": cfg.build_fat_tree,
+            "dragonfly": cfg.build_dragonfly,
+        }[args.topology]()
+        print(
+            f"composed {workload.trace.meta.label} "
+            f"({workload.num_jobs} jobs, {args.allocation} allocation) "
+            f"on {topo!r} ({args.routing} routing)"
+        )
+        for job in workload.jobs:
+            tag = "noise" if job.is_noise else "app"
+            lo, hi = int(job.ranks.min()), int(job.ranks.max())
+            print(
+                f"  job {job.job_id} [{tag:<5}] {job.label:<24} "
+                f"{job.num_ranks} ranks in [{lo}, {hi}]"
+            )
+        report = interference_report(
+            workload,
+            topo,
+            volume_scale=args.volume_scale,
+            engine=args.engine,
+            routing=args.routing,
+            routing_seed=args.routing_seed,
+            telemetry=TelemetryConfig(windows=args.windows),
+            threshold=args.threshold,
+        )
+        print()
+        print(render_interference_report(report))
     elif args.command == "sweep":
         from .analysis.sweep import SweepSpec, run_sweep
 
@@ -880,6 +997,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             sim=not args.no_sim,
             target_packets=args.target_packets,
             seed=args.seed,
+            composed=args.composed,
         )
         print(report.render(verbose=args.verbose))
         return 0 if report.ok(strict=args.strict) else 1
@@ -955,6 +1073,16 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             data = run_sweep_bench(workers=args.workers or SWEEP_WORKERS)
             print(render_sweep_bench(data))
             path = write_sweep_bench(out, data)
+        elif args.target == "tenancy":
+            from .bench import (
+                render_tenancy_bench,
+                run_tenancy_bench,
+                write_tenancy_bench,
+            )
+
+            data = run_tenancy_bench()
+            print(render_tenancy_bench(data))
+            path = write_tenancy_bench(out, data)
         else:
             from .bench import (
                 render_routing_bench,

@@ -15,6 +15,7 @@ from __future__ import annotations
 from .base import RoutingPolicy
 from .dmodk import DModKRouting
 from .ecmp import ECMPRouting
+from .interference import InterferenceAwareRouting, victim_link_loads
 from .minimal import MinimalRouting
 from .ugal import UGALRouting
 from .valiant import ValiantRouting
@@ -27,6 +28,8 @@ __all__ = [
     "ValiantRouting",
     "DModKRouting",
     "UGALRouting",
+    "InterferenceAwareRouting",
+    "victim_link_loads",
     "get_policy",
 ]
 
@@ -38,6 +41,7 @@ _POLICIES: dict[str, type[RoutingPolicy]] = {
         ValiantRouting,
         DModKRouting,
         UGALRouting,
+        InterferenceAwareRouting,
     )
 }
 

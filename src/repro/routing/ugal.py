@@ -56,6 +56,15 @@ class UGALRouting(RoutingPolicy):
     randomized = True
     load_aware = True
 
+    def _initial_loads(self, topology: Topology) -> np.ndarray:
+        """Link loads on the books before any traffic is routed.
+
+        UGAL starts from an idle network; subclasses (the
+        ``interference_aware`` policy) seed this with another tenant's
+        traffic so the greedy pricing steers around it.
+        """
+        return np.zeros(topology.num_links, dtype=np.float64)
+
     def route_incidence(
         self,
         topology: Topology,
@@ -89,7 +98,7 @@ class UGALRouting(RoutingPolicy):
         # Intra-group traffic is routed unconditionally; its load is on the
         # books before any adaptive decision (it shares local links with
         # the detours UGAL considers).
-        loads = np.zeros(topology.num_links, dtype=np.float64)
+        loads = self._initial_loads(topology)
         np.add.at(loads, inc_rest.link_id, weights[idx_rest][inc_rest.pair_index])
 
         # Both candidate paths for every cross-group pair, priced up front.

@@ -81,6 +81,12 @@ class SimulationResult:
     telemetry: "TelemetryReport | None" = field(
         default=None, compare=False, repr=False
     )
+    #: Per-job delivery makespans, ``float64[num_jobs]`` (populated only for
+    #: composed workloads simulated with ``job_of_rank``; NaN for jobs that
+    #: injected no crossing packets; ``None`` otherwise).
+    job_makespans: np.ndarray | None = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def dynamic_utilization(self) -> float:
@@ -120,6 +126,10 @@ class SimSetup:
     hop_latency: float
     serve_counts: np.ndarray  # int64[num_links]: services each link performs
     total_hops: int
+    #: Owning job of each crossing pair (``int64[num_pairs]``, from the
+    #: composer's ``job_of_rank`` table); ``None`` for solo runs.  Presence
+    #: only adds per-job accounting — packet schedules are unaffected.
+    pair_job: np.ndarray | None = None
 
     @property
     def injection_window(self) -> float:
@@ -139,6 +149,7 @@ def prepare_simulation(
     seed: int = 0,
     routing: str = "minimal",
     routing_seed: int = 0,
+    job_of_rank: np.ndarray | None = None,
 ) -> SimSetup | None:
     """Validate parameters and build the shared simulation state.
 
@@ -147,6 +158,10 @@ def prepare_simulation(
     ``routing`` selects the :mod:`repro.routing` policy whose routes the
     packets walk; both engines consume the resulting :class:`SimSetup`, so
     their seed-for-seed bit equality holds under every policy.
+
+    ``job_of_rank`` (from :mod:`repro.tenancy`) tags each crossing pair with
+    its owning job so the engines can report per-job makespans; it changes
+    no route, injection time, or service decision.
     """
     if execution_time <= 0:
         raise ValueError("execution_time must be positive")
@@ -216,6 +231,16 @@ def prepare_simulation(
     inject_pair = np.repeat(pair_ids.astype(np.int64), scaled)
     inject_time = rng.uniform(0.0, execution_time, size=total_packets)
 
+    pair_job = None
+    if job_of_rank is not None:
+        table = np.asarray(job_of_rank, dtype=np.int64)
+        if table.shape != (matrix.num_ranks,):
+            raise ValueError(
+                f"job_of_rank must have shape ({matrix.num_ranks},), "
+                f"got {table.shape}"
+            )
+        pair_job = table[matrix.src][crossing]
+
     return SimSetup(
         total_packets=total_packets,
         num_links=len(link_ids),
@@ -232,6 +257,7 @@ def prepare_simulation(
         hop_latency=float(hop_latency),
         serve_counts=serve_counts,
         total_hops=total_hops,
+        pair_job=pair_job,
     )
 
 
@@ -265,6 +291,17 @@ def assemble_result(
         if makespan > 0 and serve_counts.size
         else 0.0
     )
+    job_makespans = None
+    if setup.pair_job is not None:
+        # Per-job delivery makespans: max delivered_at over each job's own
+        # packets.  Jobs with no crossing packets report NaN, matching the
+        # library-wide undefined-ratio convention.
+        pkt_job = setup.pair_job[setup.inject_pair]
+        num_jobs = int(setup.pair_job.max()) + 1
+        job_makespans = np.zeros(num_jobs, dtype=np.float64)
+        np.maximum.at(job_makespans, pkt_job, delivered_at)
+        counts = np.bincount(pkt_job, minlength=num_jobs)
+        job_makespans[counts == 0] = np.nan
     return SimulationResult(
         packets_simulated=setup.total_packets,
         total_hops=setup.total_hops,
@@ -279,6 +316,7 @@ def assemble_result(
         peak_link_busy_fraction=peak,
         link_ids=setup.link_ids,
         link_serve_counts=serve_counts,
+        job_makespans=job_makespans,
     )
 
 

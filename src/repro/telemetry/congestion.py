@@ -55,6 +55,12 @@ class CongestionRegion:
     link_windows: int  # total hot (link, window) cells
     links: np.ndarray  # int64: union of compact link indices
     window_dt: float
+    #: The exact hot cells of this region, as parallel (compact link,
+    #: window) arrays of length ``link_windows`` — the attribution layer
+    #: (:mod:`repro.tenancy.attribution`) charges each cell's services to
+    #: jobs by link-occupancy share.  ``None`` on regions built by hand.
+    cell_links: np.ndarray | None = None
+    cell_windows: np.ndarray | None = None
 
     @property
     def duration_windows(self) -> int:
@@ -172,6 +178,8 @@ def find_congestion_regions(
                 link_windows=len(members),
                 links=np.unique(ls),
                 window_dt=report.window_dt,
+                cell_links=ls,
+                cell_windows=ws,
             )
         )
     regions.sort(key=lambda r: (r.onset_window, -r.link_windows))

@@ -13,6 +13,7 @@ import numpy as np
 
 from ..metrics.heatmap import _SHADES
 from ..topology.base import Topology
+from ..util import fmt_float
 from .collector import TelemetryReport
 
 __all__ = ["render_congestion_timeline", "render_summary"]
@@ -38,9 +39,13 @@ def render_congestion_timeline(
     link ID.  The footer row prints the number of hot links per window
     (``.`` none, digits, ``+`` for ten or more).
     """
-    frac = report.occupancy_fraction()
-    if not frac.size:
+    raw = report.occupancy_fraction()
+    if not raw.size:
         return "(no link activity recorded)"
+    # A NaN makespan (empty traffic) yields NaN window_dt and fractions;
+    # label those "N/A" and shade them blank instead of crashing — same
+    # convention as every other NaN-rendering surface (repro.util).
+    frac = np.where(np.isfinite(raw), raw, 0.0)
     totals = report.occupancy.sum(axis=1)
     order = np.argsort(-totals, kind="stable")[:top]
 
@@ -55,13 +60,14 @@ def render_congestion_timeline(
 
     lines = [
         f"occupancy timeline: {report.num_windows} windows x "
-        f"{report.window_dt:.3e} s (span {report.span:.3e} s), "
+        f"{fmt_float(report.window_dt, '.3e')} s "
+        f"(span {fmt_float(report.span, '.3e')} s), "
         f"top {len(order)} of {report.num_links} links"
     ]
     for idx, label in zip(order, labels):
         row = "".join(_shade(f) for f in frac[idx])
-        peak = float(frac[idx].max())
-        lines.append(f"{label:<{width}} |{row}| peak {peak:.2f}")
+        peak = float(raw[idx].max())
+        lines.append(f"{label:<{width}} |{row}| peak {fmt_float(peak, '.2f')}")
 
     hot_counts = (frac >= threshold).sum(axis=0)
     footer = "".join(

@@ -1,0 +1,93 @@
+"""Rank-allocation policies for co-scheduled jobs.
+
+An allocation splits the global rank space ``0..total-1`` of one shared
+machine into disjoint, complete per-job rank sets.  Three policies cover
+the span studied in the co-scheduling literature (Jha et al., PAPERS.md):
+
+- ``contiguous`` — each job gets one consecutive block, in submission
+  order.  This is what batch schedulers aim for and gives each job the
+  best possible intra-job locality.
+- ``round_robin`` — global ranks are dealt cyclically to the jobs that
+  still have capacity, maximally interleaving them.  This is the
+  adversarial fragmentation case: every job's neighbours on the machine
+  belong to other jobs.
+- ``random`` — a seeded permutation of the rank space, split by job
+  size.  Models a fragmented scheduler queue.
+
+Every policy returns per-job arrays of **sorted ascending** global rank
+IDs, so local rank ``i`` of a job maps to the ``i``-th smallest global
+rank it owns.  Sorting makes the single-job allocation the identity under
+every policy — the composer relies on this for its solo bit-identity
+guarantee.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ALLOCATIONS", "allocate_ranks", "job_of_rank_table"]
+
+#: Recognised allocation policy names, in documentation order.
+ALLOCATIONS = ("contiguous", "round_robin", "random")
+
+
+def allocate_ranks(
+    sizes: tuple[int, ...] | list[int],
+    policy: str = "contiguous",
+    seed: int = 0,
+) -> list[np.ndarray]:
+    """Split ``sum(sizes)`` global ranks into disjoint per-job sets.
+
+    Returns one ``int64`` array of sorted ascending global rank IDs per
+    job.  The union of the arrays is exactly ``0..sum(sizes)-1`` and the
+    arrays are pairwise disjoint, for every policy and seed.
+
+    ``seed`` only affects ``policy="random"``.
+    """
+    sizes = [int(s) for s in sizes]
+    if not sizes:
+        raise ValueError("allocate_ranks needs at least one job")
+    if any(s <= 0 for s in sizes):
+        raise ValueError(f"job sizes must be positive, got {sizes}")
+    total = sum(sizes)
+    if policy == "contiguous":
+        bounds = np.cumsum([0] + sizes)
+        return [
+            np.arange(bounds[j], bounds[j + 1], dtype=np.int64)
+            for j in range(len(sizes))
+        ]
+    if policy == "round_robin":
+        # Deal ranks cyclically, skipping jobs that are already full.  With
+        # equal sizes this is a pure stride pattern; with unequal sizes the
+        # smaller jobs drop out of the rotation as they fill.
+        remaining = list(sizes)
+        out: list[list[int]] = [[] for _ in sizes]
+        job = 0
+        for rank in range(total):
+            while remaining[job] == 0:
+                job = (job + 1) % len(sizes)
+            out[job].append(rank)
+            remaining[job] -= 1
+            job = (job + 1) % len(sizes)
+        return [np.asarray(ranks, dtype=np.int64) for ranks in out]
+    if policy == "random":
+        rng = np.random.default_rng(np.random.SeedSequence([0x7E4A, seed]))
+        perm = rng.permutation(total).astype(np.int64)
+        bounds = np.cumsum([0] + sizes)
+        return [
+            np.sort(perm[bounds[j] : bounds[j + 1]])
+            for j in range(len(sizes))
+        ]
+    raise ValueError(
+        f"unknown allocation policy {policy!r}; known: {', '.join(ALLOCATIONS)}"
+    )
+
+
+def job_of_rank_table(allocations: list[np.ndarray], total: int) -> np.ndarray:
+    """Invert an allocation: ``int64[total]`` mapping global rank → job ID."""
+    table = np.full(total, -1, dtype=np.int64)
+    for job, ranks in enumerate(allocations):
+        table[ranks] = job
+    if (table < 0).any():
+        raise ValueError("allocation does not cover the full rank space")
+    return table

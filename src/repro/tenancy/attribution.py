@@ -1,0 +1,329 @@
+"""Per-job congestion attribution and the interference report.
+
+Given a composed workload simulated with telemetry, this module answers
+"who caused that congestion region, and what did it cost each tenant?":
+
+- :func:`per_job_link_loads` splits the simulation's structural per-link
+  service counts by owning job — each pair's packets are charged to the
+  job of its source rank over every link of its route, so the per-job
+  rows sum exactly to ``setup.serve_counts``.
+- :func:`attribute_regions` charges the services inside each congestion
+  region's hot (link, window) cells to jobs by their link-occupancy
+  shares, yielding per-region blamed-bytes breakdowns and a
+  victim/aggressor participant list.
+- :func:`interference_report` orchestrates the whole pipeline: composite
+  simulation (with telemetry), per-job solo baselines under the *same*
+  placement (the job's own submatrix, interference removed), region
+  attribution, and per-job slowdown/blame aggregation.
+
+The attribution is *static by link, dynamic by window*: occupancy shares
+come from the routes and packet counts (exact, engine-independent), while
+the hot cells come from the windowed telemetry of the actual run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..comm.matrix import matrix_from_trace
+from ..core.packets import MAX_PAYLOAD_BYTES
+from ..model.engine import BANDWIDTH_BYTES_PER_S
+from ..sim.common import SimSetup, prepare_simulation
+from ..telemetry.collector import TelemetryConfig
+from ..telemetry.congestion import CongestionRegion, find_congestion_regions
+from ..util import fmt_float
+from .compose import ComposedWorkload
+
+__all__ = [
+    "per_job_link_loads",
+    "RegionBlame",
+    "attribute_regions",
+    "JobInterference",
+    "InterferenceReport",
+    "interference_report",
+    "render_interference_report",
+    "victim_peak_link_load",
+]
+
+
+def per_job_link_loads(setup: SimSetup, num_jobs: int | None = None) -> np.ndarray:
+    """Per-job structural link loads, ``float64[num_jobs, num_links]``.
+
+    Entry ``[j, l]`` counts the (scaled) packets job ``j`` pushes through
+    compact link ``l``; columns sum to ``setup.serve_counts`` exactly.
+    Requires a setup prepared with ``job_of_rank``.
+    """
+    if setup.pair_job is None:
+        raise ValueError(
+            "setup carries no job identity; prepare it with job_of_rank="
+        )
+    if num_jobs is None:
+        num_jobs = int(setup.pair_job.max()) + 1
+    # route_links runs are grouped by ascending pair ID (stable sort in
+    # prepare_simulation), so repeating each pair by its route length
+    # aligns rows with their owning pair.
+    num_pairs = len(setup.pair_packets)
+    row_pair = np.repeat(np.arange(num_pairs, dtype=np.int64), setup.route_lens)
+    row_job = setup.pair_job[row_pair]
+    flat = row_job * setup.num_links + setup.route_links
+    loads = np.bincount(
+        flat,
+        weights=setup.pair_packets[row_pair].astype(np.float64),
+        minlength=num_jobs * setup.num_links,
+    )
+    return loads.reshape(num_jobs, setup.num_links)
+
+
+def victim_peak_link_load(setup: SimSetup, job_id: int) -> float:
+    """Peak total load on any link the job's traffic traverses.
+
+    The max is over **total** serve counts (all tenants combined) but only
+    on links the job actually uses — the congestion the job is exposed to,
+    in scaled-packet units.  NaN when the job has no crossing traffic.
+    """
+    loads = per_job_link_loads(setup)
+    mask = loads[job_id] > 0
+    if not mask.any():
+        return float("nan")
+    return float(setup.serve_counts[mask].max())
+
+
+@dataclass(frozen=True, eq=False)
+class RegionBlame:
+    """One congestion region with its services charged to jobs."""
+
+    region: CongestionRegion
+    blamed_bytes: np.ndarray  # float64[num_jobs]
+    share: np.ndarray  # float64[num_jobs], sums to 1 (NaN if region empty)
+    participants: tuple[int, ...]  # jobs with share >= share_threshold
+    is_shared: bool  # >= 2 participants: genuine inter-job interference
+
+
+def attribute_regions(
+    regions: list[CongestionRegion],
+    report,
+    setup: SimSetup,
+    payload: int = MAX_PAYLOAD_BYTES,
+    share_threshold: float = 0.05,
+) -> list[RegionBlame]:
+    """Charge each region's hot-cell services to jobs by occupancy share.
+
+    For a hot cell ``(l, w)`` the ``serve_series[l, w]`` services are split
+    in proportion to each job's share of link ``l``'s total structural
+    load — the windowed telemetry localises congestion in time, the routes
+    decide who owns it.  ``report`` must come from the same run as
+    ``setup`` (their compact link spaces coincide).
+    """
+    if not regions:
+        return []
+    loads = per_job_link_loads(setup)
+    totals = setup.serve_counts.astype(np.float64)
+    # Link-occupancy shares; links with no structural load never become
+    # hot, but guard the division anyway.
+    safe = np.where(totals > 0, totals, 1.0)
+    link_share = loads / safe  # [num_jobs, num_links]
+
+    out = []
+    for region in regions:
+        if region.cell_links is None or region.cell_windows is None:
+            raise ValueError(
+                "region carries no cell arrays; use find_congestion_regions"
+            )
+        services = report.serve_series[
+            region.cell_links, region.cell_windows
+        ].astype(np.float64)
+        blamed = link_share[:, region.cell_links] @ services  # [num_jobs]
+        blamed_bytes = blamed * float(payload)
+        total = blamed.sum()
+        share = blamed / total if total > 0 else np.full_like(blamed, np.nan)
+        participants = tuple(
+            int(j) for j in np.flatnonzero(share >= share_threshold)
+        )
+        out.append(
+            RegionBlame(
+                region=region,
+                blamed_bytes=blamed_bytes,
+                share=share,
+                participants=participants,
+                is_shared=len(participants) >= 2,
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, eq=False)
+class JobInterference:
+    """One tenant's interference outcome in a composed run."""
+
+    job_id: int
+    label: str
+    is_noise: bool
+    makespan: float  # the job's delivery makespan in the composite run
+    solo_makespan: float  # same placement, interference removed
+    slowdown: float  # makespan / solo_makespan (NaN when undefined)
+    blamed_bytes: float  # total hot-region bytes charged to this job
+    blame_share: float  # this job's share of all blamed bytes (NaN if none)
+    shared_regions: int  # regions where this job met another participant
+
+
+@dataclass(frozen=True, eq=False)
+class InterferenceReport:
+    """Full attribution of one composed run."""
+
+    labels: tuple[str, ...]
+    jobs: tuple[JobInterference, ...]
+    regions: tuple[RegionBlame, ...]
+    threshold: float
+    share_threshold: float
+    composite_makespan: float
+
+    @property
+    def shared_region_count(self) -> int:
+        return sum(1 for r in self.regions if r.is_shared)
+
+    def job(self, job_id: int) -> JobInterference:
+        return self.jobs[job_id]
+
+
+def interference_report(
+    workload: ComposedWorkload,
+    topology,
+    mapping=None,
+    bandwidth: float = BANDWIDTH_BYTES_PER_S,
+    payload: int = MAX_PAYLOAD_BYTES,
+    hop_latency: float = 100e-9,
+    volume_scale: float = 1.0,
+    max_packets: int = 2_000_000,
+    seed: int = 0,
+    engine: str = "auto",
+    routing: str = "minimal",
+    routing_seed: int = 0,
+    telemetry: TelemetryConfig | None = None,
+    threshold: float = 0.7,
+    share_threshold: float = 0.05,
+) -> InterferenceReport:
+    """Simulate a composed workload and attribute its congestion to jobs.
+
+    Each job's solo baseline holds the placement fixed: the composite
+    matrix restricted to the job's own traffic is simulated under the same
+    mapping, routing, and parameters, so the slowdown isolates pure
+    interference (no placement effects).
+    """
+    from ..sim.engine import simulate_network
+
+    if telemetry is None:
+        telemetry = TelemetryConfig()
+    trace = workload.trace
+    matrix = matrix_from_trace(trace, payload=payload)
+    common = dict(
+        mapping=mapping,
+        execution_time=trace.meta.execution_time,
+        bandwidth=bandwidth,
+        payload=payload,
+        hop_latency=hop_latency,
+        volume_scale=volume_scale,
+        max_packets=max_packets,
+        seed=seed,
+        routing=routing,
+        routing_seed=routing_seed,
+    )
+    result = simulate_network(
+        matrix,
+        topology,
+        engine=engine,
+        telemetry=telemetry,
+        job_of_rank=workload.job_of_rank,
+        **common,
+    )
+    setup = prepare_simulation(
+        matrix, topology, job_of_rank=workload.job_of_rank, **common
+    )
+
+    regions: list[CongestionRegion] = []
+    blames: list[RegionBlame] = []
+    if result.telemetry is not None and setup is not None:
+        regions = find_congestion_regions(result.telemetry, topology, threshold)
+        blames = attribute_regions(
+            regions, result.telemetry, setup, payload, share_threshold
+        )
+
+    num_jobs = workload.num_jobs
+    blamed_totals = np.zeros(num_jobs, dtype=np.float64)
+    shared_counts = np.zeros(num_jobs, dtype=np.int64)
+    for blame in blames:
+        blamed_totals += blame.blamed_bytes
+        if blame.is_shared:
+            for j in blame.participants:
+                shared_counts[j] += 1
+    grand_total = float(blamed_totals.sum())
+
+    jobs = []
+    for placement in workload.jobs:
+        j = placement.job_id
+        makespan = (
+            float(result.job_makespans[j])
+            if result.job_makespans is not None
+            else float("nan")
+        )
+        solo = simulate_network(
+            workload.job_matrix(matrix, j),
+            topology,
+            engine=engine,
+            **common,
+        )
+        solo_makespan = float(solo.makespan) if solo.packets_simulated else float("nan")
+        slowdown = (
+            makespan / solo_makespan
+            if np.isfinite(makespan) and solo_makespan > 0
+            else float("nan")
+        )
+        jobs.append(
+            JobInterference(
+                job_id=j,
+                label=placement.label,
+                is_noise=placement.is_noise,
+                makespan=makespan,
+                solo_makespan=solo_makespan,
+                slowdown=slowdown,
+                blamed_bytes=float(blamed_totals[j]),
+                blame_share=(
+                    float(blamed_totals[j] / grand_total)
+                    if grand_total > 0
+                    else float("nan")
+                ),
+                shared_regions=int(shared_counts[j]),
+            )
+        )
+
+    return InterferenceReport(
+        labels=workload.labels,
+        jobs=tuple(jobs),
+        regions=tuple(blames),
+        threshold=threshold,
+        share_threshold=share_threshold,
+        composite_makespan=float(result.makespan),
+    )
+
+
+def render_interference_report(report: InterferenceReport) -> str:
+    """ASCII summary of an :class:`InterferenceReport`."""
+    lines = [
+        f"interference report: {'+'.join(report.labels)} "
+        f"(threshold {report.threshold:.2f}, "
+        f"{len(report.regions)} regions, "
+        f"{report.shared_region_count} shared)",
+        f"  composite makespan {fmt_float(report.composite_makespan, '.3e')} s",
+        "  job                    role    slowdown   blamed MB   share  shared-regions",
+    ]
+    for job in report.jobs:
+        role = "noise" if job.is_noise else "app"
+        lines.append(
+            f"  {job.label:<22} {role:<7} "
+            f"{fmt_float(job.slowdown, '8.3f'):>8}   "
+            f"{fmt_float(job.blamed_bytes / (1024 * 1024), '9.2f'):>9}   "
+            f"{fmt_float(job.blame_share, '5.3f'):>5}  "
+            f"{job.shared_regions:>14d}"
+        )
+    return "\n".join(lines)

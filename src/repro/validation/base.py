@@ -104,6 +104,7 @@ class CheckContext:
     sim: object = None  # SimulationResult
     telemetry: object = None  # TelemetryReport
     roundtrip: dict = field(default_factory=dict)  # cache-roundtrip copies
+    composed: object = None  # ComposedWorkload (multi-tenant scenarios)
 
     @property
     def available(self) -> frozenset[str]:
@@ -116,6 +117,8 @@ class CheckContext:
             tags.add("telemetry")
         if self.roundtrip:
             tags.add("cache")
+        if self.composed is not None:
+            tags.add("composed")
         return frozenset(tags)
 
 

@@ -527,3 +527,59 @@ def check_streaming_equivalence(ctx: CheckContext) -> Iterator[Violation]:
             f"(volume scale {scale}, makespan {streamed_sim.makespan} "
             f"vs {direct_sim.makespan})",
         )
+
+
+@invariant(
+    "composed-byte-conservation",
+    "Each tenant's bytes survive the multi-tenant merge exactly",
+    "multi-tenant composition; repro.tenancy.compose",
+    requires=("composed",),
+)
+def check_composed_byte_conservation(ctx: CheckContext) -> Iterator[Violation]:
+    name = "composed-byte-conservation"
+    from ..comm.matrix import matrix_from_trace
+
+    workload = ctx.composed
+    matrix = ctx.full_matrix
+    if matrix is None:
+        matrix = matrix_from_trace(workload.trace)
+    table = workload.job_of_rank
+    # Rank-space sanity: disjoint, complete job rank sets.
+    if (table < 0).any():
+        yield _err(name, "job_of_rank leaves ranks unassigned")
+        return
+    for job in workload.jobs:
+        if not np.array_equal(np.sort(job.ranks), job.ranks):
+            yield _err(
+                name, f"job {job.label}: allocated ranks are not sorted"
+            )
+        if not np.array_equal(table[job.ranks], np.full(len(job.ranks), job.job_id)):
+            yield _err(
+                name,
+                f"job {job.label}: job_of_rank disagrees with its rank set",
+            )
+    # Byte conservation: the composite matrix restricted to one job must
+    # carry exactly the bytes/messages/packets of the job's solo matrix —
+    # rank remapping is a bijection and collective expansion sees the same
+    # communicator structure under the prefixed names.
+    total_bytes = 0
+    for job in workload.jobs:
+        sub = workload.job_matrix(matrix, job.job_id)
+        solo = matrix_from_trace(workload.solo_trace(job.job_id))
+        for column in ("nbytes", "messages", "packets"):
+            got = int(getattr(sub, column).sum())
+            want = int(getattr(solo, column).sum())
+            if got != want:
+                yield _err(
+                    name,
+                    f"job {job.label}: composite {column} {got} != "
+                    f"solo {column} {want}",
+                )
+        total_bytes += sub.total_bytes
+    if total_bytes != matrix.total_bytes:
+        yield _err(
+            name,
+            f"per-job byte totals sum to {total_bytes} but the composite "
+            f"matrix carries {matrix.total_bytes} — cross-job traffic or "
+            f"lost rows",
+        )

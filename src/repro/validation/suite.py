@@ -37,6 +37,7 @@ __all__ = [
     "build_static_context",
     "attach_simulation",
     "cache_roundtrip_context",
+    "composed_context",
     "run_check_suite",
 ]
 
@@ -259,6 +260,40 @@ def cache_roundtrip_context(
     return CheckContext(label=f"{label} cache roundtrip", roundtrip=roundtrip)
 
 
+def composed_context(
+    topology_kind: str = "torus3d",
+    routing: str = "minimal",
+    seed: int = 0,
+    sim: bool = True,
+    target_packets: int = 20_000,
+    windows: int = 12,
+) -> CheckContext:
+    """One representative multi-tenant scenario for the composed checks.
+
+    A Table-1 app co-scheduled with a hot-spot aggressor under the
+    adversarial round-robin allocation — the placement that interleaves
+    the tenants most aggressively, so a remapping bug cannot hide behind
+    contiguous rank blocks.  The composite trace runs the full catalogue
+    (static, sim, telemetry) plus the composed-byte-conservation check.
+    """
+    from ..tenancy import TenantSpec, compose_workload
+
+    workload = compose_workload(
+        [TenantSpec("LULESH", 64, seed=seed)],
+        noise=[TenantSpec("HotspotNoise", 64, seed=seed)],
+        allocation="round_robin",
+    )
+    topology = build_topology(topology_kind, workload.num_ranks)
+    ctx = build_static_context(workload.trace, topology, routing=routing)
+    ctx.label = f"composed {workload.trace.meta.label} on {topology.kind}/{routing}"
+    ctx.composed = workload
+    if sim:
+        attach_simulation(
+            ctx, target_packets=target_packets, windows=windows, seed=seed
+        )
+    return ctx
+
+
 def run_check_suite(
     max_ranks: int | None = None,
     apps: tuple[str, ...] | None = None,
@@ -270,6 +305,7 @@ def run_check_suite(
     windows: int = 12,
     seed: int = 0,
     cache_roundtrip: bool = True,
+    composed: bool = False,
     invariant_names: tuple[str, ...] | None = None,
     progress=None,
 ) -> SuiteReport:
@@ -280,8 +316,10 @@ def run_check_suite(
     ``routings=None`` means every registered policy.  ``sim_routings``
     restricts which of those also get a (more expensive) dynamic
     simulation; ``None`` simulates them all, ``()`` simulates none.
-    ``progress`` is an optional callable receiving each scenario label
-    before it runs (the CLI wires stderr echo through it).
+    ``composed=True`` appends one multi-tenant scenario per topology kind
+    (opt-in so the default grid — and its pinned scenario counts — stays
+    unchanged).  ``progress`` is an optional callable receiving each
+    scenario label before it runs (the CLI wires stderr echo through it).
     """
     if routings is None:
         routings = tuple(ROUTINGS)
@@ -332,6 +370,25 @@ def run_check_suite(
         if cache_roundtrip:
             ctx = cache_roundtrip_context(
                 app.name, point.ranks, variant=point.variant, seed=seed
+            )
+            if progress is not None:
+                progress(ctx.label)
+            violations = run_invariants(ctx, names=invariant_names)
+            report.scenarios.append(
+                ScenarioResult(
+                    label=ctx.label,
+                    checks=_applicable_count(ctx),
+                    violations=violations,
+                )
+            )
+    if composed:
+        for kind in topologies:
+            ctx = composed_context(
+                topology_kind=kind,
+                seed=seed,
+                sim=sim,
+                target_packets=target_packets,
+                windows=windows,
             )
             if progress is not None:
                 progress(ctx.label)

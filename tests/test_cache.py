@@ -248,9 +248,11 @@ class TestKeys:
             "disk_hits": 0,
         }
 
-    def test_cache_version_is_5(self):
-        """v5 added mappings to the disk tier (v4: chunked trace spills)."""
-        assert cache.CACHE_VERSION == 5
+    def test_cache_version_is_6(self):
+        """v6 added multi-tenant composition (v5: disk-tier mappings) —
+        composed traces carry provenance keys and interference_aware
+        routing embeds a victim-load digest in its token."""
+        assert cache.CACHE_VERSION == 6
 
     def test_policies_never_share_entries(self):
         """Different routing policies must never alias one cache entry —

@@ -52,6 +52,7 @@ EXPECTED_INVARIANTS = {
     "telemetry-flow",
     "cache-roundtrip",
     "streaming-equivalence",
+    "composed-byte-conservation",
 }
 
 

@@ -60,7 +60,14 @@ def assert_same_incidence(a, b):
 
 class TestRegistry:
     def test_known_policies(self):
-        assert ROUTINGS == ("minimal", "ecmp", "valiant", "dmodk", "ugal")
+        assert ROUTINGS == (
+            "minimal",
+            "ecmp",
+            "valiant",
+            "dmodk",
+            "ugal",
+            "interference_aware",
+        )
 
     def test_get_policy_passes_instances_through(self):
         policy = MinimalRouting()
@@ -81,6 +88,7 @@ class TestRegistry:
             "valiant": (True, False),
             "dmodk": (False, False),
             "ugal": (True, True),
+            "interference_aware": (True, True),
         }
 
     def test_cache_token_carries_seed_only_when_randomized(self):

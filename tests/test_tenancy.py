@@ -1,0 +1,472 @@
+"""Tests for the multi-tenant workload composer and attribution pipeline.
+
+Covers the :mod:`repro.tenancy` subsystem end to end — allocation policy
+properties, solo bit-identity of degenerate compositions, per-job byte
+conservation through the merge, congestion attribution on an adversarial
+hot-spot scenario, the ``interference_aware`` routing policy — plus the
+satellite regressions that ride along: the unified duplicate-cell sweep
+warning and NaN-safe telemetry rendering.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.apps.noise import HotspotNoise, UniformNoise
+from repro.apps.registry import NOISE_APPS, get_app
+from repro.comm.matrix import matrix_from_trace
+from repro.routing import (
+    ROUTINGS,
+    InterferenceAwareRouting,
+    get_policy,
+    victim_link_loads,
+)
+from repro.sim.common import prepare_simulation
+from repro.sim.engine import simulate_network
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.collector import TelemetryReport, reports_equal
+from repro.tenancy import (
+    ALLOCATIONS,
+    TenantSpec,
+    allocate_ranks,
+    compose_workload,
+    interference_report,
+    job_of_rank_table,
+    per_job_link_loads,
+    render_interference_report,
+    victim_peak_link_load,
+)
+from repro.topology.configs import config_for
+from repro.topology.dragonfly import Dragonfly
+from repro.validation import CheckContext, run_invariants
+from repro.validation.invariants import traces_identical
+from repro.validation.suite import composed_context
+
+
+class TestAllocationPolicies:
+    """Every policy must produce disjoint, complete, sorted rank sets."""
+
+    @pytest.mark.parametrize("policy", ALLOCATIONS)
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("sizes", [[5, 3, 8], [1, 1], [16], [2, 2, 2, 2]])
+    def test_partition_properties(self, policy, seed, sizes):
+        allocations = allocate_ranks(sizes, policy, seed)
+        assert len(allocations) == len(sizes)
+        for ranks, size in zip(allocations, sizes):
+            assert len(ranks) == size
+            assert ranks.dtype == np.int64
+            assert np.array_equal(np.sort(ranks), ranks)
+        merged = np.concatenate(allocations)
+        total = sum(sizes)
+        assert len(np.unique(merged)) == total  # pairwise disjoint
+        assert np.array_equal(np.sort(merged), np.arange(total))  # complete
+
+    @pytest.mark.parametrize("policy", ALLOCATIONS)
+    def test_single_job_is_identity(self, policy):
+        (ranks,) = allocate_ranks([12], policy, seed=3)
+        assert np.array_equal(ranks, np.arange(12))
+
+    def test_job_of_rank_table_inverts(self):
+        allocations = allocate_ranks([5, 3, 8], "round_robin")
+        table = job_of_rank_table(allocations, 16)
+        for job_id, ranks in enumerate(allocations):
+            assert (table[ranks] == job_id).all()
+
+    def test_random_is_seeded(self):
+        a = allocate_ranks([7, 9], "random", seed=1)
+        b = allocate_ranks([7, 9], "random", seed=1)
+        c = allocate_ranks([7, 9], "random", seed=2)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+        assert any(not np.array_equal(x, y) for x, y in zip(a, c))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            allocate_ranks([4, 4], "best_fit")
+        with pytest.raises(ValueError):
+            allocate_ranks([])
+        with pytest.raises(ValueError):
+            allocate_ranks([4, 0])
+
+
+class TestNoiseApps:
+    def test_registry_resolution(self):
+        assert set(NOISE_APPS) == {"UniformNoise", "HotspotNoise"}
+        for name in NOISE_APPS:
+            assert get_app(name).name == name
+
+    @pytest.mark.parametrize("app", [UniformNoise(), HotspotNoise()])
+    def test_generates_at_any_scale(self, app):
+        for ranks in (8, 13):
+            trace = app.generate(ranks)
+            assert trace.meta.num_ranks == ranks
+            assert matrix_from_trace(trace).total_bytes > 0
+
+    def test_synthesized_calibration(self):
+        app = UniformNoise(volume_mb=8.0, time_s=0.5)
+        point = app.calibration_for(10)
+        assert point.ranks == 10
+        assert point.time_s == 0.5
+        with pytest.raises(KeyError):
+            app.calibration_for(10, variant="large")
+
+    def test_no_study_configurations(self):
+        assert UniformNoise().configurations() == []
+        assert HotspotNoise().scales() == []
+
+
+class TestComposeWorkload:
+    def test_single_job_zero_noise_is_solo_trace(self):
+        solo = get_app("LULESH").generate(64)
+        workload = compose_workload([TenantSpec("LULESH", 64)])
+        assert workload.num_jobs == 1
+        assert traces_identical(workload.trace, solo)
+        assert traces_identical(workload.solo_trace(0), solo)
+
+    def test_single_job_simulation_bit_identical(self):
+        """Records and telemetry of a degenerate composition match solo."""
+        solo = get_app("LULESH").generate(64)
+        workload = compose_workload(
+            [TenantSpec("LULESH", 64)], allocation="round_robin"
+        )
+        topo = config_for(64).build_torus()
+        matrix_solo = matrix_from_trace(solo)
+        matrix_comp = matrix_from_trace(workload.trace)
+        for engine in ("batched", "reference"):
+            kwargs = dict(
+                execution_time=solo.meta.execution_time,
+                volume_scale=64.0,
+                telemetry=TelemetryConfig(windows=8),
+                engine=engine,
+            )
+            a = simulate_network(matrix_solo, topo, **kwargs)
+            b = simulate_network(
+                matrix_comp, topo, job_of_rank=workload.job_of_rank, **kwargs
+            )
+            assert a == b
+            assert np.array_equal(a.link_serve_counts, b.link_serve_counts)
+            assert reports_equal(a.telemetry, b.telemetry)
+            # The composed run additionally reports the per-job makespan.
+            assert b.job_makespans is not None
+            assert float(b.job_makespans[0]) == a.makespan
+
+    def test_two_jobs_conserve_bytes(self):
+        workload = compose_workload(
+            [TenantSpec("LULESH", 64)],
+            noise=[TenantSpec("UniformNoise", 16)],
+            allocation="round_robin",
+        )
+        assert workload.num_ranks == 80
+        assert workload.labels == ("LULESH", "UniformNoise")
+        assert workload.app_job_ids() == [0]
+        assert workload.noise_job_ids() == [1]
+        matrix = matrix_from_trace(workload.trace)
+        total = 0
+        for job in workload.jobs:
+            sub = workload.job_matrix(matrix, job.job_id)
+            solo = matrix_from_trace(workload.solo_trace(job.job_id))
+            for column in ("nbytes", "messages", "packets"):
+                assert getattr(sub, column).sum() == getattr(solo, column).sum()
+            total += sub.total_bytes
+        assert total == matrix.total_bytes
+
+    def test_communicators_prefixed_per_job(self):
+        workload = compose_workload(
+            [TenantSpec("LULESH", 64), TenantSpec("CMC_2D", 64)]
+        )
+        names = workload.trace.communicators.names()
+        assert any(name.startswith("LULESH:") for name in names)
+        assert any(name.startswith("CMC_2D:") for name in names)
+
+    def test_duplicate_app_labels_disambiguated(self):
+        workload = compose_workload(
+            [TenantSpec("UniformNoise", 8, seed=0), TenantSpec("UniformNoise", 8, seed=1)]
+        )
+        assert workload.labels == ("UniformNoise#0", "UniformNoise#1")
+
+    def test_empty_composition_rejected(self):
+        with pytest.raises(ValueError):
+            compose_workload([])
+
+
+class TestPerJobObservables:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        topo = Dragonfly(4, 2, 2)
+        workload = compose_workload(
+            [TenantSpec(UniformNoise(fanout=4, volume_mb=32.0), 36)],
+            noise=[TenantSpec(HotspotNoise(hot_ranks=2, src_ranks=16, volume_mb=32768.0), 36)],
+            allocation="round_robin",
+        )
+        matrix = matrix_from_trace(workload.trace)
+        setup = prepare_simulation(
+            matrix,
+            topo,
+            execution_time=1.0,
+            volume_scale=128.0,
+            job_of_rank=workload.job_of_rank,
+        )
+        return workload, topo, matrix, setup
+
+    def test_per_job_loads_partition_serve_counts(self, scenario):
+        _, _, _, setup = scenario
+        loads = per_job_link_loads(setup)
+        assert loads.shape == (2, setup.num_links)
+        assert np.array_equal(
+            loads.sum(axis=0), setup.serve_counts.astype(np.float64)
+        )
+
+    def test_requires_job_identity(self, scenario):
+        _, topo, matrix, _ = scenario
+        bare = prepare_simulation(
+            matrix, topo, execution_time=1.0, volume_scale=128.0
+        )
+        with pytest.raises(ValueError, match="job identity"):
+            per_job_link_loads(bare)
+
+    def test_job_makespans_cover_composite(self, scenario):
+        workload, topo, matrix, _ = scenario
+        result = simulate_network(
+            matrix,
+            topo,
+            execution_time=1.0,
+            volume_scale=128.0,
+            job_of_rank=workload.job_of_rank,
+        )
+        assert result.job_makespans.shape == (2,)
+        assert np.isfinite(result.job_makespans).all()
+        assert float(result.job_makespans.max()) == result.makespan
+
+
+class TestAdversarialAttribution:
+    """Satellite 4: hot-spot aggressor dominates the blame, victim slows."""
+
+    @pytest.fixture(scope="class")
+    def dragonfly_report(self):
+        workload = compose_workload(
+            [TenantSpec(UniformNoise(fanout=4, volume_mb=32.0), 36)],
+            noise=[TenantSpec(HotspotNoise(hot_ranks=2, src_ranks=16, volume_mb=32768.0), 36)],
+            allocation="round_robin",
+        )
+        return interference_report(
+            workload,
+            Dragonfly(4, 2, 2),
+            volume_scale=128.0,
+            telemetry=TelemetryConfig(windows=24),
+            threshold=0.6,
+        )
+
+    def test_aggressor_owns_the_hot_region(self, dragonfly_report):
+        report = dragonfly_report
+        assert len(report.regions) >= 1
+        aggressor = report.jobs[1]
+        assert aggressor.is_noise
+        for blame in report.regions:
+            assert float(blame.share[1]) > 0.9
+            assert 1 in blame.participants
+        assert aggressor.blame_share > 0.9
+        assert report.jobs[0].blame_share < 0.1
+
+    def test_render_mentions_every_job(self, dragonfly_report):
+        text = render_interference_report(dragonfly_report)
+        assert "UniformNoise" in text and "HotspotNoise" in text
+        assert "noise" in text
+
+    def test_victim_slowdown_under_adjacent_hotspot(self):
+        """Converging aggressor trees on a torus genuinely slow the victim."""
+        workload = compose_workload(
+            [TenantSpec(HotspotNoise(hot_ranks=1, src_ranks=8, volume_mb=512.0), 32)],
+            noise=[TenantSpec(HotspotNoise(hot_ranks=1, src_ranks=16, volume_mb=32768.0), 32)],
+            allocation="round_robin",
+        )
+        report = interference_report(
+            workload,
+            config_for(64).build_torus(),
+            volume_scale=64.0,
+            telemetry=TelemetryConfig(windows=24),
+            threshold=0.5,
+        )
+        victim, aggressor = report.jobs
+        assert victim.slowdown > 1.2, (
+            f"victim slowdown {victim.slowdown:.3f}: expected the shared "
+            f"converging links to delay the victim's deliveries"
+        )
+        assert aggressor.slowdown < victim.slowdown
+        assert aggressor.blamed_bytes > victim.blamed_bytes
+
+
+class TestInterferenceAwareRouting:
+    def test_registered(self):
+        assert "interference_aware" in ROUTINGS
+        policy = get_policy("interference_aware")
+        assert isinstance(policy, InterferenceAwareRouting)
+        assert policy.victim_loads is None
+
+    def test_cache_token_embeds_loads(self):
+        bare = InterferenceAwareRouting()
+        primed = InterferenceAwareRouting(
+            victim_loads=np.ones(4, dtype=np.float64)
+        )
+        other = InterferenceAwareRouting(
+            victim_loads=np.full(4, 2.0, dtype=np.float64)
+        )
+        tokens = {bare.cache_token(), primed.cache_token(), other.cache_token()}
+        assert len(tokens) == 3
+
+    def test_rejects_bad_loads(self):
+        with pytest.raises(ValueError):
+            InterferenceAwareRouting(victim_loads=np.array([-1.0, 2.0]))
+        with pytest.raises(ValueError):
+            InterferenceAwareRouting(victim_loads=np.ones((2, 2)))
+
+    def test_reduces_victim_exposure_on_dragonfly(self):
+        """The bench gate, at bench scale: primed routing steers the victim
+        away from the aggressor's flood (structural loads, deterministic)."""
+        topo = Dragonfly(8, 4, 4)
+        workload = compose_workload(
+            [TenantSpec("LULESH", 512)],
+            noise=[TenantSpec(
+                HotspotNoise(hot_ranks=16, src_ranks=16, volume_mb=16384.0),
+                topo.num_nodes - 512,
+            )],
+            allocation="round_robin",
+        )
+        matrix = matrix_from_trace(workload.trace)
+        common = dict(
+            execution_time=workload.trace.meta.execution_time,
+            volume_scale=64.0,
+            max_packets=5_000_000,
+            job_of_rank=workload.job_of_rank,
+        )
+        base = prepare_simulation(matrix, topo, routing="minimal", **common)
+        baseline = victim_peak_link_load(base, 0)
+        prior = victim_link_loads(
+            workload.job_matrix(matrix, 0), topo, volume_scale=64.0
+        )
+        aware = prepare_simulation(
+            matrix,
+            topo,
+            routing=InterferenceAwareRouting(victim_loads=prior),
+            **common,
+        )
+        assert baseline / victim_peak_link_load(aware, 0) >= 2.0
+
+
+class TestComposedInvariant:
+    """Satellite 5: the composed-byte-conservation invariant."""
+
+    def test_clean_composed_context_passes(self):
+        ctx = composed_context(sim=False)
+        assert "composed" in ctx.available
+        assert run_invariants(ctx, ["composed-byte-conservation"]) == []
+
+    def test_detects_corrupted_rank_table(self):
+        workload = compose_workload(
+            [TenantSpec("UniformNoise", 8), TenantSpec("UniformNoise", 8, seed=1)]
+        )
+        workload.job_of_rank[workload.jobs[0].ranks[0]] = 1
+        ctx = CheckContext(label="corrupt", composed=workload)
+        violations = run_invariants(ctx, ["composed-byte-conservation"])
+        assert violations
+        assert any("job_of_rank" in v.message for v in violations)
+
+    def test_detects_lost_bytes(self):
+        workload = compose_workload(
+            [TenantSpec("UniformNoise", 8), TenantSpec("UniformNoise", 8, seed=1)]
+        )
+        # Swap in a different solo trace: the composite no longer carries
+        # exactly this job's bytes, which the invariant must notice.
+        workload._solo_cache[0] = UniformNoise(volume_mb=999.0).generate(8)
+        ctx = CheckContext(label="corrupt", composed=workload)
+        violations = run_invariants(ctx, ["composed-byte-conservation"])
+        assert any("nbytes" in v.message for v in violations)
+
+
+class TestSweepWarningUnified:
+    """Satellite 1: duplicate-cell collapse warns on every consumer path."""
+
+    def _dup_spec(self):
+        from repro.analysis.sweep import SweepSpec
+
+        return SweepSpec(
+            apps=(("LULESH", 64), ("LULESH", 64)),
+            topologies=("torus3d",),
+            mappings=("consecutive",),
+            routings=("minimal",),
+            payloads=(4096,),
+        )
+
+    def test_unique_points_warns(self, caplog):
+        from repro.analysis.sweep import unique_points
+
+        with caplog.at_level(logging.WARNING, logger="repro.sweep"):
+            points, collapsed = unique_points(self._dup_spec())
+        assert collapsed == 1
+        assert len(points) == 1
+        assert any("collapsed 1 duplicate" in r.message for r in caplog.records)
+
+    def test_service_path_warns(self, caplog):
+        from repro.service import expand_cells
+
+        with caplog.at_level(logging.WARNING, logger="repro.sweep"):
+            cells, collapsed = expand_cells(self._dup_spec())
+        assert collapsed == 1
+        assert len(cells) == 1
+        assert any("collapsed 1 duplicate" in r.message for r in caplog.records)
+
+    def test_run_sweep_warns_once(self, caplog):
+        from repro.analysis.sweep import run_sweep
+
+        with caplog.at_level(logging.WARNING, logger="repro.sweep"):
+            records = run_sweep(self._dup_spec())
+        assert len(records) == 1
+        warnings = [
+            r for r in caplog.records if "duplicate grid cells" in r.message
+        ]
+        assert len(warnings) == 1
+
+
+class TestTelemetryRenderNaN:
+    """Satellite 2: a NaN-makespan report renders N/A, never crashes."""
+
+    def _nan_report(self):
+        L, W = 2, 4
+        return TelemetryReport(
+            span=float("nan"),
+            window_dt=float("nan"),
+            service=1e-6,
+            link_ids=np.arange(L, dtype=np.int64),
+            serve_series=np.zeros((L, W), dtype=np.int64),
+            occupancy=np.zeros((L, W), dtype=np.float64),
+            injections=np.zeros(4, dtype=np.int64),
+            ejections=np.zeros(4, dtype=np.int64),
+            injected_series=np.zeros(W, dtype=np.int64),
+            delivered_series=np.zeros(W, dtype=np.int64),
+            queue_depth_hist=np.zeros(1, dtype=np.int64),
+            stall_hist=np.zeros(3, dtype=np.int64),
+            stall_edges=np.array([1.0, 2.0]),
+        )
+
+    def test_nan_span_renders_na(self):
+        from repro.telemetry import render_congestion_timeline
+
+        text = render_congestion_timeline(self._nan_report())
+        assert "N/A" in text
+        assert "nan" not in text.lower().replace("n/a", "")
+
+    def test_finite_report_unaffected(self):
+        from repro.telemetry import render_congestion_timeline
+
+        report = self._nan_report()
+        report = TelemetryReport(
+            **{
+                **{f: getattr(report, f) for f in report.__dataclass_fields__},
+                "span": 1.0,
+                "window_dt": 0.25,
+            }
+        )
+        text = render_congestion_timeline(report)
+        assert "N/A" not in text
+        assert "1.000e+00" in text
