@@ -74,6 +74,11 @@ class SweepSpec:
     telemetry_windows: int = 48
     telemetry_threshold: float = 0.7
     sim_volume_scale: float = 1.0
+    #: Opt-in critical-path axis: when True every point also builds the
+    #: happens-before DAG under the LogGP cost model and merges the modelled
+    #: makespan and network-latency sensitivity (dT/dL) into its records.
+    critpath: bool = False
+    critpath_max_repeat: int = 64
 
     def __post_init__(self) -> None:
         if not self.apps:
@@ -84,6 +89,8 @@ class SweepSpec:
             raise ValueError("telemetry_threshold must be in (0, 1]")
         if self.sim_volume_scale <= 0:
             raise ValueError("sim_volume_scale must be positive")
+        if self.critpath_max_repeat < 1:
+            raise ValueError("critpath_max_repeat must be >= 1")
         unknown = set(self.topologies) - set(_TOPOLOGY_BUILDERS)
         if unknown:
             raise ValueError(f"unknown topologies {sorted(unknown)}")
@@ -186,6 +193,11 @@ def _eval_point(
     cfg = config_for(ranks)
     topology = _TOPOLOGY_BUILDERS[topo_kind](cfg)
     mapping = _build_mapping(mapping_method, matrix, topology, spec.seed)
+    critpath_fields: dict[str, Any] = {}
+    if spec.critpath:
+        # Independent of payload and bandwidth: computed once per point and
+        # merged into every bandwidth record.
+        critpath_fields = _critpath_fields(spec, trace, topology, mapping, routing)
     records = []
     for bandwidth in spec.bandwidths:
         result = analyze_network(
@@ -218,8 +230,43 @@ def _eval_point(
                     payload, routing,
                 )
             )
+        record.update(critpath_fields)
         records.append(record)
     return records
+
+
+def _critpath_fields(
+    spec: SweepSpec, trace, topology, mapping, routing
+) -> dict[str, Any]:
+    """Critical-path profile of one grid point under the LogGP model.
+
+    The DAG is memoized per trace content key, so the many points sharing
+    one app build it once.  Traces the matcher rejects (or an acyclicity
+    failure) degrade to NaN fields rather than sinking the whole sweep —
+    ``repro check`` is the tool that diagnoses those.
+    """
+    from ..critpath import CycleError, MatchError, analyze_trace
+
+    try:
+        analysis = analyze_trace(
+            trace,
+            topology=topology,
+            mapping=mapping,
+            routing=routing,
+            routing_seed=spec.seed,
+            max_repeat=spec.critpath_max_repeat,
+            fd_check=False,
+        )
+    except (MatchError, CycleError) as exc:
+        _log.warning("critpath axis skipped for %s: %s", trace.meta.app, exc)
+        return {
+            "critical_path_s": float("nan"),
+            "latency_sensitivity": float("nan"),
+        }
+    return {
+        "critical_path_s": round(analysis.makespan_s, 9),
+        "latency_sensitivity": float(analysis.l_terms),
+    }
 
 
 def _telemetry_fields(

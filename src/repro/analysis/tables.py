@@ -35,6 +35,8 @@ __all__ = [
     "build_table4",
     "render_table4",
     "TABLE4_WORKLOADS",
+    "build_latency_rows",
+    "render_latency_table",
 ]
 
 TOPOLOGY_ORDER = ("torus3d", "fattree", "dragonfly")
@@ -230,4 +232,51 @@ def render_table4(rows: list[Table4Row]) -> str:
             f"{100 * row.locality[d]:>5.0f}%" for d in (1, 2, 3)
         )
         lines.append(f"{row.app:<24} {row.ranks:>6} {cells}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------- Latency tolerance
+
+
+def build_latency_rows(
+    topology: str = "torus3d",
+    routing: str = "minimal",
+    max_ranks: int | None = None,
+    max_repeat: int | None = None,
+    fd_check: bool = False,
+):
+    """Per-app critical-path rows (:class:`~repro.critpath.CritPathAnalysis`).
+
+    Thin table-layer wrapper over :func:`repro.critpath.latency_table`,
+    here so the CLI and report pull all tabular output from one module.
+    """
+    from ..critpath import DEFAULT_MAX_REPEAT, latency_table
+
+    return latency_table(
+        topology=topology,
+        routing=routing,
+        max_ranks=max_ranks,
+        max_repeat=DEFAULT_MAX_REPEAT if max_repeat is None else max_repeat,
+        fd_check=fd_check,
+    )
+
+
+def render_latency_table(rows) -> str:
+    """The latency-tolerance ranking: most-tolerant mini-app first."""
+    header = (
+        f"{'Application':<24} {'Ranks':>6} {'T[s]':>10} {'dT/dL':>8} "
+        f"{'FD':>10} {'Tol[us]':>9}"
+    )
+    lines = [header, "-" * len(header)]
+    ordered = sorted(
+        rows,
+        key=lambda r: -r.tolerance_s if r.l_terms > 0 else float("inf"),
+    )
+    for r in ordered:
+        tol_us = r.tolerance_s * 1e6
+        lines.append(
+            f"{r.app:<24} {r.ranks:>6} {r.makespan_s:>10.6f} "
+            f"{r.l_terms:>8d} {fmt_float(r.fd_sensitivity, '.1f'):>10} "
+            f"{fmt_float(tol_us, '.3f'):>9}"
+        )
     return "\n".join(lines)

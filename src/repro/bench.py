@@ -67,6 +67,9 @@ __all__ = [
     "run_tenancy_bench",
     "write_tenancy_bench",
     "render_tenancy_bench",
+    "run_critpath_bench",
+    "write_critpath_bench",
+    "render_critpath_bench",
 ]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
@@ -120,6 +123,19 @@ SWEEP_BENCH_APPS = (
 TENANCY_VICTIM_LOAD_REDUCTION_TARGET = 2.0
 TENANCY_VOLUME_SCALE = 64.0
 TENANCY_MAX_PACKETS = 5_000_000
+
+#: ``repro bench critpath`` (benchmarks/test_perf_critpath.py): the
+#: asserted floor on the vectorized FIFO matcher's speedup over the pinned
+#: per-event oracle on the exactly-expanded 1728-rank AMG trace — with the
+#: hard requirement that both produce bit-identical (send, recv, bytes)
+#: edge sets — and the ceiling on the relative disagreement between the
+#: algebraic dT/dL (L-terms on the critical path) and a forward finite
+#: difference, per registry app.  With the dyadic default LogGP parameters
+#: the disagreement is exactly zero; 1% is the documented tolerance for
+#: arbitrary parameters.
+CRITPATH_MATCH_SPEEDUP_TARGET = 5.0
+CRITPATH_SENSITIVITY_REL_TOL = 0.01
+CRITPATH_MATCH_WORKLOAD = ("AMG", 1728)
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -1116,5 +1132,117 @@ def render_tenancy_bench(data: dict[str, Any]) -> str:
         f"ok: {s['reduction_ok']}",
         f"  solo identity (1 job, no noise, both engines): "
         f"{s['solo_identity_ok']}",
+    ]
+    return "\n".join(lines)
+
+
+def run_critpath_bench() -> dict[str, Any]:
+    """Critical-path gates: matcher speedup and sensitivity cross-check.
+
+    Gate 1 (matcher): the 1728-rank AMG trace (with emitted receives,
+    exact repeat expansion — ~5M p2p events) is matched by the vectorized
+    channel-sort matcher and by the pinned per-event FIFO oracle.
+    Asserted (``benchmarks/test_perf_critpath.py``): bit-identical
+    (send, recv, bytes) edge arrays, and
+    ``oracle_s / vectorized_s >= CRITPATH_MATCH_SPEEDUP_TARGET``.
+
+    Gate 2 (sensitivity): every registry app's smallest configuration is
+    analyzed on a torus with the finite-difference cross-check enabled;
+    the asserted quantity is the maximum relative disagreement between the
+    algebraic L-term count and the forward difference —
+    deterministic (exactly zero with the dyadic defaults), no wall times.
+    """
+    from .apps.registry import generate_trace
+    from .critpath import latency_table
+    from .critpath.match import (
+        ensure_receives,
+        expand_events,
+        match_events,
+        match_events_oracle,
+    )
+
+    # --- gate 1: vectorized matcher vs per-event oracle ---------------
+    app, ranks = CRITPATH_MATCH_WORKLOAD
+    trace = ensure_receives(generate_trace(app, ranks, emit_receives=True))
+    t0 = time.perf_counter()
+    table = expand_events(trace, None)
+    expand_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    vectorized = match_events(table)
+    vectorized_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    oracle = match_events_oracle(table)
+    oracle_s = time.perf_counter() - t0
+    identical = bool(
+        np.array_equal(vectorized.send_event, oracle.send_event)
+        and np.array_equal(vectorized.recv_event, oracle.recv_event)
+        and np.array_equal(vectorized.nbytes, oracle.nbytes)
+    )
+    speedup = oracle_s / vectorized_s if vectorized_s > 0 else float("inf")
+
+    # --- gate 2: algebraic vs finite-difference dT/dL per app ---------
+    t0 = time.perf_counter()
+    rows = latency_table(fd_check=True)
+    table_s = time.perf_counter() - t0
+    apps = [
+        {
+            "app": r.app,
+            "ranks": r.ranks,
+            "nodes": r.nodes,
+            "edges": r.edges,
+            "makespan_s": r.makespan_s,
+            "l_terms": r.l_terms,
+            "fd_sensitivity": r.fd_sensitivity,
+            "rel_err": r.fd_rel_err,
+            "tolerance_us": round(r.tolerance_s * 1e6, 4),
+        }
+        for r in rows
+    ]
+    max_rel_err = max(r.fd_rel_err for r in rows)
+
+    return {
+        "matcher": {
+            "workload": f"{app}@{ranks}",
+            "events": len(table),
+            "pairs": len(vectorized),
+            "expand_seconds": round(expand_s, 4),
+            "vectorized_seconds": round(vectorized_s, 4),
+            "oracle_seconds": round(oracle_s, 4),
+        },
+        "sensitivity": {"apps": apps, "table_seconds": round(table_s, 3)},
+        "summary": {
+            "match_speedup": round(speedup, 2),
+            "match_speedup_target": CRITPATH_MATCH_SPEEDUP_TARGET,
+            "match_ok": identical
+            and speedup >= CRITPATH_MATCH_SPEEDUP_TARGET,
+            "edges_identical": identical,
+            "sensitivity_max_rel_err": max_rel_err,
+            "sensitivity_rel_tol": CRITPATH_SENSITIVITY_REL_TOL,
+            "sensitivity_ok": max_rel_err <= CRITPATH_SENSITIVITY_REL_TOL,
+        },
+    }
+
+
+def write_critpath_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_critpath_bench(data: dict[str, Any]) -> str:
+    m = data["matcher"]
+    s = data["summary"]
+    lines = [
+        f"critical-path gates: FIFO matcher on {m['workload']} "
+        f"({m['events']} events, {m['pairs']} matched pairs)",
+        f"  vectorized {m['vectorized_seconds']:.3f}s   "
+        f"oracle {m['oracle_seconds']:.3f}s   "
+        f"speedup {s['match_speedup']}x "
+        f"(target >= {s['match_speedup_target']}x)",
+        f"  edge sets bit-identical: {s['edges_identical']}   "
+        f"ok: {s['match_ok']}",
+        f"  dT/dL cross-check over {len(data['sensitivity']['apps'])} apps: "
+        f"max rel err {s['sensitivity_max_rel_err']:.2e} "
+        f"(tol {s['sensitivity_rel_tol']})   ok: {s['sensitivity_ok']}",
     ]
     return "\n".join(lines)

@@ -71,6 +71,7 @@ __all__ = [
     "cached_node_pairs",
     "cached_pair_hops",
     "cached_route_incidence",
+    "cached_critpath_dag",
     "trace_content_key",
     "matrix_content_key",
     "array_digest",
@@ -91,7 +92,11 @@ __all__ = [
 #: per-job prefixed sub-communicators and the ``interference_aware``
 #: routing token embeds a victim-load digest; cold-start once so no v5
 #: entry can alias a composed-era key.
-CACHE_VERSION = 6
+#: v7: critical-path engine (repro.critpath) — happens-before DAGs join
+#: the memory tier keyed on trace provenance plus the repeat clamp, and
+#: synthesized-receive expansion changes what a trace key denotes for the
+#: DAG region; cold-start so no v6 entry can alias a critpath-era key.
+CACHE_VERSION = 7
 
 
 @dataclass
@@ -177,6 +182,7 @@ _DEFAULT_SIZES = {
     "pairs": 64,
     "hops": 128,
     "digests": 1024,
+    "critpath": 32,
 }
 _regions: dict[str, _LRU] = {
     name: _LRU(size) for name, size in _DEFAULT_SIZES.items()
@@ -541,6 +547,35 @@ def cached_node_pairs(matrix, mapping):
     if value is not _MISS:
         return value
     value = _node_pair_aggregate(matrix, mapping)
+    region.put(key, value)
+    return value
+
+
+def cached_critpath_dag(trace, max_repeat: int | None = None):
+    """Memoized happens-before DAG of ``(trace, max_repeat)``.
+
+    :func:`repro.critpath.analyze.analyze_trace` rebuilds nothing when one
+    trace is profiled across several topologies and routing policies: the
+    DAG depends only on the trace content and the repeat clamp, so it is
+    keyed on the trace's generation provenance.  Foreign traces (no
+    provenance) fall through to a plain build — hashing the event stream
+    would cost as much as the expansion it saves.
+
+    Memory-only by design: the DAG's lazily built CSR indexes and level
+    schedule are the expensive part and would not survive a pickle round
+    trip ergonomically, and the arrays are expansion-sized.
+    """
+    from .critpath.dag import build_dag
+
+    trace_key = getattr(trace, "_repro_cache_key", None)
+    if trace_key is None:
+        return build_dag(trace, max_repeat=max_repeat)
+    key = ("critpath-dag", trace_key, max_repeat)
+    region = _regions["critpath"]
+    value = region.get(key)
+    if value is not _MISS:
+        return value
+    value = build_dag(trace, max_repeat=max_repeat)
     region.put(key, value)
     return value
 

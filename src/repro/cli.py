@@ -17,7 +17,9 @@ Usage::
     python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
     python -m repro telemetry --app BigFFT --ranks 100 [--windows N] [--compare minimal,ugal]
     python -m repro compose --jobs LULESH:64,CMC_2D:64 [--noise HotspotNoise:64] [--allocation round_robin]
-    python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal]
+    python -m repro critpath --app LULESH --ranks 64 [--topology torus3d] [--routing ugal]
+    python -m repro critpath --table [--max-ranks N] [--topology torus3d]
+    python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal] [--critpath]
     python -m repro serve   --state DIR [--workers N] [--scheduler affinity|random]
     python -m repro submit  --state DIR --app LULESH --ranks 64 [--wait]
     python -m repro jobs    --state DIR [--stats | --cancel JOB | --shutdown]
@@ -35,6 +37,7 @@ Usage::
     python -m repro bench scale [--ranks N] [--chunk-mb M] [--rlimit-gb G]
     python -m repro bench sweep [--workers N] [--out PATH]
     python -m repro bench tenancy [--out PATH]
+    python -m repro bench critpath [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -269,6 +272,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_routing(cm)
 
+    cp = sub.add_parser(
+        "critpath",
+        help="critical path and latency tolerance under the LogGP model",
+    )
+    cp.add_argument("--app", default="LULESH")
+    cp.add_argument("--ranks", type=int, default=64)
+    cp.add_argument(
+        "--table", action="store_true",
+        help="latency-tolerance table over every registry app "
+        "(smallest configurations) instead of one workload",
+    )
+    add_max_ranks(cp)
+    cp.add_argument(
+        "--topology", default="torus3d",
+        choices=("torus3d", "fattree", "dragonfly", "none"),
+        help="'none' models a zero-diameter network (no per-hop term)",
+    )
+    cp.add_argument(
+        "--mapping", default="consecutive", choices=("consecutive", "random"),
+        help="rank placement feeding the per-hop cost term",
+    )
+    add_routing(cp)
+    cp.add_argument(
+        "--max-repeat", type=int, default=None,
+        help="iteration-truncation clamp for repeat expansion "
+        "(default: 64; 0 = exact expansion)",
+    )
+    cp.add_argument(
+        "--no-fd", action="store_true",
+        help="skip the finite-difference sensitivity cross-check",
+    )
+    for flag, letter in (
+        ("latency-s", "L"),
+        ("overhead-s", "o"),
+        ("gap-s", "g"),
+        ("gap-per-byte-s", "G"),
+        ("hop-s", "per-hop latency"),
+    ):
+        cp.add_argument(
+            f"--{flag}", type=float, default=None,
+            help=f"LogGP {letter} override in seconds (default: dyadic)",
+        )
+    cp.add_argument("--seed", type=int, default=0)
+
     sw = sub.add_parser(
         "sweep", help="cross a custom parameter grid (incl. routing policies)"
     )
@@ -297,6 +344,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry", action="store_true",
         help="also simulate each point with a windowed collector and merge "
         "a compact congestion summary into the records",
+    )
+    sw.add_argument(
+        "--critpath", action="store_true",
+        help="also build each point's happens-before DAG and merge the "
+        "LogGP critical path and latency sensitivity into the records",
     )
     sw.add_argument("--seed", type=int, default=0)
     add_format(sw)
@@ -480,13 +532,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     be.add_argument(
         "target",
-        choices=["pipeline", "routing", "telemetry", "scale", "sweep", "tenancy"],
         help="pipeline: legacy vs columnar front-end; "
         "routing: per-policy route-construction throughput; "
         "telemetry: collector overhead and congestion comparison; "
         "scale: peak RSS of the out-of-core streaming pipeline; "
         "sweep: cold serial vs warm sharded sweep service; "
-        "tenancy: interference-aware routing gate and solo bit-identity",
+        "tenancy: interference-aware routing gate and solo bit-identity; "
+        "critpath: vectorized matcher speedup and sensitivity cross-check",
     )
     be.add_argument(
         "--min-ranks",
@@ -869,6 +921,84 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         )
         print()
         print(render_interference_report(report))
+    elif args.command == "critpath":
+        from .critpath import DEFAULT_PARAMS, analyze_trace, latency_table
+
+        params = DEFAULT_PARAMS
+        overrides = {
+            "latency_s": args.latency_s,
+            "overhead_s": args.overhead_s,
+            "gap_s": args.gap_s,
+            "gap_per_byte_s": args.gap_per_byte_s,
+            "hop_s": args.hop_s,
+        }
+        overrides = {k: v for k, v in overrides.items() if v is not None}
+        if overrides:
+            from dataclasses import replace
+
+            params = replace(params, **overrides)
+        max_repeat = args.max_repeat
+        if max_repeat == 0:
+            max_repeat = None  # exact expansion
+        elif max_repeat is None:
+            from .critpath import DEFAULT_MAX_REPEAT
+
+            max_repeat = DEFAULT_MAX_REPEAT
+        if args.table:
+            rows = analysis.build_latency_rows(
+                topology=args.topology if args.topology != "none" else "torus3d",
+                routing=args.routing,
+                max_ranks=args.max_ranks,
+                max_repeat=max_repeat,
+                fd_check=not args.no_fd,
+            )
+            print(analysis.render_latency_table(rows))
+        else:
+            from .cache import cached_trace
+            from .validation.suite import build_topology
+
+            trace = cached_trace(args.app, args.ranks, seed=args.seed)
+            topo = None
+            mapping = None
+            if args.topology != "none":
+                topo = build_topology(args.topology, args.ranks)
+                from .mapping.base import Mapping
+
+                if args.mapping == "random":
+                    mapping = Mapping.random(
+                        args.ranks, topo.num_nodes, seed=args.seed
+                    )
+                else:
+                    mapping = Mapping.consecutive(args.ranks, topo.num_nodes)
+            result = analyze_trace(
+                trace,
+                topology=topo,
+                mapping=mapping,
+                routing=args.routing,
+                routing_seed=args.routing_seed,
+                params=params,
+                max_repeat=max_repeat,
+                fd_check=not args.no_fd,
+            )
+            print(
+                f"{result.app}@{result.ranks} on {args.topology} "
+                f"({args.routing} routing, {args.mapping} mapping)"
+            )
+            print(f"DAG:                  {result.nodes} nodes, "
+                  f"{result.edges} edges ({result.msg_edges} messages)")
+            print(f"critical path:        {result.makespan_s:.6f} s")
+            print(f"latency sensitivity:  dT/dL = {result.l_terms}")
+            if not args.no_fd:
+                print(
+                    f"finite difference:    "
+                    f"{fmt_float(result.fd_sensitivity, '.1f')} "
+                    f"(rel err {fmt_float(result.fd_rel_err, '.2e')})"
+                )
+            print(
+                "latency tolerance:    "
+                f"{fmt_float(result.tolerance_s * 1e6, '.3f')} us "
+                "(+1% critical path)"
+            )
     elif args.command == "sweep":
         from .analysis.sweep import SweepSpec, run_sweep
 
@@ -883,6 +1013,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             payloads=tuple(int(p) for p in split(args.payloads)),
             seed=args.seed,
             telemetry=args.telemetry,
+            critpath=args.critpath,
         )
         def cells_done(done: int, total: int) -> None:
             print(f"  {done}/{total} cells done", file=sys.stderr)
@@ -1083,7 +1214,17 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             data = run_tenancy_bench()
             print(render_tenancy_bench(data))
             path = write_tenancy_bench(out, data)
-        else:
+        elif args.target == "critpath":
+            from .bench import (
+                render_critpath_bench,
+                run_critpath_bench,
+                write_critpath_bench,
+            )
+
+            data = run_critpath_bench()
+            print(render_critpath_bench(data))
+            path = write_critpath_bench(out, data)
+        elif args.target == "routing":
             from .bench import (
                 render_routing_bench,
                 run_routing_bench,
@@ -1093,6 +1234,12 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             data = run_routing_bench(pairs=args.pairs)
             print(render_routing_bench(data))
             path = write_routing_bench(out, data)
+        else:
+            raise ValueError(
+                f"unknown bench target {args.target!r}; available: "
+                "critpath, pipeline, routing, scale, sweep, telemetry, "
+                "tenancy"
+            )
         print(f"wrote {path}")
     else:  # pragma: no cover - argparse enforces the choices
         raise AssertionError(f"unhandled command {args.command}")

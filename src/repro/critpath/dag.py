@@ -1,0 +1,269 @@
+"""CSR-encoded happens-before DAG with Kahn-order cycle detection.
+
+Nodes are the repeat-expanded trace events, plus one *completion* node per
+collective event.  The split matters for rooted two-phase collectives: an
+ALLREDUCE's fan-in edges must all arrive before its fan-out edges depart,
+which a single node per event cannot express without a 2-cycle between
+the root and every member.  With the split, fan-in arrives at the root's
+completion node and the fan-out departs from it, so the reduce and
+broadcast phases chain — and the graph stays acyclic by construction for
+any trace whose matching is consistent.
+
+Edge families:
+
+- **program order** (:data:`EDGE_PROGRAM`): each rank's events chained in
+  trace order (the end node of event i to the start node of event i+1),
+  plus the internal start→completion edge of every collective event.
+- **p2p messages** (:data:`EDGE_P2P`): matched send→recv pairs from
+  :func:`repro.critpath.match.match_events`.
+- **collective messages** (:data:`EDGE_COLLECTIVE`): per-instance
+  fan-in/fan-out edges from the collective→p2p translation.
+
+The DAG stores a flat edge list plus lazily built predecessor/successor
+CSR indexes and a level schedule (Kahn frontiers with pre-gathered
+predecessor-edge spans) that the longest-path DP replays once per cost
+vector — so a finite-difference sensitivity check pays for the schedule
+once, not per evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.blocks import KIND_COLLECTIVE
+from .match import collective_edges, ensure_receives, expand_events, match_events
+
+__all__ = [
+    "EDGE_PROGRAM",
+    "EDGE_P2P",
+    "EDGE_COLLECTIVE",
+    "CycleError",
+    "HappensBeforeDag",
+    "LevelSchedule",
+    "build_dag",
+]
+
+EDGE_PROGRAM = 0
+EDGE_P2P = 1
+EDGE_COLLECTIVE = 2
+
+
+class CycleError(ValueError):
+    """The happens-before graph is not a DAG (Kahn elimination stalled)."""
+
+
+@dataclass
+class LevelSchedule:
+    """Kahn frontiers with pre-gathered predecessor-edge spans.
+
+    ``levels[i]`` are the nodes whose dependencies complete at level i;
+    for i >= 1, ``pred_eidx[i]`` concatenates their incoming edge IDs and
+    ``starts[i]``/``counts[i]`` delimit the per-node groups (every node
+    past level 0 has at least one predecessor, so ``np.maximum.reduceat``
+    over the groups is always well-formed).
+    """
+
+    levels: list[np.ndarray]
+    pred_eidx: list[np.ndarray]
+    starts: list[np.ndarray]
+    counts: list[np.ndarray]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+
+def _span_gather(
+    indptr: np.ndarray, order: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate CSR spans of ``nodes``: (edge ids, group starts, counts)."""
+    counts = indptr[nodes + 1] - indptr[nodes]
+    total = int(counts.sum())
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1])) if len(counts) else counts
+    if total == 0:
+        return np.empty(0, dtype=np.int64), starts, counts
+    idx = np.repeat(indptr[nodes] - starts, counts) + np.arange(
+        total, dtype=np.int64
+    )
+    return order[idx], starts, counts
+
+
+@dataclass
+class HappensBeforeDag:
+    """A happens-before DAG over repeat-expanded trace events.
+
+    Nodes ``0..num_events-1`` are the expanded events in trace order;
+    nodes ``num_events..num_nodes-1`` are the completion nodes of the
+    collective events (``completion_of`` maps event -> completion node, -1
+    for p2p events).  ``node_rank[v]`` is the MPI rank that executes node
+    ``v``.  Edge arrays are parallel; ``edge_bytes`` is 0 on program-order
+    edges.
+    """
+
+    num_nodes: int
+    num_events: int
+    num_ranks: int
+    node_rank: np.ndarray  # int64[num_nodes]
+    completion_of: np.ndarray  # int64[num_events], -1 for p2p events
+    edge_src: np.ndarray  # int64[E]
+    edge_dst: np.ndarray  # int64[E]
+    edge_bytes: np.ndarray  # int64[E]
+    edge_kind: np.ndarray  # uint8[E]
+    _pred: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _succ: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+    _schedule: LevelSchedule | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edge_src)
+
+    def message_mask(self) -> np.ndarray:
+        return self.edge_kind != EDGE_PROGRAM
+
+    @property
+    def num_message_edges(self) -> int:
+        return int(np.count_nonzero(self.message_mask()))
+
+    def _csr(self, keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        order = np.argsort(keys, kind="stable")
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(np.bincount(keys, minlength=self.num_nodes), out=indptr[1:])
+        return indptr, order
+
+    def pred_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, edge-id order) of incoming edges, grouped by dst node."""
+        if self._pred is None:
+            self._pred = self._csr(self.edge_dst)
+        return self._pred
+
+    def succ_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """(indptr, edge-id order) of outgoing edges, grouped by src node."""
+        if self._succ is None:
+            self._succ = self._csr(self.edge_src)
+        return self._succ
+
+    def level_schedule(self) -> LevelSchedule:
+        """Kahn level decomposition; raises :class:`CycleError` on a cycle."""
+        if self._schedule is not None:
+            return self._schedule
+        pred_indptr, pred_order = self.pred_csr()
+        succ_indptr, succ_order = self.succ_csr()
+        indeg = np.diff(pred_indptr).astype(np.int64)
+        frontier = np.flatnonzero(indeg == 0)
+        levels: list[np.ndarray] = []
+        pred_eidx: list[np.ndarray] = []
+        starts_l: list[np.ndarray] = []
+        counts_l: list[np.ndarray] = []
+        processed = 0
+        while frontier.size:
+            processed += frontier.size
+            eidx, starts, counts = _span_gather(
+                pred_indptr, pred_order, frontier
+            )
+            levels.append(frontier)
+            pred_eidx.append(eidx)
+            starts_l.append(starts)
+            counts_l.append(counts)
+            out_eidx, _, _ = _span_gather(succ_indptr, succ_order, frontier)
+            if out_eidx.size == 0:
+                break
+            dsts = self.edge_dst[out_eidx]
+            uniq, cnt = np.unique(dsts, return_counts=True)
+            indeg[uniq] -= cnt
+            frontier = uniq[indeg[uniq] == 0]
+        if processed < self.num_nodes:
+            stuck = np.flatnonzero(indeg > 0)[:5]
+            raise CycleError(
+                f"happens-before graph contains a cycle: "
+                f"{self.num_nodes - processed} of {self.num_nodes} nodes "
+                f"never become ready under Kahn elimination "
+                f"(e.g. nodes {stuck.tolist()})"
+            )
+        self._schedule = LevelSchedule(levels, pred_eidx, starts_l, counts_l)
+        return self._schedule
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`CycleError` if the graph has a cycle."""
+        self.level_schedule()
+
+
+def build_dag(trace, max_repeat: int | None = None) -> HappensBeforeDag:
+    """Build the happens-before DAG of a trace.
+
+    ``max_repeat`` is the deterministic iteration-truncation knob passed
+    through to :func:`expand_events` (``None`` = exact expansion).  The
+    trace's receive side is synthesized when absent
+    (:func:`ensure_receives`), so any send-only synthetic trace works
+    directly.
+    """
+    trace = ensure_receives(trace)
+    table = expand_events(trace, max_repeat)
+    n = len(table)
+    coll = np.flatnonzero(table.kind == KIND_COLLECTIVE)
+    ncoll = len(coll)
+    completion = np.full(n, -1, dtype=np.int64)
+    completion[coll] = n + np.arange(ncoll, dtype=np.int64)
+    num_nodes = n + ncoll
+    node_rank = np.concatenate([table.rank, table.rank[coll]])
+    # The node where an event's local work ends: its completion node for
+    # collectives, the event itself for p2p records.
+    end_node = np.where(completion >= 0, completion, np.arange(n, dtype=np.int64))
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    byts: list[np.ndarray] = []
+    kinds: list[np.ndarray] = []
+
+    def add(src, dst, nbytes, kind) -> None:
+        srcs.append(np.asarray(src, dtype=np.int64))
+        dsts.append(np.asarray(dst, dtype=np.int64))
+        byts.append(np.asarray(nbytes, dtype=np.int64))
+        kinds.append(np.full(len(srcs[-1]), kind, dtype=np.uint8))
+
+    if ncoll:
+        add(coll, completion[coll], np.zeros(ncoll, dtype=np.int64), EDGE_PROGRAM)
+    if n:
+        order = np.argsort(table.rank, kind="stable")
+        same = table.rank[order][1:] == table.rank[order][:-1]
+        prev = order[:-1][same]
+        nxt = order[1:][same]
+        add(
+            end_node[prev], nxt, np.zeros(len(prev), dtype=np.int64), EDGE_PROGRAM
+        )
+    matched = match_events(table)
+    if len(matched):
+        add(matched.send_event, matched.recv_event, matched.nbytes, EDGE_P2P)
+    csrc, cdst, cbytes, after = collective_edges(table, trace.communicators)
+    if len(csrc):
+        src_nodes = np.where(after, completion[csrc], csrc)
+        add(src_nodes, completion[cdst], cbytes, EDGE_COLLECTIVE)
+
+    if srcs:
+        edge_src = np.concatenate(srcs)
+        edge_dst = np.concatenate(dsts)
+        edge_bytes = np.concatenate(byts)
+        edge_kind = np.concatenate(kinds)
+    else:
+        edge_src = np.empty(0, dtype=np.int64)
+        edge_dst = np.empty(0, dtype=np.int64)
+        edge_bytes = np.empty(0, dtype=np.int64)
+        edge_kind = np.empty(0, dtype=np.uint8)
+    return HappensBeforeDag(
+        num_nodes=num_nodes,
+        num_events=n,
+        num_ranks=table.num_ranks,
+        node_rank=node_rank,
+        completion_of=completion,
+        edge_src=edge_src,
+        edge_dst=edge_dst,
+        edge_bytes=edge_bytes,
+        edge_kind=edge_kind,
+    )

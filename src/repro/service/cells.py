@@ -36,7 +36,8 @@ __all__ = [
 
 #: Bump when record semantics change (new record fields, changed rounding,
 #: changed cell evaluation) — journals and record caches never mix versions.
-CELL_KEY_VERSION = 1
+#: v2: critical-path axis (critpath / critpath_max_repeat spec fields).
+CELL_KEY_VERSION = 2
 
 #: Grid-point axes in canonical order (matches ``SweepSpec.points()`` rows).
 _POINT_FIELDS = ("app", "ranks", "payload", "topology", "mapping", "routing")
@@ -50,6 +51,8 @@ _SHARED_FIELDS = (
     "telemetry_windows",
     "telemetry_threshold",
     "sim_volume_scale",
+    "critpath",
+    "critpath_max_repeat",
 )
 
 
@@ -68,6 +71,8 @@ def spec_to_dict(spec: SweepSpec) -> dict[str, Any]:
         "telemetry_windows": spec.telemetry_windows,
         "telemetry_threshold": spec.telemetry_threshold,
         "sim_volume_scale": spec.sim_volume_scale,
+        "critpath": spec.critpath,
+        "critpath_max_repeat": spec.critpath_max_repeat,
     }
 
 
@@ -100,6 +105,8 @@ def spec_from_dict(data: dict[str, Any]) -> SweepSpec:
         "telemetry_windows",
         "telemetry_threshold",
         "sim_volume_scale",
+        "critpath",
+        "critpath_max_repeat",
     ):
         if field in data:
             kwargs[field] = data.pop(field)

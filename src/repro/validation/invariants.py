@@ -583,3 +583,94 @@ def check_composed_byte_conservation(ctx: CheckContext) -> Iterator[Violation]:
             f"matrix carries {matrix.total_bytes} — cross-job traffic or "
             f"lost rows",
         )
+
+
+# ----------------------------------------------------------- critpath checks
+
+#: Iteration clamp for the acyclicity check's DAG build — structure (and
+#: hence acyclicity) is invariant under repeat truncation, so a small clamp
+#: keeps the check cheap on the repeat-heavy transport apps.
+DAG_CHECK_MAX_REPEAT = 4
+
+
+@invariant(
+    "critpath-matching",
+    "Every p2p channel balances: sends equal receives in calls and bytes",
+    "FIFO message matching; repro.critpath.match",
+)
+def check_critpath_matching(ctx: CheckContext) -> Iterator[Violation]:
+    name = "critpath-matching"
+    from ..critpath.match import channel_audit, ensure_receives
+
+    audit = channel_audit(ensure_receives(ctx.trace))
+    if not audit.balanced:
+        bad = np.nonzero(
+            (audit.send_calls != audit.recv_calls)
+            | (audit.send_bytes != audit.recv_bytes)
+        )[0]
+        i = int(bad[0])
+        yield _err(
+            name,
+            f"{bad.size} channel(s) unbalanced; first: "
+            f"{audit.channel_label(i)} has {int(audit.send_calls[i])} "
+            f"send(s) / {int(audit.send_bytes[i])} B vs "
+            f"{int(audit.recv_calls[i])} recv(s) / "
+            f"{int(audit.recv_bytes[i])} B",
+        )
+        return
+    # Cross-layer conservation: per-(src, dst) matched byte totals must
+    # equal the p2p traffic matrix exactly — the matcher and the matrix
+    # builder read the same rows, so any disagreement is a lost message.
+    m = ctx.p2p_matrix
+    codes = audit.src * np.int64(m.num_ranks) + audit.dst
+    order = np.argsort(codes, kind="stable")
+    uniq, start = np.unique(codes[order], return_index=True)
+    per_pair = np.add.reduceat(audit.send_bytes[order], start)
+    matrix_codes = m.src * np.int64(m.num_ranks) + m.dst
+    if not (
+        np.array_equal(uniq, matrix_codes)
+        and np.array_equal(per_pair, m.nbytes)
+    ):
+        matched = dict(zip(uniq.tolist(), per_pair.tolist()))
+        for s, d, b in zip(m.src, m.dst, m.nbytes):
+            got = matched.pop(int(s) * m.num_ranks + int(d), 0)
+            if got != int(b):
+                yield _err(
+                    name,
+                    f"pair ({int(s)}, {int(d)}): matcher sees {got} B "
+                    f"but the p2p matrix holds {int(b)} B",
+                )
+                return
+        extra = next(iter(matched))
+        yield _err(
+            name,
+            f"matcher sees traffic on pair "
+            f"({extra // m.num_ranks}, {extra % m.num_ranks}) absent from "
+            f"the p2p matrix",
+        )
+
+
+@invariant(
+    "dag-acyclicity",
+    "The happens-before graph of every scenario trace is a DAG",
+    "Kahn elimination; repro.critpath.dag",
+)
+def check_dag_acyclicity(ctx: CheckContext) -> Iterator[Violation]:
+    name = "dag-acyclicity"
+    from ..cache import cached_critpath_dag
+    from ..critpath.dag import CycleError
+    from ..critpath.match import MatchError
+
+    try:
+        dag = cached_critpath_dag(ctx.trace, max_repeat=DAG_CHECK_MAX_REPEAT)
+        dag.assert_acyclic()
+    except MatchError as exc:
+        yield _err(name, f"matching failed before the DAG was built: {exc}")
+        return
+    except CycleError as exc:
+        yield _err(name, str(exc))
+        return
+    if dag.num_events and not dag.num_edges:
+        yield _err(
+            name, "non-empty trace produced a DAG with no edges"
+        )

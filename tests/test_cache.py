@@ -248,11 +248,12 @@ class TestKeys:
             "disk_hits": 0,
         }
 
-    def test_cache_version_is_6(self):
-        """v6 added multi-tenant composition (v5: disk-tier mappings) —
-        composed traces carry provenance keys and interference_aware
-        routing embeds a victim-load digest in its token."""
-        assert cache.CACHE_VERSION == 6
+    def test_cache_version_is_7(self):
+        """v7 added the critical-path engine (v6: multi-tenant
+        composition) — happens-before DAGs join the memory tier keyed on
+        trace provenance plus the repeat clamp, and a version bump
+        cold-starts the disk tier so no v6 entry can alias."""
+        assert cache.CACHE_VERSION == 7
 
     def test_policies_never_share_entries(self):
         """Different routing policies must never alias one cache entry —

@@ -53,6 +53,8 @@ EXPECTED_INVARIANTS = {
     "cache-roundtrip",
     "streaming-equivalence",
     "composed-byte-conservation",
+    "critpath-matching",
+    "dag-acyclicity",
 }
 
 
