@@ -21,7 +21,14 @@ from ..model.engine import analyze_network
 from ..topology.configs import config_for
 from ..util import fmt_float
 
-__all__ = ["WorkloadReport", "build_report", "render_report"]
+__all__ = [
+    "WorkloadReport",
+    "build_report",
+    "render_report",
+    "CollectiveDeltaRow",
+    "build_collective_deltas",
+    "render_collective_deltas",
+]
 
 
 @dataclass(frozen=True)
@@ -119,6 +126,125 @@ def _latency_sensitivity(trace) -> float:
     except (MatchError, CycleError):
         return float("nan")
     return float(analysis.l_terms)
+
+
+@dataclass(frozen=True)
+class CollectiveDeltaRow:
+    """One (app, topology, routing, collective-engine) cell of the delta table."""
+
+    app: str
+    ranks: int
+    topology: str
+    routing: str
+    collective: str
+    collective_mb: float  # expanded collective traffic under this engine
+    avg_hops: float
+    utilization: float
+    #: Average-hops change relative to the flat engine on the same
+    #: (app, topology, routing) cell, in percent; 0.0 for flat itself.
+    hops_delta_pct: float
+
+
+def build_collective_deltas(
+    max_ranks: int | None = None,
+    seed: int = 0,
+    topologies: tuple[str, ...] = ("torus3d", "fattree", "dragonfly"),
+    routings: tuple[str, ...] = ("minimal", "valiant"),
+    collectives: tuple[str, ...] | None = None,
+) -> list[CollectiveDeltaRow]:
+    """The (app x topology x routing x collective-algo) delta grid.
+
+    One block per registry app at its smallest configuration, restricted to
+    apps that carry collective traffic (the others are bit-identical across
+    engines by construction).  Every engine's matrix is analyzed under
+    every (topology, routing) pair; the flat engine — the paper's expansion
+    — is the baseline each delta is measured against.
+    """
+    from ..collectives import collective_volume
+    from ..collectives.registry import COLLECTIVES
+
+    if collectives is None:
+        collectives = tuple(COLLECTIVES)
+    smallest: dict[str, int] = {}
+    for app, point in iter_configurations(max_ranks=max_ranks):
+        if point.variant:
+            continue
+        if app.name not in smallest or point.ranks < smallest[app.name]:
+            smallest[app.name] = point.ranks
+    rows: list[CollectiveDeltaRow] = []
+    for name, ranks in smallest.items():
+        trace = cached_trace(name, ranks, seed=seed)
+        if collective_volume(trace) == 0:
+            continue
+        cfg = config_for(ranks)
+        builders = {
+            "torus3d": cfg.build_torus,
+            "fattree": cfg.build_fat_tree,
+            "dragonfly": cfg.build_dragonfly,
+        }
+        matrices = {
+            algo: cached_matrix(trace, collective=algo) for algo in collectives
+        }
+        volumes = {
+            algo: collective_volume(trace, collective=algo)
+            for algo in collectives
+        }
+        for kind in topologies:
+            topology = builders[kind]()
+            for routing in routings:
+                base_hops: float | None = None
+                for algo in collectives:
+                    analysis = analyze_network(
+                        matrices[algo],
+                        topology,
+                        execution_time=trace.meta.execution_time,
+                        routing=routing,
+                        routing_seed=seed,
+                    )
+                    if algo == "flat":
+                        base_hops = analysis.avg_hops
+                    delta = (
+                        100.0 * (analysis.avg_hops / base_hops - 1.0)
+                        if base_hops
+                        else float("nan")
+                    )
+                    rows.append(
+                        CollectiveDeltaRow(
+                            app=name,
+                            ranks=ranks,
+                            topology=kind,
+                            routing=routing,
+                            collective=algo,
+                            collective_mb=volumes[algo] / 1e6,
+                            avg_hops=analysis.avg_hops,
+                            utilization=analysis.utilization,
+                            hops_delta_pct=delta,
+                        )
+                    )
+    return rows
+
+
+def render_collective_deltas(rows: list[CollectiveDeltaRow]) -> str:
+    """Render the delta grid as a markdown section."""
+    lines = [
+        "## Collective-algorithm deltas",
+        "",
+        "Average packet hops per (app, topology, routing) cell under each",
+        "collective-algorithm engine, relative to the paper's flat",
+        "collective->p2p expansion (apps without collective traffic are",
+        "identical across engines and omitted).",
+        "",
+        "| workload | topology | routing | engine | coll [MB] | hops | Δ hops vs flat | util % |",
+        "|---|---|---|---|---|---|---|---|",
+    ]
+    for r in rows:
+        delta = "—" if r.collective == "flat" else f"{r.hops_delta_pct:+.1f}%"
+        lines.append(
+            f"| {r.app}@{r.ranks} | {r.topology} | {r.routing} "
+            f"| {r.collective} | {r.collective_mb:.1f} | {r.avg_hops:.3f} "
+            f"| {delta} | {100 * r.utilization:.4f} |"
+        )
+    return "\n".join(lines)
 
 
 def render_report(rows: list[WorkloadReport]) -> str:

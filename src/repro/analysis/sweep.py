@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from ..cache import cached_mapping, cached_matrix, cached_trace
+from ..collectives.registry import COLLECTIVES
 from ..mapping.base import Mapping
 from ..model.engine import BANDWIDTH_BYTES_PER_S, analyze_network
 from ..routing import ROUTINGS
@@ -65,6 +66,9 @@ class SweepSpec:
     payloads: tuple[int, ...] = (4096,)
     bandwidths: tuple[float, ...] = (BANDWIDTH_BYTES_PER_S,)
     routings: tuple[str, ...] = ("minimal",)
+    #: Collective-algorithm engines to cross (``repro.collectives``
+    #: registry names); ``flat`` is the paper's expansion.
+    collectives: tuple[str, ...] = ("flat",)
     include_collectives: bool = True
     seed: int = 0
     #: Opt-in telemetry axis: when True every point also runs the dynamic
@@ -100,6 +104,9 @@ class SweepSpec:
         unknown = set(self.routings) - set(ROUTINGS)
         if unknown:
             raise ValueError(f"unknown routing policies {sorted(unknown)}")
+        unknown = set(self.collectives) - set(COLLECTIVES)
+        if unknown:
+            raise ValueError(f"unknown collective algorithms {sorted(unknown)}")
         if any(p <= 0 for p in self.payloads):
             raise ValueError("payloads must be positive")
         if any(b <= 0 for b in self.bandwidths):
@@ -113,24 +120,26 @@ class SweepSpec:
             * len(self.mappings)
             * len(self.payloads)
             * len(self.routings)
+            * len(self.collectives)
             * len(self.bandwidths)
         )
 
-    def points(self) -> list[tuple[str, int, int, str, str, str]]:
+    def points(self) -> list[tuple[str, int, int, str, str, str, str]]:
         """The grid in canonical evaluation order (bandwidths loop inside)."""
         return [
-            (app, ranks, payload, topo_kind, mapping_method, routing)
+            (app, ranks, payload, topo_kind, mapping_method, routing, collective)
             for app, ranks in self.apps
             for payload in self.payloads
             for topo_kind in self.topologies
             for mapping_method in self.mappings
             for routing in self.routings
+            for collective in self.collectives
         ]
 
 
 def unique_points(
     spec: SweepSpec,
-) -> tuple[list[tuple[str, int, int, str, str, str]], int]:
+) -> tuple[list[tuple[str, int, int, str, str, str, str]], int]:
     """The grid with duplicate cells collapsed, plus the collapsed count.
 
     Duplicate axis values (``apps=(("LULESH", 64), ("LULESH", 64))``) used
@@ -175,7 +184,7 @@ def _build_mapping(method: str, matrix, topology, seed: int) -> Mapping:
 
 
 def _eval_point(
-    spec: SweepSpec, point: tuple[str, int, int, str, str, str]
+    spec: SweepSpec, point: tuple[str, int, int, str, str, str, str]
 ) -> list[dict[str, Any]]:
     """Evaluate one grid point — a pure function of (spec, point).
 
@@ -183,12 +192,13 @@ def _eval_point(
     otherwise; all heavy intermediates go through the process-local
     :mod:`repro.cache`, so points sharing an app/payload rebuild nothing.
     """
-    app, ranks, payload, topo_kind, mapping_method, routing = point
+    app, ranks, payload, topo_kind, mapping_method, routing, collective = point
     trace = cached_trace(app, ranks, seed=spec.seed)
     matrix = cached_matrix(
         trace,
         include_collectives=spec.include_collectives,
         payload=payload,
+        collective=collective,
     )
     cfg = config_for(ranks)
     topology = _TOPOLOGY_BUILDERS[topo_kind](cfg)
@@ -197,7 +207,9 @@ def _eval_point(
     if spec.critpath:
         # Independent of payload and bandwidth: computed once per point and
         # merged into every bandwidth record.
-        critpath_fields = _critpath_fields(spec, trace, topology, mapping, routing)
+        critpath_fields = _critpath_fields(
+            spec, trace, topology, mapping, routing, collective
+        )
     records = []
     for bandwidth in spec.bandwidths:
         result = analyze_network(
@@ -216,6 +228,7 @@ def _eval_point(
             "topology": topo_kind,
             "mapping": mapping_method,
             "routing": routing,
+            "collective": collective,
             "payload": payload,
             "bandwidth": bandwidth,
             "packet_hops": result.packet_hops,
@@ -236,7 +249,7 @@ def _eval_point(
 
 
 def _critpath_fields(
-    spec: SweepSpec, trace, topology, mapping, routing
+    spec: SweepSpec, trace, topology, mapping, routing, collective
 ) -> dict[str, Any]:
     """Critical-path profile of one grid point under the LogGP model.
 
@@ -256,6 +269,7 @@ def _critpath_fields(
             routing_seed=spec.seed,
             max_repeat=spec.critpath_max_repeat,
             fd_check=False,
+            collective=collective,
         )
     except (MatchError, CycleError) as exc:
         _log.warning("critpath axis skipped for %s: %s", trace.meta.app, exc)
@@ -309,7 +323,7 @@ def _telemetry_fields(
 
 
 def _eval_chunk(
-    spec: SweepSpec, chunk: list[tuple[str, int, int, str, str, str]]
+    spec: SweepSpec, chunk: list[tuple[str, int, int, str, str, str, str]]
 ) -> list[list[dict[str, Any]]]:
     """Evaluate a contiguous run of grid points in one worker process."""
     return [_eval_point(spec, point) for point in chunk]

@@ -244,6 +244,7 @@ def build_latency_rows(
     max_ranks: int | None = None,
     max_repeat: int | None = None,
     fd_check: bool = False,
+    collective: str = "flat",
 ):
     """Per-app critical-path rows (:class:`~repro.critpath.CritPathAnalysis`).
 
@@ -258,6 +259,7 @@ def build_latency_rows(
         max_ranks=max_ranks,
         max_repeat=DEFAULT_MAX_REPEAT if max_repeat is None else max_repeat,
         fd_check=fd_check,
+        collective=collective,
     )
 
 

@@ -33,6 +33,14 @@ high-water mark), and the asserted quantity
 (``benchmarks/test_perf_scale.py``) is measured peak RSS over the fixed
 :data:`SCALE_RSS_BUDGET_MB` budget — a memory ratio, stable across
 machines in a way wall times are not.
+
+``repro bench collectives`` (:func:`run_collectives_bench`, recorded in
+``BENCH_collectives.json``) pins the pluggable collective-algorithm
+engines: the flat engine (the paper's collective->p2p expansion) must stay
+bit-identical to the pre-engine default on every registry app, and the
+binomial engine must produce a measurable locality delta versus flat on a
+collective-heavy workload.  Both gates are deterministic structural
+comparisons (``benchmarks/test_perf_collectives.py``).
 """
 
 from __future__ import annotations
@@ -70,6 +78,9 @@ __all__ = [
     "run_critpath_bench",
     "write_critpath_bench",
     "render_critpath_bench",
+    "run_collectives_bench",
+    "write_collectives_bench",
+    "render_collectives_bench",
 ]
 
 #: The asserted floor on the cold front-end (trace + matrix) speedup.
@@ -136,6 +147,21 @@ TENANCY_MAX_PACKETS = 5_000_000
 CRITPATH_MATCH_SPEEDUP_TARGET = 5.0
 CRITPATH_SENSITIVITY_REL_TOL = 0.01
 CRITPATH_MATCH_WORKLOAD = ("AMG", 1728)
+
+#: ``repro bench collectives`` (benchmarks/test_perf_collectives.py): the
+#: flat engine must reproduce today's matrices *bit-identically* on every
+#: registry app — both against the parameterless default
+#: (``matrix_from_trace(trace)``) and across the two independent expansion
+#: paths (columnar batch fast path vs per-event ``iter_send_groups``).
+#: The delta gate then requires a measurable locality difference between
+#: flat and binomial expansion on a collective-heavy workload: binomial
+#: point-to-point stages must inflate collective bytes by at least
+#: :data:`COLLECTIVES_BYTES_RATIO_FLOOR` while shifting average packet
+#: hops by at least :data:`COLLECTIVES_HOPS_DELTA_FLOOR` (relative) —
+#: both structural, deterministic ratios; wall times are provenance only.
+COLLECTIVES_DELTA_WORKLOAD = ("CMC_2D", 64)
+COLLECTIVES_BYTES_RATIO_FLOOR = 1.5
+COLLECTIVES_HOPS_DELTA_FLOOR = 0.10
 
 
 def _stage_seconds() -> dict[str, float]:
@@ -1244,5 +1270,141 @@ def render_critpath_bench(data: dict[str, Any]) -> str:
         f"  dT/dL cross-check over {len(data['sensitivity']['apps'])} apps: "
         f"max rel err {s['sensitivity_max_rel_err']:.2e} "
         f"(tol {s['sensitivity_rel_tol']})   ok: {s['sensitivity_ok']}",
+    ]
+    return "\n".join(lines)
+
+
+def run_collectives_bench() -> dict[str, Any]:
+    """Collective-engine gates: flat-identity pin and tree locality delta.
+
+    Gate 1 (identity): for every registry app's smallest configuration,
+    the flat engine's matrix must be bit-identical to the parameterless
+    default ``matrix_from_trace(trace)`` (the pre-engine behavior is the
+    pinned baseline) *and* to a matrix rebuilt through the independent
+    per-event path (``iter_send_groups`` feeding
+    ``CommMatrixBuilder.add_group``) — two code paths, one answer.
+
+    Gate 2 (delta): on :data:`COLLECTIVES_DELTA_WORKLOAD` the binomial
+    engine must measurably change network locality versus flat: expanded
+    collective bytes grow by >= :data:`COLLECTIVES_BYTES_RATIO_FLOOR` and
+    torus average hops move by >= :data:`COLLECTIVES_HOPS_DELTA_FLOOR`
+    relative.  Both are deterministic structural ratios
+    (``benchmarks/test_perf_collectives.py``); seconds are provenance.
+    """
+    from .apps.registry import iter_configurations
+    from .cache import cached_trace
+    from .collectives import collective_volume, iter_send_groups
+    from .comm.matrix import CommMatrixBuilder, matrix_from_trace
+    from .model.engine import analyze_network
+    from .topology.configs import config_for
+    from .validation.invariants import matrices_identical
+
+    # --- gate 1: flat engine bit-identical on every registry app ------
+    smallest: dict[str, int] = {}
+    for app, point in iter_configurations():
+        if point.variant:
+            continue
+        if app.name not in smallest or point.ranks < smallest[app.name]:
+            smallest[app.name] = point.ranks
+    apps = []
+    t0 = time.perf_counter()
+    for name in sorted(smallest):
+        ranks = smallest[name]
+        trace = cached_trace(name, ranks)
+        default = matrix_from_trace(trace)
+        flat = matrix_from_trace(trace, collective="flat")
+        builder = CommMatrixBuilder(trace.meta.num_ranks)
+        for classified in iter_send_groups(trace):
+            builder.add_group(classified.group)
+        per_event = builder.finalize()
+        apps.append(
+            {
+                "workload": f"{name}@{ranks}",
+                "pairs": len(flat.src),
+                "total_bytes": int(flat.total_bytes),
+                "default_identical": matrices_identical(flat, default),
+                "per_event_identical": matrices_identical(flat, per_event),
+            }
+        )
+    identity_s = time.perf_counter() - t0
+    flat_identity_ok = all(
+        a["default_identical"] and a["per_event_identical"] for a in apps
+    )
+
+    # --- gate 2: flat vs binomial locality delta ----------------------
+    app, ranks = COLLECTIVES_DELTA_WORKLOAD
+    trace = cached_trace(app, ranks)
+    topology = config_for(ranks).build_torus()
+    t0 = time.perf_counter()
+    engines = {}
+    for algo in ("flat", "binomial"):
+        matrix = matrix_from_trace(trace, collective=algo)
+        analysis = analyze_network(
+            matrix, topology, execution_time=trace.meta.execution_time
+        )
+        engines[algo] = {
+            "collective_bytes": int(collective_volume(trace, collective=algo)),
+            "total_bytes": int(matrix.total_bytes),
+            "avg_hops": round(analysis.avg_hops, 6),
+            "packet_hops": int(analysis.packet_hops),
+            "wire_bytes": int(analysis.wire_bytes),
+        }
+    delta_s = time.perf_counter() - t0
+    bytes_ratio = (
+        engines["binomial"]["collective_bytes"]
+        / engines["flat"]["collective_bytes"]
+    )
+    hops_delta = abs(
+        engines["binomial"]["avg_hops"] / engines["flat"]["avg_hops"] - 1.0
+    )
+
+    return {
+        "identity": {
+            "apps": apps,
+            "identity_seconds": round(identity_s, 3),
+        },
+        "delta": {
+            "workload": f"{app}@{ranks}",
+            "topology": "torus3d",
+            "engines": engines,
+            "delta_seconds": round(delta_s, 3),
+        },
+        "summary": {
+            "flat_identity_ok": flat_identity_ok,
+            "apps_checked": len(apps),
+            "bytes_ratio": round(bytes_ratio, 4),
+            "bytes_ratio_floor": COLLECTIVES_BYTES_RATIO_FLOOR,
+            "bytes_ratio_ok": bytes_ratio >= COLLECTIVES_BYTES_RATIO_FLOOR,
+            "hops_delta_rel": round(hops_delta, 4),
+            "hops_delta_floor": COLLECTIVES_HOPS_DELTA_FLOOR,
+            "hops_delta_ok": hops_delta >= COLLECTIVES_HOPS_DELTA_FLOOR,
+        },
+    }
+
+
+def write_collectives_bench(path: str | Path, data: dict[str, Any]) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_collectives_bench(data: dict[str, Any]) -> str:
+    s = data["summary"]
+    d = data["delta"]
+    flat = d["engines"]["flat"]
+    binom = d["engines"]["binomial"]
+    lines = [
+        f"collective-engine gates: flat identity over "
+        f"{s['apps_checked']} apps "
+        f"({data['identity']['identity_seconds']:.1f}s)   "
+        f"ok: {s['flat_identity_ok']}",
+        f"  delta on {d['workload']} ({d['topology']}): "
+        f"collective bytes {flat['collective_bytes']} -> "
+        f"{binom['collective_bytes']} "
+        f"(ratio {s['bytes_ratio']}x, floor {s['bytes_ratio_floor']}x)   "
+        f"ok: {s['bytes_ratio_ok']}",
+        f"  avg hops {flat['avg_hops']:.3f} -> {binom['avg_hops']:.3f} "
+        f"(rel delta {s['hops_delta_rel']}, "
+        f"floor {s['hops_delta_floor']})   ok: {s['hops_delta_ok']}",
     ]
     return "\n".join(lines)

@@ -96,7 +96,12 @@ __all__ = [
 #: the memory tier keyed on trace provenance plus the repeat clamp, and
 #: synthesized-receive expansion changes what a trace key denotes for the
 #: DAG region; cold-start so no v6 entry can alias a critpath-era key.
-CACHE_VERSION = 7
+#: v8: pluggable collective-algorithm engines — matrix and critpath-DAG
+#: keys carry the engine's ``cache_token()``, and the binomial tree
+#: expansion fixed its subtree-size conservation bugs (scatterv remainder
+#: truncation, mismatched tree orientation), so tree-expanded artifacts
+#: from v7 must never be read back.
+CACHE_VERSION = 8
 
 
 @dataclass
@@ -434,19 +439,27 @@ def cached_matrix(
     include_p2p: bool = True,
     include_collectives: bool = True,
     payload: int | None = None,
+    collective: str = "flat",
 ):
-    """Memoized :func:`repro.comm.matrix.matrix_from_trace`."""
+    """Memoized :func:`repro.comm.matrix.matrix_from_trace`.
+
+    The key carries the collective engine's ``cache_token()`` so no two
+    engines (flat, binomial, ring, ...) ever alias one entry.
+    """
+    from .collectives.registry import get_algorithm
     from .comm.matrix import matrix_from_trace
     from .core.packets import MAX_PAYLOAD_BYTES
 
     if payload is None:
         payload = MAX_PAYLOAD_BYTES
+    engine = get_algorithm(collective)
     key = (
         "matrix",
         trace_content_key(trace),
         include_p2p,
         include_collectives,
         payload,
+        engine.cache_token(),
     )
     region = _regions["matrix"]
     value = region.get(key)
@@ -462,6 +475,7 @@ def cached_matrix(
             include_p2p=include_p2p,
             include_collectives=include_collectives,
             payload=payload,
+            collective=engine,
         )
         _disk_store_pickle(path, value)
     if getattr(value, "_repro_cache_key", None) is None:
@@ -551,31 +565,35 @@ def cached_node_pairs(matrix, mapping):
     return value
 
 
-def cached_critpath_dag(trace, max_repeat: int | None = None):
-    """Memoized happens-before DAG of ``(trace, max_repeat)``.
+def cached_critpath_dag(trace, max_repeat: int | None = None, collective: str = "flat"):
+    """Memoized happens-before DAG of ``(trace, max_repeat, collective)``.
 
     :func:`repro.critpath.analyze.analyze_trace` rebuilds nothing when one
     trace is profiled across several topologies and routing policies: the
-    DAG depends only on the trace content and the repeat clamp, so it is
-    keyed on the trace's generation provenance.  Foreign traces (no
-    provenance) fall through to a plain build — hashing the event stream
-    would cost as much as the expansion it saves.
+    DAG depends only on the trace content, the repeat clamp, and the
+    collective engine (tree schedules change the happens-before shape), so
+    it is keyed on the trace's generation provenance plus the engine's
+    ``cache_token()``.  Foreign traces (no provenance) fall through to a
+    plain build — hashing the event stream would cost as much as the
+    expansion it saves.
 
     Memory-only by design: the DAG's lazily built CSR indexes and level
     schedule are the expensive part and would not survive a pickle round
     trip ergonomically, and the arrays are expansion-sized.
     """
+    from .collectives.registry import get_algorithm
     from .critpath.dag import build_dag
 
+    engine = get_algorithm(collective)
     trace_key = getattr(trace, "_repro_cache_key", None)
     if trace_key is None:
-        return build_dag(trace, max_repeat=max_repeat)
-    key = ("critpath-dag", trace_key, max_repeat)
+        return build_dag(trace, max_repeat=max_repeat, collective=engine)
+    key = ("critpath-dag", trace_key, max_repeat, engine.cache_token())
     region = _regions["critpath"]
     value = region.get(key)
     if value is not _MISS:
         return value
-    value = build_dag(trace, max_repeat=max_repeat)
+    value = build_dag(trace, max_repeat=max_repeat, collective=engine)
     region.put(key, value)
     return value
 

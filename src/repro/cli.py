@@ -13,13 +13,13 @@ Usage::
     python -m repro claims  [--max-ranks N]
     python -m repro report  [--max-ranks N] [--out PATH]
     python -m repro heatmap --app LULESH --ranks 64 [--bins 32]
-    python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d] [--routing ugal]
-    python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant]
+    python -m repro slack   --app BigFFT --ranks 100 [--topology torus3d] [--routing ugal] [--collective-algo binomial]
+    python -m repro simulate --app BigFFT --ranks 100 [--volume-scale K] [--routing valiant] [--collective-algo ring]
     python -m repro telemetry --app BigFFT --ranks 100 [--windows N] [--compare minimal,ugal]
     python -m repro compose --jobs LULESH:64,CMC_2D:64 [--noise HotspotNoise:64] [--allocation round_robin]
-    python -m repro critpath --app LULESH --ranks 64 [--topology torus3d] [--routing ugal]
+    python -m repro critpath --app LULESH --ranks 64 [--topology torus3d] [--routing ugal] [--collective-algo binomial]
     python -m repro critpath --table [--max-ranks N] [--topology torus3d]
-    python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal] [--critpath]
+    python -m repro sweep   --app LULESH --ranks 64 [--routings minimal,valiant,ugal] [--collectives flat,binomial] [--critpath]
     python -m repro serve   --state DIR [--workers N] [--scheduler affinity|random]
     python -m repro submit  --state DIR --app LULESH --ranks 64 [--wait]
     python -m repro jobs    --state DIR [--stats | --cancel JOB | --shutdown]
@@ -28,7 +28,7 @@ Usage::
     python -m repro convert --dir DUMPI_DIR --app NAME [--out PATH]
     python -m repro compare [--max-ranks N]
     python -m repro validate [--max-ranks N]
-    python -m repro check   [--max-ranks N] [--strict] [--no-sim] [--composed]
+    python -m repro check   [--max-ranks N] [--strict] [--no-sim] [--composed] [--collectives flat,binomial]
     python -m repro fuzz    [--count N] [--offset K] [--no-shrink]
     python -m repro apps
     python -m repro bench pipeline [--min-ranks N] [--out PATH]
@@ -38,6 +38,7 @@ Usage::
     python -m repro bench sweep [--workers N] [--out PATH]
     python -m repro bench tenancy [--out PATH]
     python -m repro bench critpath [--out PATH]
+    python -m repro bench collectives [--out PATH]
 
 Global options (before the subcommand): ``--timings`` prints a per-stage
 wall-time breakdown (trace generation / matrix build / routing / analysis /
@@ -65,6 +66,11 @@ _USER_ERRORS = (ValueError, KeyError, FileNotFoundError, NotADirectoryError)
 #: Kept literal (matching repro.routing.ROUTINGS) so --help needs no imports.
 _ROUTING_CHOICES = (
     "minimal", "ecmp", "valiant", "dmodk", "ugal", "interference_aware"
+)
+
+#: Kept literal (matching repro.collectives.COLLECTIVES) for the same reason.
+_COLLECTIVE_CHOICES = (
+    "flat", "binomial", "ring", "recursive_doubling", "bine"
 )
 
 
@@ -144,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     rp = sub.add_parser("report", help="full markdown characterization report")
     rp.add_argument("--max-ranks", type=int, default=None)
     rp.add_argument("--out", default=None, help="output path (default: stdout)")
+    rp.add_argument(
+        "--no-collective-deltas", action="store_true",
+        help="skip the (app x topology x routing x collective-algo) "
+        "delta section",
+    )
 
     hm = sub.add_parser("heatmap", help="ASCII communication heat map")
     hm.add_argument("--app", required=True)
@@ -160,6 +171,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="seed for randomized policies (ecmp/valiant/ugal)",
         )
 
+    def add_collective(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--collective-algo", default="flat", choices=_COLLECTIVE_CHOICES,
+            help="collective-algorithm engine expanding collectives to "
+            "point-to-point traffic (default: flat, the paper's expansion)",
+        )
+
     sl = sub.add_parser("slack", help="per-link bandwidth slack (paper \u00a77)")
     sl.add_argument("--app", required=True)
     sl.add_argument("--ranks", type=int, required=True)
@@ -168,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("torus3d", "fattree", "dragonfly"),
     )
     add_routing(sl)
+    add_collective(sl)
 
     sm = sub.add_parser(
         "simulate", help="dynamic packet-level simulation vs the static model"
@@ -187,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation kernel (all bit-identical; default picks by load)",
     )
     add_routing(sm)
+    add_collective(sm)
 
     tm = sub.add_parser(
         "telemetry",
@@ -224,6 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full report to PATH (.npz exact, .json summary)",
     )
     add_routing(tm)
+    add_collective(tm)
 
     cm = sub.add_parser(
         "compose",
@@ -294,6 +315,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="rank placement feeding the per-hop cost term",
     )
     add_routing(cp)
+    add_collective(cp)
     cp.add_argument(
         "--max-repeat", type=int, default=None,
         help="iteration-truncation clamp for repeat expansion "
@@ -335,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sw.add_argument(
         "--payloads", default="4096", help="comma-separated packet payloads"
+    )
+    sw.add_argument(
+        "--collectives", default="flat",
+        help="comma-separated collective-algorithm engines "
+        f"({', '.join(_COLLECTIVE_CHOICES)})",
     )
     sw.add_argument(
         "--workers", type=int, default=1,
@@ -404,6 +431,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sb.add_argument(
         "--payloads", default="4096", help="comma-separated packet payloads"
+    )
+    sb.add_argument(
+        "--collectives", default="flat",
+        help="comma-separated collective-algorithm engines "
+        f"({', '.join(_COLLECTIVE_CHOICES)})",
     )
     sb.add_argument("--seed", type=int, default=0)
     sb.add_argument(
@@ -479,6 +511,11 @@ def build_parser() -> argparse.ArgumentParser:
         f"{', '.join(_ROUTING_CHOICES)})",
     )
     ck.add_argument(
+        "--collectives", default="flat",
+        help="comma-separated collective-algorithm engines to cross the "
+        f"grid with ({', '.join(_COLLECTIVE_CHOICES)})",
+    )
+    ck.add_argument(
         "--no-sim", action="store_true",
         help="skip the dynamic-simulation and telemetry invariants",
     )
@@ -538,7 +575,8 @@ def build_parser() -> argparse.ArgumentParser:
         "scale: peak RSS of the out-of-core streaming pipeline; "
         "sweep: cold serial vs warm sharded sweep service; "
         "tenancy: interference-aware routing gate and solo bit-identity; "
-        "critpath: vectorized matcher speedup and sensitivity cross-check",
+        "critpath: vectorized matcher speedup and sensitivity cross-check; "
+        "collectives: flat-engine identity gate and tree locality deltas",
     )
     be.add_argument(
         "--min-ranks",
@@ -674,6 +712,10 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
     elif args.command == "report":
         rows = analysis.build_report(max_ranks=args.max_ranks)
         text = analysis.render_report(rows)
+        if not args.no_collective_deltas:
+            deltas = analysis.build_collective_deltas(max_ranks=args.max_ranks)
+            if deltas:
+                text += "\n\n" + analysis.render_collective_deltas(deltas)
         if args.out:
             from pathlib import Path
 
@@ -701,7 +743,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         from .topology.configs import config_for
 
         trace = generate_trace(args.app, args.ranks)
-        matrix = matrix_from_trace(trace)
+        matrix = matrix_from_trace(trace, collective=args.collective_algo)
         cfg = config_for(args.ranks)
         topo = {
             "torus3d": cfg.build_torus,
@@ -739,7 +781,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         from .topology.configs import config_for
 
         trace = generate_trace(args.app, args.ranks)
-        matrix = matrix_from_trace(trace)
+        matrix = matrix_from_trace(trace, collective=args.collective_algo)
         cfg = config_for(args.ranks)
         topo = {
             "torus3d": cfg.build_torus,
@@ -788,7 +830,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         from .topology.configs import config_for
 
         trace = generate_trace(args.app, args.ranks)
-        matrix = matrix_from_trace(trace)
+        matrix = matrix_from_trace(trace, collective=args.collective_algo)
         cfg = config_for(args.ranks)
         topo = {
             "torus3d": cfg.build_torus,
@@ -951,6 +993,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
                 max_ranks=args.max_ranks,
                 max_repeat=max_repeat,
                 fd_check=not args.no_fd,
+                collective=args.collective_algo,
             )
             print(analysis.render_latency_table(rows))
         else:
@@ -979,10 +1022,12 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
                 params=params,
                 max_repeat=max_repeat,
                 fd_check=not args.no_fd,
+                collective=args.collective_algo,
             )
             print(
                 f"{result.app}@{result.ranks} on {args.topology} "
-                f"({args.routing} routing, {args.mapping} mapping)"
+                f"({args.routing} routing, {args.mapping} mapping, "
+                f"{result.collective} collectives)"
             )
             print(f"DAG:                  {result.nodes} nodes, "
                   f"{result.edges} edges ({result.msg_edges} messages)")
@@ -1011,6 +1056,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             mappings=split(args.mappings),
             routings=split(args.routings),
             payloads=tuple(int(p) for p in split(args.payloads)),
+            collectives=split(args.collectives),
             seed=args.seed,
             telemetry=args.telemetry,
             critpath=args.critpath,
@@ -1036,14 +1082,16 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         if getattr(args, "format", "text") == "text":
             header = (
                 f"{'topology':<10} {'mapping':<12} {'routing':<8} "
-                f"{'payload':>7} {'avg hops':>9} {'util %':>10} {'links':>7}"
+                f"{'collective':<10} {'payload':>7} {'avg hops':>9} "
+                f"{'util %':>10} {'links':>7}"
             )
             print(f"# {args.app}@{args.ranks}: {len(records)} records")
             print(header)
             for r in records:
                 print(
                     f"{r['topology']:<10} {r['mapping']:<12} {r['routing']:<8} "
-                    f"{r['payload']:>7} {r['avg_hops']:>9.3f} "
+                    f"{r['collective']:<10} {r['payload']:>7} "
+                    f"{r['avg_hops']:>9.3f} "
                     f"{r['utilization_percent']:>10.5f} {r['used_links']:>7}"
                 )
         else:
@@ -1125,6 +1173,7 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             apps=split(args.apps) if args.apps else None,
             topologies=split(args.topologies),
             routings=split(args.routings) if args.routings else None,
+            collectives=split(args.collectives),
             sim=not args.no_sim,
             target_packets=args.target_packets,
             seed=args.seed,
@@ -1224,6 +1273,16 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
             data = run_critpath_bench()
             print(render_critpath_bench(data))
             path = write_critpath_bench(out, data)
+        elif args.target == "collectives":
+            from .bench import (
+                render_collectives_bench,
+                run_collectives_bench,
+                write_collectives_bench,
+            )
+
+            data = run_collectives_bench()
+            print(render_collectives_bench(data))
+            path = write_collectives_bench(out, data)
         elif args.target == "routing":
             from .bench import (
                 render_routing_bench,
@@ -1237,8 +1296,8 @@ def _run_command(args, analysis, APPS, generate_trace) -> int:
         else:
             raise ValueError(
                 f"unknown bench target {args.target!r}; available: "
-                "critpath, pipeline, routing, scale, sweep, telemetry, "
-                "tenancy"
+                "collectives, critpath, pipeline, routing, scale, sweep, "
+                "telemetry, tenancy"
             )
         print(f"wrote {path}")
     else:  # pragma: no cover - argparse enforces the choices
@@ -1255,13 +1314,14 @@ def _print_job_records(args, analysis, records) -> None:
     else:
         print(
             f"{'app':<12} {'ranks':>6} {'topology':<10} {'mapping':<12} "
-            f"{'routing':<8} {'payload':>7} {'avg hops':>9} {'util %':>10} "
-            f"{'links':>7}"
+            f"{'routing':<8} {'collective':<10} {'payload':>7} "
+            f"{'avg hops':>9} {'util %':>10} {'links':>7}"
         )
         for r in records:
             print(
                 f"{r['app']:<12} {r['ranks']:>6} {r['topology']:<10} "
-                f"{r['mapping']:<12} {r['routing']:<8} {r['payload']:>7} "
+                f"{r['mapping']:<12} {r['routing']:<8} "
+                f"{r.get('collective', 'flat'):<10} {r['payload']:>7} "
                 f"{r['avg_hops']:>9.3f} {r['utilization_percent']:>10.5f} "
                 f"{r['used_links']:>7}"
             )
@@ -1326,6 +1386,7 @@ def _run_service_client(args, analysis) -> int:
                 mappings=split(args.mappings),
                 routings=split(args.routings),
                 payloads=tuple(int(p) for p in split(args.payloads)),
+                collectives=split(args.collectives),
                 seed=args.seed,
             )
             resp = client.submit(spec_to_dict(spec))

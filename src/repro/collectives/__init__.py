@@ -1,12 +1,34 @@
-"""Flat collective-to-point-to-point translation (paper §4.4)."""
+"""Collective-to-point-to-point translation with pluggable algorithms.
 
+The paper's §4.4 convention flattens every collective into direct p2p
+messages; real MPI libraries use log-depth schedules whose choice shifts
+communication locality substantially (Bine Trees, PAPERS.md).  The engine
+registry mirrors :mod:`repro.routing`: resolve a name with
+:func:`get_algorithm`, expand records through the engine, and key every
+derived artifact by its ``cache_token()``::
+
+    from repro.collectives import get_algorithm
+    groups = get_algorithm("binomial").expand(event, comm, elem_size)
+
+``COLLECTIVES`` lists every engine name in the canonical order used by CLI
+choices, sweep axes, and the collectives benchmark.  ``flat`` is the
+bit-identical default everywhere.
+"""
+
+from .base import CollectiveAlgorithm, FlatCollective
+from .bine import BineCollective
+from .binomial import BinomialCollective
 from .patterns import (
     SendGroup,
+    check_root,
     even_split,
     even_split_rows,
     expand_collective,
     expand_collective_batch,
 )
+from .recursive_doubling import RecursiveDoublingCollective
+from .registry import COLLECTIVES, get_algorithm
+from .ring import RingCollective
 from .translate import (
     ClassifiedSends,
     SendBatch,
@@ -16,13 +38,24 @@ from .translate import (
     iter_send_groups,
     iter_stream_send_batches,
 )
+from .tree import expand_collective_tree
 
 __all__ = [
+    "COLLECTIVES",
+    "CollectiveAlgorithm",
+    "FlatCollective",
+    "BinomialCollective",
+    "RingCollective",
+    "RecursiveDoublingCollective",
+    "BineCollective",
+    "get_algorithm",
     "SendGroup",
+    "check_root",
     "even_split",
     "even_split_rows",
     "expand_collective",
     "expand_collective_batch",
+    "expand_collective_tree",
     "ClassifiedSends",
     "SendBatch",
     "TrafficClass",

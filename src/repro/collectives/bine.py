@@ -1,0 +1,44 @@
+"""The Bine-tree engine (De Sensi et al., PAPERS.md).
+
+Bine ("binomial negabinary") schedules pair rank v at step s with
+``v + (-1)^v * d_s`` where ``d_s = (1 - (-2)^(s+1)) / 3`` — distances
+1, -1, 3, -5, 11, -21, ... whose direction alternates with rank parity.
+On torus networks this halves the binomial tree's worst-case link
+distance, which is precisely the locality effect this registry exists to
+measure.  Rooted ops use the Bine broadcast tree (and its mirror);
+unrooted ops use Bine pairwise exchanges; non-power-of-two sizes fold the
+remainder exactly as recursive doubling does.
+"""
+
+from __future__ import annotations
+
+from ..core.events import CollectiveOp
+from .base import ScheduleAlgorithm
+from .schedules import (
+    bine_allgather,
+    bine_allreduce,
+    bine_fanin,
+    bine_fanout,
+    bine_gatherv_paths,
+)
+
+__all__ = ["BineCollective"]
+
+
+class BineCollective(ScheduleAlgorithm):
+    """Bine trees for rooted ops, Bine exchanges for the rest."""
+
+    name = "bine"
+
+    def _schedule(self, op, n, root):
+        if op in (CollectiveOp.BCAST, CollectiveOp.SCATTER, CollectiveOp.SCATTERV):
+            return bine_fanout(op, n, root)
+        if op in (CollectiveOp.REDUCE, CollectiveOp.GATHER):
+            return bine_fanin(op, n, root)
+        if op is CollectiveOp.GATHERV:
+            return bine_gatherv_paths(n, root)
+        if op is CollectiveOp.ALLREDUCE:
+            return bine_allreduce(n)
+        if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
+            return bine_allgather(n)
+        return None

@@ -44,11 +44,39 @@ from ..core.events import CollectiveEvent, CollectiveOp
 
 __all__ = [
     "SendGroup",
+    "check_root",
     "expand_collective",
     "expand_collective_batch",
     "even_split",
     "even_split_rows",
 ]
+
+#: Collectives whose expansion consults ``root`` (mirrors ROOTED_OPS, kept
+#: local so the hot batch path needs no set lookup import).
+_ROOTED = (
+    CollectiveOp.BCAST,
+    CollectiveOp.REDUCE,
+    CollectiveOp.GATHER,
+    CollectiveOp.GATHERV,
+    CollectiveOp.SCATTER,
+    CollectiveOp.SCATTERV,
+)
+
+
+def check_root(op: CollectiveOp, comm: Communicator, root: int) -> None:
+    """Reject a communicator-local ``root`` outside ``[0, comm.size)``.
+
+    A global rank ID passed where the local-rank convention is expected used
+    to make BCAST/SCATTER silently expand to zero messages (every caller
+    tested ``local != root`` and dropped out); failing loudly at expansion
+    time names the record that carried the bad root.
+    """
+    if op in _ROOTED and not 0 <= root < comm.size:
+        raise ValueError(
+            f"collective root {root} out of range for {op.value} on "
+            f"communicator {comm.name!r} of size {comm.size} "
+            "(roots are communicator-local ranks)"
+        )
 
 
 @dataclass(frozen=True)
@@ -144,6 +172,7 @@ def expand_collective(
         a non-root rank in a broadcast, or any rank in a barrier).
     """
     n = comm.size
+    check_root(event.op, comm, event.root)
     if n == 1:
         return []  # single-member communicator moves nothing on the network
     local = comm.to_local(event.caller)
@@ -270,6 +299,10 @@ def expand_collective_batch(
     differs.
     """
     n = comm.size
+    if len(callers) and op in _ROOTED:
+        rmin, rmax = int(roots.min()), int(roots.max())
+        if rmin < 0 or rmax >= n:
+            check_root(op, comm, rmin if rmin < 0 else rmax)
     if n == 1 or op is CollectiveOp.BARRIER or len(callers) == 0:
         return []
     members = np.asarray(comm.members, dtype=np.int64)

@@ -1,0 +1,30 @@
+"""The recursive-doubling engine.
+
+Recursive doubling defines pairwise hypercube exchanges for the *unrooted*
+family only (allreduce, allgather); MPICH uses it exactly there.  Rooted
+operations keep the paper's flat expansion, which makes this engine the
+cleanest ablation of "what does replacing just the unrooted collectives
+cost": any locality delta against ``flat`` is attributable to the exchange
+schedules alone.
+"""
+
+from __future__ import annotations
+
+from ..core.events import CollectiveOp
+from .base import ScheduleAlgorithm
+from .schedules import rd_allgather, rd_allreduce
+
+__all__ = ["RecursiveDoublingCollective"]
+
+
+class RecursiveDoublingCollective(ScheduleAlgorithm):
+    """Hypercube exchanges for unrooted ops, flat for everything else."""
+
+    name = "recursive_doubling"
+
+    def _schedule(self, op, n, root):
+        if op is CollectiveOp.ALLREDUCE:
+            return rd_allreduce(n)
+        if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
+            return rd_allgather(n)
+        return None

@@ -1,0 +1,45 @@
+"""The collective-algorithm engine registry.
+
+Mirrors :mod:`repro.routing`: a name table of engine classes, resolved by
+:func:`get_algorithm`.  Lives in its own module (rather than the package
+``__init__``) so the trace translators can resolve engines without an
+import cycle.
+"""
+
+from __future__ import annotations
+
+from .base import CollectiveAlgorithm, FlatCollective
+from .bine import BineCollective
+from .binomial import BinomialCollective
+from .recursive_doubling import RecursiveDoublingCollective
+from .ring import RingCollective
+
+__all__ = ["COLLECTIVES", "get_algorithm"]
+
+_ALGORITHMS: dict[str, type[CollectiveAlgorithm]] = {
+    cls.name: cls
+    for cls in (
+        FlatCollective,
+        BinomialCollective,
+        RingCollective,
+        RecursiveDoublingCollective,
+        BineCollective,
+    )
+}
+
+#: Canonical engine names (CLI choices, sweep axes, benchmarks).
+COLLECTIVES: tuple[str, ...] = tuple(_ALGORITHMS)
+
+
+def get_algorithm(algo: str | CollectiveAlgorithm) -> CollectiveAlgorithm:
+    """Resolve an engine name (or pass an instance through)."""
+    if isinstance(algo, CollectiveAlgorithm):
+        return algo
+    try:
+        cls = _ALGORITHMS[algo]
+    except KeyError:
+        known = ", ".join(COLLECTIVES)
+        raise ValueError(
+            f"unknown collective algorithm {algo!r} (known: {known})"
+        ) from None
+    return cls()

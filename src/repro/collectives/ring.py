@@ -1,0 +1,42 @@
+"""The ring / pipeline-chain engine.
+
+Rooted operations stream down (or up) the vrank chain — latency O(n) but
+every link carries at most one message per step, the classic long-message
+pipeline.  Allreduce is the bandwidth-optimal ring (reduce-scatter +
+allgather over even-split chunks, 2(n-1) steps); allgather circulates each
+contribution n-1 hops.  Nearest-neighbour traffic makes this the most
+locality-friendly engine on torus networks.
+"""
+
+from __future__ import annotations
+
+from ..core.events import CollectiveOp
+from .base import ScheduleAlgorithm
+from .schedules import (
+    ring_allgather_paths,
+    ring_allreduce,
+    ring_fanin,
+    ring_fanout,
+    ring_gatherv_paths,
+)
+
+__all__ = ["RingCollective"]
+
+
+class RingCollective(ScheduleAlgorithm):
+    """Chain schedules for rooted ops, ring schedules for the rest."""
+
+    name = "ring"
+
+    def _schedule(self, op, n, root):
+        if op in (CollectiveOp.BCAST, CollectiveOp.SCATTER, CollectiveOp.SCATTERV):
+            return ring_fanout(op, n, root)
+        if op in (CollectiveOp.REDUCE, CollectiveOp.GATHER):
+            return ring_fanin(op, n, root)
+        if op is CollectiveOp.GATHERV:
+            return ring_gatherv_paths(n, root)
+        if op is CollectiveOp.ALLREDUCE:
+            return ring_allreduce(n)
+        if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
+            return ring_allgather_paths(n)
+        return None

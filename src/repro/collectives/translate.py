@@ -1,7 +1,8 @@
 """Trace-level collective translation.
 
-Walks a trace and expands every collective record into the flat
-point-to-point messages of :mod:`repro.collectives.patterns`.  Two forms:
+Walks a trace and expands every collective record into point-to-point
+messages through a pluggable :class:`~repro.collectives.base.CollectiveAlgorithm`
+engine (default ``flat``, the paper's §4.4 expansion).  Two forms:
 
 - :func:`iter_send_groups` — the per-event iterator: one
   :class:`SendGroup` per p2p send, one or two per collective record.
@@ -26,7 +27,9 @@ import numpy as np
 from ..core.blocks import KIND_COLLECTIVE, KIND_P2P_SEND, OPS, EventBlock
 from ..core.events import CollectiveEvent, P2PEvent
 from ..core.trace import Trace
-from .patterns import SendGroup, expand_collective, expand_collective_batch
+from .base import CollectiveAlgorithm
+from .patterns import SendGroup
+from .registry import get_algorithm
 
 __all__ = [
     "TrafficClass",
@@ -88,14 +91,17 @@ def iter_send_groups(
     trace: Trace,
     include_p2p: bool = True,
     include_collectives: bool = True,
+    collective: str | CollectiveAlgorithm = "flat",
 ) -> Iterator[ClassifiedSends]:
     """Yield every injected message fan-out of a trace, one group per event.
 
     Point-to-point send records become single-destination groups; collective
-    records are expanded per the paper's flat patterns.  RECV records are
-    skipped (traffic is accounted on the send side).
+    records are expanded through the ``collective`` engine (default the
+    paper's flat patterns).  RECV records are skipped (traffic is accounted
+    on the send side).
     """
     assert trace.communicators is not None
+    engine = get_algorithm(collective)
     size_of = trace.datatypes.size_of
     if include_p2p:
         # Gather all p2p send fields up front: one bulk array pair instead
@@ -131,7 +137,7 @@ def iter_send_groups(
                 continue
             comm = trace.communicators.get(ev.comm)
             elem = size_of(ev.dtype)
-            for group in expand_collective(ev, comm, elem):
+            for group in engine.expand(ev, comm, elem):
                 yield ClassifiedSends(group, TrafficClass.COLLECTIVE)
 
 
@@ -141,6 +147,7 @@ def _block_batches(
     block: EventBlock,
     include_p2p: bool,
     include_collectives: bool,
+    engine: CollectiveAlgorithm,
 ) -> Iterator[SendBatch]:
     """Expand one block's rows against explicit datatype/communicator tables.
 
@@ -183,7 +190,7 @@ def _block_batches(
             comm = communicators.get(
                 block.comm_names[int(key) % len(block.comm_names)]
             )
-            for src, dst, bpm, cls in expand_collective_batch(
+            for src, dst, bpm, cls in engine.expand_batch(
                 op, comm, callers[sel], nbytes[sel], roots[sel], calls[sel]
             ):
                 yield SendBatch(src, dst, bpm, cls, TrafficClass.COLLECTIVE)
@@ -193,6 +200,7 @@ def iter_send_batches(
     trace: Trace,
     include_p2p: bool = True,
     include_collectives: bool = True,
+    collective: str | CollectiveAlgorithm = "flat",
 ) -> Iterator[SendBatch]:
     """Columnar counterpart of :func:`iter_send_groups`.
 
@@ -201,9 +209,15 @@ def iter_send_batches(
     blockified first); block-native traces pay no per-event cost at all.
     """
     assert trace.communicators is not None
+    engine = get_algorithm(collective)
     for block in trace.blocks():
         yield from _block_batches(
-            trace.datatypes, trace.communicators, block, include_p2p, include_collectives
+            trace.datatypes,
+            trace.communicators,
+            block,
+            include_p2p,
+            include_collectives,
+            engine,
         )
 
 
@@ -211,6 +225,7 @@ def iter_stream_send_batches(
     stream,
     include_p2p: bool = True,
     include_collectives: bool = True,
+    collective: str | CollectiveAlgorithm = "flat",
 ) -> Iterator[SendBatch]:
     """Chunked collective expansion over a :class:`~repro.core.stream.BlockStream`.
 
@@ -220,20 +235,32 @@ def iter_stream_send_batches(
     (collective expansion is per-caller-row independent, so a phase
     spanning a chunk boundary expands identically).
     """
+    engine = get_algorithm(collective)
     for block in stream:
         yield from _block_batches(
-            stream.datatypes, stream.communicators, block, include_p2p, include_collectives
+            stream.datatypes,
+            stream.communicators,
+            block,
+            include_p2p,
+            include_collectives,
+            engine,
         )
 
 
-def collective_volume(trace: Trace) -> int:
-    """Total bytes the trace's collectives put on the network once flattened."""
+def collective_volume(
+    trace: Trace, collective: str | CollectiveAlgorithm = "flat"
+) -> int:
+    """Total bytes the trace's collectives put on the network once expanded."""
     if trace.has_native_blocks:
         return sum(
             batch.total_bytes
-            for batch in iter_send_batches(trace, include_p2p=False)
+            for batch in iter_send_batches(
+                trace, include_p2p=False, collective=collective
+            )
         )
     total = 0
-    for classified in iter_send_groups(trace, include_p2p=False):
+    for classified in iter_send_groups(
+        trace, include_p2p=False, collective=collective
+    ):
         total += classified.group.total_bytes
     return total

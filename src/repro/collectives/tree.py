@@ -22,11 +22,13 @@ pre/post step of recursive doubling.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..core.communicator import Communicator
 from ..core.events import CollectiveEvent, CollectiveOp
-from .patterns import SendGroup, expand_collective
+from .patterns import SendGroup, check_root, even_split, expand_collective
 
 __all__ = ["expand_collective_tree"]
 
@@ -43,27 +45,26 @@ def _from_vrank(vrank: int, root: int, n: int) -> int:
 def _binomial_children(vrank: int, n: int) -> list[int]:
     """Children of a node in the binomial broadcast tree over n vranks.
 
-    Round k (highest first) has nodes with vrank < 2**k forward to
-    ``vrank + 2**k``; a node's children are all in-range ``vrank + 2**k``
-    for ``2**k > vrank``.
+    The MPICH orientation: node v owns the contiguous vrank span
+    ``[v, v + lowbit(v))`` and forwards to ``v + 2**j`` for every
+    ``2**j < lowbit(v)`` (the root owns everything).  This is the
+    orientation :func:`_subtree_size` counts, so subtree-proportional
+    scatter/gather sizes conserve exactly.
     """
     children = []
     k = 1
-    while k < n:
+    limit = vrank & (-vrank) if vrank else n
+    while k < limit and vrank + k < n:
+        children.append(vrank + k)
         k <<= 1
-    k >>= 1
-    while k >= 1:
-        if vrank < k and vrank + k < n:
-            children.append(vrank + k)
-        k >>= 1
     return children
 
 
 def _binomial_parent(vrank: int) -> int:
-    """Parent in the binomial tree: clear the highest set bit."""
+    """Parent in the binomial tree: clear the lowest set bit."""
     if vrank == 0:
         raise ValueError("the root has no parent")
-    return vrank & ~(1 << (vrank.bit_length() - 1))
+    return vrank & (vrank - 1)
 
 
 def expand_collective_tree(
@@ -76,6 +77,7 @@ def expand_collective_tree(
     reduce_scatter slices).
     """
     n = comm.size
+    check_root(event.op, comm, event.root)
     if n == 1:
         return []
     local = comm.to_local(event.caller)
@@ -98,13 +100,25 @@ def expand_collective_tree(
             return []
         if op is CollectiveOp.BCAST:
             sizes = [nbytes] * len(children)
-        else:
+        elif op is CollectiveOp.SCATTER:
             # scatter forwards each child its whole subtree's worth of data
-            per_dest = nbytes if op is CollectiveOp.SCATTER else max(nbytes // n, 1)
+            # (count is per-destination, so the forward is exact)
+            sizes = [
+                nbytes * min(_subtree_size(child, n), n - child)
+                for child in children
+            ]
+        else:
+            # Scatterv: count is the total at root, split evenly over all n
+            # members.  Each child's forward carries the exact sum of its
+            # subtree's even_split shares — shares are indexed by *local*
+            # rank, so rotate each subtree vrank back through the root.
+            shares = even_split(nbytes, n)
             sizes = []
             for child in children:
-                subtree = min(_subtree_size(child, n), n - child)
-                sizes.append(per_dest * subtree)
+                span = range(child, min(child + _subtree_size(child, n), n))
+                sizes.append(
+                    int(sum(shares[_from_vrank(u, event.root, n)] for u in span))
+                )
         dsts = [_from_vrank(c, event.root, n) for c in children]
         return [group(dsts, sizes)]
 
@@ -112,6 +126,29 @@ def expand_collective_tree(
         v = _vrank(local, event.root, n)
         if v == 0:
             return []
+        if op is CollectiveOp.GATHERV:
+            # Gatherv contributions are heterogeneous, so no subtree-size
+            # multiple of the caller's own count is exact.  Instead the
+            # caller's record carries its contribution along every edge of
+            # its root path (store-and-forward); the union over all callers
+            # reproduces each tree edge's exact aggregate.
+            groups = []
+            u = v
+            while u != 0:
+                parent = _binomial_parent(u)
+                groups.append(
+                    SendGroup(
+                        src=comm.to_global(_from_vrank(u, event.root, n)),
+                        dsts=np.array(
+                            [comm.to_global(_from_vrank(parent, event.root, n))],
+                            dtype=np.int64,
+                        ),
+                        bytes_per_msg=np.array([nbytes], dtype=np.int64),
+                        calls=calls,
+                    )
+                )
+                u = parent
+            return groups
         parent = _from_vrank(_binomial_parent(v), event.root, n)
         if op is CollectiveOp.REDUCE:
             size = nbytes
@@ -139,18 +176,22 @@ def expand_collective_tree(
         return groups
 
     if op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
-        # recursive doubling with doubling payloads (power-of-two part only;
-        # the remainder uses a direct exchange)
+        # Recursive doubling with doubling payloads.  A non-power-of-two
+        # remainder folds its contribution in first, so exchange sizes track
+        # the *actual* holdings per rank (for a power of two the holdings at
+        # round k are exactly k, the textbook doubling).
         groups = []
         pow2 = 1 << (n.bit_length() - 1)
         if local >= pow2:
             return [group([local - pow2], [nbytes])]
+        holdings = _rd_holdings(n)
         k = 1
+        rnd = 0
         while k < pow2:
             partner = local ^ k
-            if partner < pow2:
-                groups.append(group([partner], [nbytes * k]))
+            groups.append(group([partner], [nbytes * int(holdings[rnd][local])]))
             k <<= 1
+            rnd += 1
         if local + pow2 < n:
             groups.append(group([local + pow2], [nbytes * n]))
         return groups
@@ -165,3 +206,24 @@ def _subtree_size(vrank: int, n: int) -> int:
         return n
     low = vrank & (-vrank)  # lowest set bit = subtree span
     return low
+
+
+@functools.lru_cache(maxsize=256)
+def _rd_holdings(n: int) -> tuple[np.ndarray, ...]:
+    """Per-round contribution counts of recursive-doubling allgather.
+
+    ``_rd_holdings(n)[r][v]`` is how many rank contributions vrank
+    ``v < pow2`` holds entering exchange round ``r`` (after any remainder
+    fold-in).  Every rank ends holding all ``n`` contributions, which is
+    what makes the exchange sizes conserve the gathered total.
+    """
+    pow2 = 1 << (n.bit_length() - 1)
+    h = np.ones(pow2, dtype=np.int64)
+    h[: n - pow2] += 1
+    rounds = []
+    k = 1
+    while k < pow2:
+        rounds.append(h.copy())
+        h = h + h[np.arange(pow2) ^ k]
+        k <<= 1
+    return tuple(rounds)

@@ -334,13 +334,15 @@ def matrix_from_trace(
     include_p2p: bool = True,
     include_collectives: bool = True,
     payload: int = MAX_PAYLOAD_BYTES,
+    collective: str = "flat",
 ) -> CommMatrix:
     """Build a traffic matrix from a trace.
 
     MPI-level metric analyses (§5) use ``include_collectives=False`` — the
     paper considers only point-to-point messages there, treating collectives
     on global communicators as a uniform bias.  Topology analyses (§6) use
-    both, with collectives flattened per §4.4.
+    both, with collectives expanded through the ``collective`` engine
+    (default the paper's flat §4.4 patterns).
     """
     with timings.stage("matrix"):
         builder = CommMatrixBuilder(trace.meta.num_ranks, payload=payload)
@@ -348,7 +350,9 @@ def matrix_from_trace(
         # Columnar fast path: block-native traces expand straight from their
         # arrays — no event objects, no per-message allocation.
         if trace.has_native_blocks:
-            for batch in iter_send_batches(trace, include_p2p, include_collectives):
+            for batch in iter_send_batches(
+                trace, include_p2p, include_collectives, collective=collective
+            ):
                 builder.add_batch(batch)
             return builder.finalize()
 
@@ -378,7 +382,9 @@ def matrix_from_trace(
                 )
 
         if include_collectives:
-            for classified in iter_send_groups(trace, include_p2p=False):
+            for classified in iter_send_groups(
+                trace, include_p2p=False, collective=collective
+            ):
                 builder.add_group(classified.group)
         return builder.finalize()
 
@@ -389,6 +395,7 @@ def matrix_from_stream(
     include_collectives: bool = True,
     payload: int = MAX_PAYLOAD_BYTES,
     compact_rows: int = DEFAULT_COMPACT_ROWS,
+    collective: str = "flat",
 ) -> CommMatrix:
     """Build a traffic matrix incrementally from a :class:`BlockStream`.
 
@@ -405,7 +412,9 @@ def matrix_from_stream(
         # distinct-pair count exceeds the threshold still amortizes
         # (never recompacts until the pending set doubles).
         next_compact = compact_rows
-        for batch in iter_stream_send_batches(stream, include_p2p, include_collectives):
+        for batch in iter_stream_send_batches(
+            stream, include_p2p, include_collectives, collective=collective
+        ):
             builder.add_batch(batch)
             if builder.pending_rows >= next_compact:
                 builder.compact()

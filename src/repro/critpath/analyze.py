@@ -150,6 +150,7 @@ class CritPathAnalysis:
     sensitivity: float  # algebraic dT/dL (= l_terms)
     fd_sensitivity: float  # NaN when the cross-check was skipped
     tolerance_s: float  # latency increase inflating T by 1%; NaN if no L terms
+    collective: str = "flat"  # collective-algorithm engine of the DAG
 
     @property
     def fd_rel_err(self) -> float:
@@ -169,18 +170,23 @@ def analyze_trace(
     params: LogGPParams = DEFAULT_PARAMS,
     max_repeat: int | None = DEFAULT_MAX_REPEAT,
     fd_check: bool = True,
+    collective: str = "flat",
 ) -> CritPathAnalysis:
     """Full critical-path analysis of one trace.
 
     ``topology=None`` models a zero-diameter network (no per-hop term);
     otherwise hops come from the routing policy's walks under ``mapping``
-    (consecutive by default).  The DAG is memoized per trace content key
-    via :func:`repro.cache.cached_critpath_dag`, so repeated analyses of
-    one trace across topologies and routings rebuild nothing.
+    (consecutive by default).  ``collective`` picks the engine whose
+    schedule shapes the DAG's collective edges.  The DAG is memoized per
+    trace content key via :func:`repro.cache.cached_critpath_dag`, so
+    repeated analyses of one trace across topologies and routings rebuild
+    nothing.
     """
     from ..cache import cached_critpath_dag
+    from ..collectives.registry import get_algorithm
 
-    dag = cached_critpath_dag(trace, max_repeat=max_repeat)
+    engine = get_algorithm(collective)
+    dag = cached_critpath_dag(trace, max_repeat=max_repeat, collective=engine)
     hops = None
     topo_name = "none"
     if topology is not None:
@@ -216,6 +222,7 @@ def analyze_trace(
         sensitivity=float(l_terms),
         fd_sensitivity=fd,
         tolerance_s=tolerance,
+        collective=engine.name,
     )
 
 
@@ -227,6 +234,7 @@ def latency_table(
     max_repeat: int | None = DEFAULT_MAX_REPEAT,
     fd_check: bool = True,
     apps=None,
+    collective: str = "flat",
 ) -> list[CritPathAnalysis]:
     """Latency-tolerance profile of every registry app (smallest config).
 
@@ -256,6 +264,7 @@ def latency_table(
             params=params,
             max_repeat=max_repeat,
             fd_check=fd_check,
+            collective=collective,
         )
         # Report under the sweep-facing topology name, not the class name.
         rows.append(

@@ -195,14 +195,18 @@ class HappensBeforeDag:
         self.level_schedule()
 
 
-def build_dag(trace, max_repeat: int | None = None) -> HappensBeforeDag:
+def build_dag(
+    trace, max_repeat: int | None = None, collective: str = "flat"
+) -> HappensBeforeDag:
     """Build the happens-before DAG of a trace.
 
     ``max_repeat`` is the deterministic iteration-truncation knob passed
-    through to :func:`expand_events` (``None`` = exact expansion).  The
-    trace's receive side is synthesized when absent
-    (:func:`ensure_receives`), so any send-only synthetic trace works
-    directly.
+    through to :func:`expand_events` (``None`` = exact expansion).
+    ``collective`` selects the collective-algorithm engine whose message
+    edges (and phase structure) the DAG encodes — tree schedules change
+    the happens-before shape, not just the byte weights.  The trace's
+    receive side is synthesized when absent (:func:`ensure_receives`), so
+    any send-only synthetic trace works directly.
     """
     trace = ensure_receives(trace)
     table = expand_events(trace, max_repeat)
@@ -241,7 +245,9 @@ def build_dag(trace, max_repeat: int | None = None) -> HappensBeforeDag:
     matched = match_events(table)
     if len(matched):
         add(matched.send_event, matched.recv_event, matched.nbytes, EDGE_P2P)
-    csrc, cdst, cbytes, after = collective_edges(table, trace.communicators)
+    csrc, cdst, cbytes, after = collective_edges(
+        table, trace.communicators, collective=collective
+    )
     if len(csrc):
         src_nodes = np.where(after, completion[csrc], csrc)
         add(src_nodes, completion[cdst], cbytes, EDGE_COLLECTIVE)

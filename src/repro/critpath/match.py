@@ -37,7 +37,6 @@ from ..core.blocks import (
     OPS,
     EventBlock,
 )
-from ..core.events import CollectiveOp
 from ..core.trace import Trace
 
 __all__ = [
@@ -51,6 +50,7 @@ __all__ = [
     "match_events",
     "match_events_oracle",
     "collective_edges",
+    "expand_collective_batch_phased",
 ]
 
 
@@ -496,29 +496,32 @@ def match_events_oracle(table: EventTable) -> MatchResult:
 
 
 def collective_edges(
-    table: EventTable, communicators
+    table: EventTable, communicators, collective="flat"
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Fan-in/fan-out message edges between aligned collective instances.
 
     MPI orders collectives on a communicator purely by call position, so
     the i-th collective call by each member forms one logical instance.
-    Each instance's message set is produced by the existing collective→p2p
-    translation (:func:`expand_collective_batch`), and every message
-    becomes an edge between the sender's and receiver's event for that
-    instance.  Self-messages (the translation's paper convention includes
-    them for volume accounting) are dropped — a rank's dependence on
-    itself is already program order.
+    Each instance's message set is produced by the ``collective`` engine's
+    phased batch expansion, and every message becomes an edge between the
+    sender's and receiver's event for that instance.  Self-messages (the
+    translation's paper convention includes them for volume accounting)
+    are dropped — a rank's dependence on itself is already program order.
 
     Returns ``(src_event, dst_event, nbytes, after)`` parallel arrays;
     ``after[i]`` marks messages that semantically depart only after the
     sender finished *receiving* within the same collective (the broadcast
-    half of ALLREDUCE, every SCAN/EXSCAN chain link), which the DAG routes
-    from the sender's completion node to keep the two phases sequential.
+    half of ALLREDUCE, every SCAN/EXSCAN chain link, the non-root rounds
+    of tree schedules), which the DAG routes from the sender's completion
+    node to keep the phases sequential.
 
     Raises :class:`MatchError` on misaligned sequences: a member calling a
     different number of collectives than its peers, or instance k
     recording different ops/roots across participants.
     """
+    from ..collectives.registry import get_algorithm
+
+    engine = get_algorithm(collective)
     cid = np.flatnonzero(table.kind == KIND_COLLECTIVE)
     empty = np.empty(0, dtype=np.int64)
     if cid.size == 0:
@@ -591,10 +594,10 @@ def collective_edges(
         ones = np.ones(n, dtype=np.int64)
         for i in range(k):
             op = OPS[int(op_mat[0, i])]
-            batches = expand_collective_batch_cached(
-                op, comm, members, bytes_mat[:, i], root_mat[:, i], ones
+            batches = expand_collective_batch_phased(
+                engine, op, comm, members, bytes_mat[:, i], root_mat[:, i], ones
             )
-            for j, (bsrc, bdst, bpm, _calls) in enumerate(batches):
+            for bsrc, bdst, bpm, _calls, after in batches:
                 keep = bsrc != bdst
                 if not keep.any():
                     continue
@@ -602,10 +605,6 @@ def collective_edges(
                 out_src.append(lookup[to_local[bsrc], i])
                 out_dst.append(lookup[to_local[bdst], i])
                 out_bytes.append(bpm.astype(np.int64, copy=False))
-                after = (op is CollectiveOp.ALLREDUCE and j == 1) or op in (
-                    CollectiveOp.SCAN,
-                    CollectiveOp.EXSCAN,
-                )
                 out_after.append(np.full(len(bsrc), after, dtype=bool))
     if not out_src:
         return empty, empty.copy(), empty.copy(), np.empty(0, dtype=bool)
@@ -617,12 +616,10 @@ def collective_edges(
     )
 
 
-def expand_collective_batch_cached(op, comm, callers, nbytes, roots, calls):
-    """Thin indirection over the translation's batch expansion.
+def expand_collective_batch_phased(engine, op, comm, callers, nbytes, roots, calls):
+    """Thin indirection over the engine's phased batch expansion.
 
     Exists so tests can spy on the reuse point; semantics are exactly
-    :func:`repro.collectives.patterns.expand_collective_batch`.
+    :meth:`repro.collectives.base.CollectiveAlgorithm.expand_batch_phased`.
     """
-    from ..collectives.patterns import expand_collective_batch
-
-    return expand_collective_batch(op, comm, callers, nbytes, roots, calls)
+    return engine.expand_batch_phased(op, comm, callers, nbytes, roots, calls)

@@ -37,10 +37,19 @@ __all__ = [
 #: Bump when record semantics change (new record fields, changed rounding,
 #: changed cell evaluation) — journals and record caches never mix versions.
 #: v2: critical-path axis (critpath / critpath_max_repeat spec fields).
-CELL_KEY_VERSION = 2
+#: v3: collective-algorithm axis (points grew a ``collective`` field).
+CELL_KEY_VERSION = 3
 
 #: Grid-point axes in canonical order (matches ``SweepSpec.points()`` rows).
-_POINT_FIELDS = ("app", "ranks", "payload", "topology", "mapping", "routing")
+_POINT_FIELDS = (
+    "app",
+    "ranks",
+    "payload",
+    "topology",
+    "mapping",
+    "routing",
+    "collective",
+)
 
 #: Spec-level fields that shape every cell's records.
 _SHARED_FIELDS = (
@@ -65,6 +74,7 @@ def spec_to_dict(spec: SweepSpec) -> dict[str, Any]:
         "payloads": list(spec.payloads),
         "bandwidths": list(spec.bandwidths),
         "routings": list(spec.routings),
+        "collectives": list(spec.collectives),
         "include_collectives": spec.include_collectives,
         "seed": spec.seed,
         "telemetry": spec.telemetry,
@@ -93,6 +103,7 @@ def spec_from_dict(data: dict[str, Any]) -> SweepSpec:
         ("topologies", str),
         ("mappings", str),
         ("routings", str),
+        ("collectives", str),
         ("payloads", int),
         ("bandwidths", float),
     ):
@@ -148,7 +159,7 @@ class Cell:
     """One schedulable unit: a grid point plus its identity keys."""
 
     index: int  # position in the spec's canonical deduplicated order
-    point: tuple  # (app, ranks, payload, topology, mapping, routing)
+    point: tuple  # (app, ranks, payload, topology, mapping, routing, collective)
     key: str  # content key (journal / dedup identity)
     token: str  # cache-affinity group
 

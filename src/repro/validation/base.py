@@ -95,6 +95,7 @@ class CheckContext:
     mapping: object = None  # Mapping (rank -> node)
     routing: str = "minimal"
     routing_seed: int = 0
+    collective: str = "flat"  # engine behind full_matrix's collective mass
     analysis: object = None  # NetworkAnalysis of full_matrix
     incidence: object = None  # RouteIncidence over crossing node pairs
     pair_src: np.ndarray | None = None  # int64[crossing pairs]

@@ -486,6 +486,7 @@ def check_streaming_equivalence(ctx: CheckContext) -> Iterator[Violation]:
             stream,
             include_collectives=include,
             compact_rows=STREAM_COMPACT_ROWS,
+            collective=ctx.collective,
         )
         if not matrices_identical(streamed, expected):
             diverged = True
@@ -516,7 +517,9 @@ def check_streaming_equivalence(ctx: CheckContext) -> Iterator[Violation]:
         routing=ctx.routing,
         routing_seed=ctx.routing_seed,
     )
-    streamed_sim = simulate_stream(stream, ctx.topology, **kwargs)
+    streamed_sim = simulate_stream(
+        stream, ctx.topology, collective=ctx.collective, **kwargs
+    )
     direct_sim = simulate_network(ctx.full_matrix, ctx.topology, **kwargs)
     if streamed_sim != direct_sim or not np.array_equal(
         streamed_sim.link_serve_counts, direct_sim.link_serve_counts
@@ -582,6 +585,177 @@ def check_composed_byte_conservation(ctx: CheckContext) -> Iterator[Violation]:
             f"per-job byte totals sum to {total_bytes} but the composite "
             f"matrix carries {matrix.total_bytes} — cross-job traffic or "
             f"lost rows",
+        )
+
+
+# --------------------------------------------------------- collective checks
+
+#: Synthetic communicator battery for the per-engine conservation laws:
+#: one non-power-of-two and one power-of-two size, root 0 and a non-zero
+#: root, with a ``count`` the sizes do not divide (remainder handling).
+_COLL_SIZES = (5, 8)
+_COLL_COUNT = 25
+
+
+def _collective_law_violations() -> tuple[str, ...]:
+    """Byte-conservation breaches of every registered collective engine.
+
+    Expands every op through every registry engine on synthetic
+    communicators and checks the per-member net-flow laws the flat
+    expansion defines (tree schedules may relay bytes, so relayed ops are
+    held to exact *net* deliveries and the unrooted exchanges to the
+    flat volume floor).  The battery is deterministic and trace-free, so
+    it runs once per process and the per-scenario check replays the
+    memoized verdict.
+    """
+    from ..collectives import even_split
+    from ..collectives.registry import COLLECTIVES, get_algorithm
+    from ..core.communicator import Communicator
+    from ..core.events import CollectiveOp
+
+    problems: list[str] = []
+    ops = [op for op in CollectiveOp if op is not CollectiveOp.BARRIER]
+    u = _COLL_COUNT
+    for engine_name in COLLECTIVES:
+        engine = get_algorithm(engine_name)
+        for n in _COLL_SIZES:
+            members = tuple(range(50, 50 + n))
+            comm = Communicator(name=f"check{n}", members=members)
+            callers = np.array(members, dtype=np.int64)
+            calls = np.ones(n, dtype=np.int64)
+            for op in ops:
+                for root in sorted({0, 2 % n}):
+                    nbytes = np.full(n, u, dtype=np.int64)
+                    if op is CollectiveOp.GATHERV:
+                        # Heterogeneous contributions: exact per-caller
+                        # accounting, not an even approximation.
+                        nbytes = nbytes + np.arange(n, dtype=np.int64)
+                    roots = np.full(n, root, dtype=np.int64)
+                    batches = engine.expand_batch(
+                        op, comm, callers, nbytes, roots, calls
+                    )
+                    inflow = np.zeros(n, dtype=np.int64)
+                    outflow = np.zeros(n, dtype=np.int64)
+                    out_incl = np.zeros(n, dtype=np.int64)
+                    for src, dst, bpm, bcalls in (b[:4] for b in batches):
+                        vol = bpm * bcalls
+                        ls = np.searchsorted(callers, src)
+                        ld = np.searchsorted(callers, dst)
+                        np.add.at(out_incl, ls, vol)
+                        cross = src != dst
+                        np.add.at(outflow, ls[cross], vol[cross])
+                        np.add.at(inflow, ld[cross], vol[cross])
+
+                    def bad(member, got, law) -> None:
+                        problems.append(
+                            f"{engine_name}/{op.value} n={n} root={root} "
+                            f"member {member}: {got} B violates {law}"
+                        )
+
+                    others = [i for i in range(n) if i != root]
+                    if op is CollectiveOp.BCAST:
+                        for i in others:
+                            if inflow[i] != u:
+                                bad(i, int(inflow[i]), f"inflow == {u}")
+                    elif op is CollectiveOp.SCATTER:
+                        net = inflow - outflow
+                        for i in others:
+                            if net[i] != u:
+                                bad(i, int(net[i]), f"net delivery == {u}")
+                        if -net[root] != (n - 1) * u:
+                            bad(root, int(-net[root]),
+                                f"root net-out == {(n - 1) * u}")
+                    elif op is CollectiveOp.SCATTERV:
+                        shares = even_split(u, n)
+                        net = inflow - outflow
+                        for i in others:
+                            if net[i] != shares[i]:
+                                bad(i, int(net[i]),
+                                    f"net delivery == {int(shares[i])}")
+                        want = int(shares.sum() - shares[root])
+                        if -net[root] != want:
+                            bad(root, int(-net[root]), f"root net-out == {want}")
+                    elif op is CollectiveOp.REDUCE:
+                        for i in others:
+                            if outflow[i] != u:
+                                bad(i, int(outflow[i]), f"outflow == {u}")
+                    elif op is CollectiveOp.GATHER:
+                        net = outflow - inflow
+                        for i in others:
+                            if net[i] != u:
+                                bad(i, int(net[i]), f"net contribution == {u}")
+                        if -net[root] != (n - 1) * u:
+                            bad(root, int(-net[root]),
+                                f"root net-in == {(n - 1) * u}")
+                    elif op is CollectiveOp.GATHERV:
+                        net = outflow - inflow
+                        want_root = int(nbytes.sum() - nbytes[root])
+                        for i in others:
+                            if net[i] != nbytes[i]:
+                                bad(i, int(net[i]),
+                                    f"net contribution == {int(nbytes[i])}")
+                        if -net[root] != want_root:
+                            bad(root, int(-net[root]),
+                                f"root net-in == {want_root}")
+                    elif op is CollectiveOp.ALLREDUCE:
+                        floor = u - (u + n - 1) // n
+                        for i in range(n):
+                            if inflow[i] < floor or outflow[i] < floor:
+                                bad(i, int(min(inflow[i], outflow[i])),
+                                    f"in/outflow >= {floor}")
+                    elif op in (CollectiveOp.ALLGATHER, CollectiveOp.ALLGATHERV):
+                        floor = (n - 2) * u
+                        for i in range(n):
+                            if inflow[i] < floor:
+                                bad(i, int(inflow[i]), f"inflow >= {floor}")
+                    elif op is CollectiveOp.ALLTOALL:
+                        for i in range(n):
+                            if out_incl[i] != n * u:
+                                bad(i, int(out_incl[i]),
+                                    f"outflow incl self == {n * u}")
+                    elif op in (CollectiveOp.ALLTOALLV, CollectiveOp.REDUCE_SCATTER):
+                        want = int(even_split(u, n).sum())
+                        for i in range(n):
+                            if out_incl[i] != want:
+                                bad(i, int(out_incl[i]),
+                                    f"outflow incl self == {want}")
+                    elif op in (CollectiveOp.SCAN, CollectiveOp.EXSCAN):
+                        for i in range(n):
+                            want = 0 if i == n - 1 else u
+                            if outflow[i] != want:
+                                bad(i, int(outflow[i]), f"outflow == {want}")
+    return tuple(problems)
+
+
+_LAW_CACHE: tuple[str, ...] | None = None
+
+
+@invariant(
+    "collective-byte-conservation",
+    "Every collective-algorithm engine conserves collective bytes exactly",
+    "collective -> p2p expansion, paper §4.4; repro.collectives",
+)
+def check_collective_byte_conservation(ctx: CheckContext) -> Iterator[Violation]:
+    name = "collective-byte-conservation"
+    global _LAW_CACHE
+    if _LAW_CACHE is None:
+        _LAW_CACHE = _collective_law_violations()
+    for message in _LAW_CACHE:
+        yield _err(name, message)
+    # Scenario accounting: the scenario engine's expanded volume must be
+    # exactly the collective mass of the full matrix — translate, the
+    # matrix builder, and the volume accountant agree byte for byte.
+    from ..collectives import collective_volume
+
+    if ctx.full_matrix is None or ctx.p2p_matrix is None:
+        return
+    delta = ctx.full_matrix.total_bytes - ctx.p2p_matrix.total_bytes
+    expected = collective_volume(ctx.trace, collective=ctx.collective)
+    if delta != expected:
+        yield _err(
+            name,
+            f"full-minus-p2p matrix mass is {delta} B but the "
+            f"{ctx.collective!r} engine expands {expected} B of collectives",
         )
 
 
@@ -662,7 +836,11 @@ def check_dag_acyclicity(ctx: CheckContext) -> Iterator[Violation]:
     from ..critpath.match import MatchError
 
     try:
-        dag = cached_critpath_dag(ctx.trace, max_repeat=DAG_CHECK_MAX_REPEAT)
+        dag = cached_critpath_dag(
+            ctx.trace,
+            max_repeat=DAG_CHECK_MAX_REPEAT,
+            collective=ctx.collective,
+        )
         dag.assert_acyclic()
     except MatchError as exc:
         yield _err(name, f"matching failed before the DAG was built: {exc}")

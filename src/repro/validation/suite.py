@@ -123,15 +123,18 @@ def build_static_context(
     routing: str = "minimal",
     routing_seed: int = 0,
     mapping: Mapping | None = None,
+    collective: str = "flat",
 ) -> CheckContext:
     """Assemble the static artifacts of one scenario.
 
     The route incidence is requested with the same key
     :func:`repro.model.engine.analyze_network` uses (crossing node pairs,
-    byte weights), so the two share one cached entry.
+    byte weights), so the two share one cached entry.  ``collective``
+    selects the engine whose expansion fills the full matrix (labels only
+    mention it when it is not the default ``flat``).
     """
     p2p_matrix = cached_matrix(trace, include_collectives=False)
-    full_matrix = cached_matrix(trace)
+    full_matrix = cached_matrix(trace, collective=collective)
     if mapping is None:
         mapping = Mapping.consecutive(full_matrix.num_ranks, topology.num_nodes)
     analysis = analyze_network(
@@ -155,8 +158,11 @@ def build_static_context(
         seed=routing_seed,
         pair_weights=pair_bytes,
     )
+    label = f"{trace.meta.label} on {topology.kind}/{routing}"
+    if collective != "flat":
+        label += f"/{collective}"
     return CheckContext(
-        label=f"{trace.meta.label} on {topology.kind}/{routing}",
+        label=label,
         trace=trace,
         p2p_matrix=p2p_matrix,
         full_matrix=full_matrix,
@@ -164,6 +170,7 @@ def build_static_context(
         mapping=mapping,
         routing=routing,
         routing_seed=routing_seed,
+        collective=collective,
         analysis=analysis,
         incidence=incidence,
         pair_src=pair_src,
@@ -299,6 +306,7 @@ def run_check_suite(
     apps: tuple[str, ...] | None = None,
     topologies: tuple[str, ...] = TOPOLOGY_KINDS,
     routings: tuple[str, ...] | None = None,
+    collectives: tuple[str, ...] = ("flat",),
     sim: bool = True,
     sim_routings: tuple[str, ...] | None = None,
     target_packets: int = 20_000,
@@ -313,7 +321,10 @@ def run_check_suite(
 
     ``apps=None`` means every registered application; a tuple restricts
     the sweep to those names (unknown names are rejected).
-    ``routings=None`` means every registered policy.  ``sim_routings``
+    ``routings=None`` means every registered policy.  ``collectives``
+    multiplies the grid by collective-algorithm engines, so every engine's
+    expansion passes the same conservation catalogue (the default keeps
+    the historical flat-only grid).  ``sim_routings``
     restricts which of those also get a (more expensive) dynamic
     simulation; ``None`` simulates them all, ``()`` simulates none.
     ``composed=True`` appends one multi-tenant scenario per topology kind
@@ -330,6 +341,14 @@ def run_check_suite(
             )
     if sim_routings is None:
         sim_routings = routings
+    from ..collectives.registry import COLLECTIVES
+
+    for collective in collectives:
+        if collective not in COLLECTIVES:
+            raise ValueError(
+                f"unknown collective algorithm {collective!r}; "
+                f"known: {list(COLLECTIVES)}"
+            )
     if apps is not None:
         from ..apps.registry import APPS
 
@@ -349,24 +368,27 @@ def run_check_suite(
         for kind in topologies:
             topology = build_topology(kind, point.ranks)
             for routing in routings:
-                ctx = build_static_context(trace, topology, routing=routing)
-                if sim and routing in sim_routings:
-                    attach_simulation(
-                        ctx,
-                        target_packets=target_packets,
-                        windows=windows,
-                        seed=seed,
+                for collective in collectives:
+                    ctx = build_static_context(
+                        trace, topology, routing=routing, collective=collective
                     )
-                if progress is not None:
-                    progress(ctx.label)
-                violations = run_invariants(ctx, names=invariant_names)
-                report.scenarios.append(
-                    ScenarioResult(
-                        label=ctx.label,
-                        checks=_applicable_count(ctx),
-                        violations=violations,
+                    if sim and routing in sim_routings:
+                        attach_simulation(
+                            ctx,
+                            target_packets=target_packets,
+                            windows=windows,
+                            seed=seed,
+                        )
+                    if progress is not None:
+                        progress(ctx.label)
+                    violations = run_invariants(ctx, names=invariant_names)
+                    report.scenarios.append(
+                        ScenarioResult(
+                            label=ctx.label,
+                            checks=_applicable_count(ctx),
+                            violations=violations,
+                        )
                     )
-                )
         if cache_roundtrip:
             ctx = cache_roundtrip_context(
                 app.name, point.ranks, variant=point.variant, seed=seed

@@ -248,12 +248,13 @@ class TestKeys:
             "disk_hits": 0,
         }
 
-    def test_cache_version_is_7(self):
-        """v7 added the critical-path engine (v6: multi-tenant
-        composition) — happens-before DAGs join the memory tier keyed on
-        trace provenance plus the repeat clamp, and a version bump
-        cold-starts the disk tier so no v6 entry can alias."""
-        assert cache.CACHE_VERSION == 7
+    def test_cache_version_is_8(self):
+        """v8 added the collective-algorithm engines (v7: critical-path
+        engine) — matrices and happens-before DAGs key on the engine's
+        ``cache_token()``, and a version bump cold-starts the disk tier
+        so no v7 entry expanded under the implicit flat default can
+        alias a tree-engine artifact."""
+        assert cache.CACHE_VERSION == 8
 
     def test_policies_never_share_entries(self):
         """Different routing policies must never alias one cache entry —

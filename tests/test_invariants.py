@@ -55,6 +55,7 @@ EXPECTED_INVARIANTS = {
     "composed-byte-conservation",
     "critpath-matching",
     "dag-acyclicity",
+    "collective-byte-conservation",
 }
 
 
